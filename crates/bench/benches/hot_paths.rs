@@ -1,0 +1,170 @@
+//! Micro-benchmarks of the simulator's hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dcn_net::{ClosConfig, FlowId, NodeId, Packet, PortId, Priority, RoutingTable, Topology, TrafficClass};
+use dcn_sim::{BitRate, Bytes, EventQueue, SimTime};
+use dcn_switch::{
+    AbmPolicy, BufferPolicy, DtPolicy, MmuState, Pool, QueueIndex, SharedMemorySwitch,
+    SwitchConfig,
+};
+use l2bm::{L2bmConfig, L2bmPolicy};
+
+fn q(port: u16, prio: u8) -> QueueIndex {
+    QueueIndex::new(PortId::new(port), Priority::new(prio))
+}
+
+fn loaded_mmu() -> MmuState {
+    let mut m = MmuState::new(&SwitchConfig::default(), vec![BitRate::from_gbps(25); 36]);
+    // Put a little traffic in several queues so policies have state to
+    // look at.
+    for port in 0..8u16 {
+        let c = m.plan_charge(q(port, 3), Bytes::new(20_000), Pool::Shared);
+        m.charge(q(port, 3), q((port + 1) % 8, 3), c);
+    }
+    m
+}
+
+fn bench_mmu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mmu");
+    g.bench_function("charge_discharge_cycle", |b| {
+        let mut m = loaded_mmu();
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            let charge = m.plan_charge(q(9, 3), Bytes::new(1_048), Pool::Shared);
+            m.charge(q(9, 3), q(1, 3), charge);
+            t += dcn_sim::SimDuration::from_nanos(336);
+            m.discharge(t, q(9, 3), q(1, 3), charge);
+            black_box(m.shared_used())
+        })
+    });
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let m = loaded_mmu();
+    let now = SimTime::from_micros(10);
+    let mut g = c.benchmark_group("policy_threshold");
+    let dt = DtPolicy::new(0.125);
+    g.bench_function("dt", |b| {
+        b.iter(|| black_box(dt.pfc_threshold(&m, q(0, 3), now)))
+    });
+    let abm = AbmPolicy::new(0.5);
+    g.bench_function("abm", |b| {
+        b.iter(|| black_box(abm.pfc_threshold(&m, q(0, 3), now)))
+    });
+    // L2BM with populated sojourn state (the realistic case).
+    let mut l2bm_policy = L2bmPolicy::new(L2bmConfig::default());
+    let mut m2 = loaded_mmu();
+    for port in 0..8u16 {
+        let charge = m2.plan_charge(q(port, 3), Bytes::new(5_000), Pool::Shared);
+        m2.charge(q(port, 3), q((port + 1) % 8, 3), charge);
+        l2bm_policy.on_enqueue(&m2, now, q(port, 3), q((port + 1) % 8, 3), Bytes::new(5_000));
+    }
+    g.bench_function("l2bm", |b| {
+        b.iter(|| black_box(l2bm_policy.pfc_threshold(&m2, q(0, 3), now)))
+    });
+    g.finish();
+}
+
+fn bench_sojourn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sojourn");
+    g.bench_function("enqueue_dequeue_update", |b| {
+        let mut policy = L2bmPolicy::new(L2bmConfig::default());
+        let mut m = loaded_mmu();
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            let charge = m.plan_charge(q(9, 3), Bytes::new(1_048), Pool::Shared);
+            m.charge(q(9, 3), q(1, 3), charge);
+            policy.on_enqueue(&m, t, q(9, 3), q(1, 3), Bytes::new(1_048));
+            t += dcn_sim::SimDuration::from_nanos(336);
+            m.discharge(t, q(9, 3), q(1, 3), charge);
+            policy.on_dequeue(&m, t, q(9, 3), q(1, 3), Bytes::new(1_048));
+            black_box(policy.weight(q(9, 3), t))
+        })
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut queue: EventQueue<u64> = EventQueue::new();
+            for i in 0..1_000u64 {
+                queue.schedule_at(SimTime::from_nanos((i * 7919) % 10_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = queue.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = Topology::clos(&ClosConfig::paper());
+    let routes = RoutingTable::shortest_paths(&topo);
+    let hosts: Vec<NodeId> = topo.hosts().collect();
+    let tor = topo.host_uplink_switch(hosts[0]).expect("host has uplink");
+    let mut g = c.benchmark_group("routing");
+    g.bench_function("ecmp_next_port", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(routes.next_port(tor, hosts[64], FlowId::new(i)))
+        })
+    });
+    g.bench_function("build_paper_clos_tables", |b| {
+        b.iter(|| black_box(RoutingTable::shortest_paths(&topo)))
+    });
+    g.finish();
+}
+
+fn bench_switch_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("switch");
+    g.bench_function("receive_tx_complete_cycle", |b| {
+        let mut sw = SharedMemorySwitch::new(
+            NodeId::new(0),
+            SwitchConfig::default(),
+            vec![BitRate::from_gbps(25); 36],
+            Box::new(L2bmPolicy::new(L2bmConfig::default())),
+            7,
+        );
+        let mut t = SimTime::ZERO;
+        let mut seq = 0u64;
+        b.iter(|| {
+            let pkt = Packet::data(
+                FlowId::new(1),
+                NodeId::new(100),
+                NodeId::new(101),
+                Priority::new(3),
+                TrafficClass::Lossless,
+                seq,
+                Bytes::new(1_000),
+                Bytes::new(48),
+            );
+            seq += 1_000;
+            let r = sw.receive(t, pkt, PortId::new(0), PortId::new(1));
+            t += dcn_sim::SimDuration::from_nanos(400);
+            if r.tx.is_some() {
+                black_box(sw.tx_complete(t, PortId::new(1)));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    hot_paths,
+    bench_mmu,
+    bench_policies,
+    bench_sojourn,
+    bench_event_queue,
+    bench_routing,
+    bench_switch_cycle
+);
+criterion_main!(hot_paths);

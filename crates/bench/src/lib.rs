@@ -1,0 +1,28 @@
+//! Criterion benchmarks for the L2BM reproduction.
+//!
+//! Two suites live under `benches/`:
+//!
+//! * `paper_figures` — one bench group per paper table/figure, running a
+//!   scaled-down (tiny fabric, short window) variant of the exact code
+//!   path the `repro` CLI uses. These measure end-to-end experiment
+//!   cost and keep every figure's pipeline exercised under `cargo
+//!   bench`.
+//! * `hot_paths` — micro-benchmarks of the simulator's hot paths: MMU
+//!   charge/discharge, policy threshold evaluation (DT / ABM / L2BM),
+//!   sojourn-module updates, the event queue, routing lookups, and a
+//!   full switch receive→transmit cycle.
+//!
+//! This crate intentionally exposes a few helpers shared by both bench
+//! files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dcn_experiments::ExperimentScale;
+use dcn_sim::SimDuration;
+
+/// The scale used by figure benches: tiny fabric, 1 ms of traffic —
+/// around a hundred milliseconds of wall time per iteration.
+pub fn bench_scale() -> ExperimentScale {
+    ExperimentScale::tiny().with_window(SimDuration::from_millis(1))
+}

@@ -1,0 +1,169 @@
+//! Ablation studies of L2BM's design choices (DESIGN.md §3).
+//!
+//! The paper motivates three mechanisms; each has a knob here so its
+//! contribution can be measured in isolation on the hybrid workload:
+//!
+//! * **weight cap `w_max`** — how much of the remaining buffer a
+//!   fast-draining queue may claim (Eq. 3's implicit bound);
+//! * **normalization `C`** — the paper's Σ τ versus a fixed constant;
+//! * **PFC-diffusion mitigation** — excluding paused time from the
+//!   sojourn estimate (§III-D), on or off.
+//!
+//! The DT α sweep is included as the reference family the paper builds
+//! on.
+
+use dcn_fabric::PolicyChoice;
+use l2bm::{L2bmConfig, Normalization};
+
+use crate::hybrid::{run_hybrid, HybridConfig, HybridPoint};
+use crate::report::{fmt_bytes, fmt_f64, Table};
+use crate::scale::ExperimentScale;
+
+/// One ablation variant: a labelled policy configuration.
+#[derive(Debug, Clone)]
+pub struct AblationVariant {
+    /// Row label in the report.
+    pub name: String,
+    /// The policy to run.
+    pub policy: PolicyChoice,
+}
+
+/// The standard variant set: L2BM default, weight-cap sweep, fixed
+/// normalization, no pause-freeze, and the DT α family.
+pub fn standard_variants() -> Vec<AblationVariant> {
+    let mut v = Vec::new();
+    v.push(AblationVariant {
+        name: "L2BM (paper defaults)".into(),
+        policy: PolicyChoice::L2bm(L2bmConfig::default()),
+    });
+    for cap in [0.25, 0.5] {
+        v.push(AblationVariant {
+            name: format!("L2BM w_max={cap}"),
+            policy: PolicyChoice::L2bm(L2bmConfig {
+                max_weight: cap,
+                ..L2bmConfig::default()
+            }),
+        });
+    }
+    v.push(AblationVariant {
+        name: "L2BM C=100us fixed".into(),
+        policy: PolicyChoice::L2bm(L2bmConfig {
+            normalization: Normalization::Fixed(1e-4),
+            ..L2bmConfig::default()
+        }),
+    });
+    v.push(AblationVariant {
+        name: "L2BM no pause-freeze".into(),
+        policy: PolicyChoice::L2bm(L2bmConfig {
+            pause_freeze: false,
+            ..L2bmConfig::default()
+        }),
+    });
+    for alpha in [0.125, 0.5, 1.0] {
+        v.push(AblationVariant {
+            name: format!("DT a={alpha}"),
+            policy: PolicyChoice::Dt(alpha),
+        });
+    }
+    v
+}
+
+/// Results of the ablation sweep.
+#[derive(Debug)]
+pub struct AblationReport {
+    /// One hybrid point per variant, all at the same loads.
+    pub points: Vec<(String, HybridPoint)>,
+    /// The TCP load used.
+    pub tcp_load: f64,
+}
+
+impl AblationReport {
+    /// Renders the comparison table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&[
+            "variant",
+            "rdma p99",
+            "tcp p99",
+            "occ p99",
+            "pauses",
+            "lossy drops",
+        ]);
+        for (name, p) in &self.points {
+            t.row(vec![
+                name.clone(),
+                fmt_f64(p.rdma_p99_slowdown),
+                fmt_f64(p.tcp_p99_slowdown),
+                fmt_bytes(p.tor_occupancy_p99),
+                p.pause_frames.to_string(),
+                p.lossy_drops.to_string(),
+            ]);
+        }
+        format!(
+            "Ablations: hybrid web search, RDMA load 0.4, TCP load {}\n{}",
+            self.tcp_load,
+            t.render()
+        )
+    }
+}
+
+/// Runs the standard ablation sweep at TCP load 0.8.
+pub fn ablations(scale: &ExperimentScale) -> AblationReport {
+    ablations_with(scale, &standard_variants(), 0.8)
+}
+
+/// Runs a custom ablation sweep.
+pub fn ablations_with(
+    scale: &ExperimentScale,
+    variants: &[AblationVariant],
+    tcp_load: f64,
+) -> AblationReport {
+    let points = variants
+        .iter()
+        .map(|v| {
+            let p = run_hybrid(&HybridConfig {
+                scale: scale.clone(),
+                policy: v.policy,
+                rdma_load: 0.4,
+                tcp_load,
+            });
+            (v.name.clone(), p)
+        })
+        .collect();
+    AblationReport { points, tcp_load }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_set_is_labelled_uniquely() {
+        let v = standard_variants();
+        let mut names: Vec<&String> = v.iter().map(|x| &x.name).collect();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert!(before >= 7);
+    }
+
+    #[test]
+    fn tiny_ablation_runs_and_renders() {
+        let variants = vec![
+            AblationVariant {
+                name: "L2BM".into(),
+                policy: PolicyChoice::l2bm(),
+            },
+            AblationVariant {
+                name: "L2BM no-freeze".into(),
+                policy: PolicyChoice::L2bm(L2bmConfig {
+                    pause_freeze: false,
+                    ..L2bmConfig::default()
+                }),
+            },
+        ];
+        let r = ablations_with(&ExperimentScale::tiny(), &variants, 0.4);
+        assert_eq!(r.points.len(), 2);
+        let text = r.render();
+        assert!(text.contains("no-freeze"));
+    }
+}

@@ -1,0 +1,116 @@
+//! `repro` — regenerate the L2BM paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--scale tiny|small|paper] [--seed N] [--window-ms N]
+//!
+//! experiments: fig3a fig3b fig7 table2 fig8 fig9 fig10 fig11 all
+//! ```
+//!
+//! Scaled-down runs (`--scale small`, the default) finish in about a
+//! minute per figure and preserve the qualitative ordering; `--scale
+//! paper` uses the full 128-server fabric of the paper's §IV setup.
+
+use std::env;
+use std::process::ExitCode;
+
+use dcn_experiments::{
+    ablations, fig10, fig11, fig3a, fig3b, fig7, fig8, fig9, table2, ExperimentScale,
+};
+use dcn_sim::SimDuration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|ablations|all> \
+         [--scale tiny|small|paper] [--seed N] [--window-ms N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let Some(which) = args.first().cloned() else {
+        return usage();
+    };
+
+    let mut scale = ExperimentScale::small();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let Some(v) = args.get(i + 1) else { return usage() };
+                scale = match v.as_str() {
+                    "tiny" => ExperimentScale::tiny(),
+                    "small" => ExperimentScale::small(),
+                    "paper" => ExperimentScale::paper(),
+                    other => {
+                        eprintln!("unknown scale '{other}'");
+                        return usage();
+                    }
+                };
+                i += 2;
+            }
+            "--seed" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                scale = scale.with_seed(v);
+                i += 2;
+            }
+            "--window-ms" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                scale = scale.with_window(SimDuration::from_millis(v));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag '{other}'");
+                return usage();
+            }
+        }
+    }
+
+    eprintln!(
+        "# scale: {} hosts, window {}, seed {}",
+        scale.host_count(),
+        scale.window,
+        scale.seed
+    );
+
+    let run_one = |name: &str, scale: &ExperimentScale| -> Option<String> {
+        let out = match name {
+            "fig3a" => fig3a(scale).render(),
+            "fig3b" => fig3b(scale).render(),
+            "fig7" => fig7(scale).render(),
+            "table2" => table2(scale).render(),
+            "fig8" => fig8(scale).render(),
+            "fig9" => fig9(scale).render(),
+            "fig10" => fig10(scale).render(),
+            "fig11" => fig11(scale).render(),
+            "ablations" => ablations(scale).render(),
+            _ => return None,
+        };
+        Some(out)
+    };
+
+    if which == "all" {
+        for name in [
+            "fig3a", "fig3b", "fig7", "table2", "fig8", "fig9", "fig10", "fig11", "ablations",
+        ] {
+            eprintln!("# running {name} ...");
+            println!("{}", run_one(name, &scale).expect("known name"));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    match run_one(&which, &scale) {
+        Some(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown experiment '{which}'");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The hybrid-traffic experiment (paper §IV-A): 16 servers per ToR send
+//! RDMA web-search traffic at load 0.4, the other 16 send TCP web-search
+//! traffic at a swept load, all inter-rack, and the four policies
+//! compete on RDMA/TCP tail FCT, buffer occupancy and PFC pause frames.
+
+use dcn_fabric::{FabricConfig, FabricSim, PolicyChoice, RunResults};
+use dcn_net::{NodeId, Priority, Topology, TrafficClass};
+use dcn_sim::{SimRng, SimTime};
+use dcn_workload::{web_search_cdf, PoissonTraffic};
+
+use crate::scale::ExperimentScale;
+
+/// One hybrid run's parameters.
+#[derive(Debug, Clone)]
+pub struct HybridConfig {
+    /// The scale (topology, window, seed).
+    pub scale: ExperimentScale,
+    /// Buffer-management policy under test.
+    pub policy: PolicyChoice,
+    /// Load of the RDMA half (paper: fixed 0.4).
+    pub rdma_load: f64,
+    /// Load of the TCP half (paper: swept 0.1 → 0.8).
+    pub tcp_load: f64,
+}
+
+/// Summary of one hybrid run — one x-axis point of Figs. 3(b)/7 and one
+/// cell column of Table II.
+#[derive(Debug, Clone)]
+pub struct HybridPoint {
+    /// Policy label (DT / DT2 / ABM / L2BM).
+    pub label: String,
+    /// TCP load of this run.
+    pub tcp_load: f64,
+    /// 99th-percentile FCT slowdown of RDMA flows (Fig. 7(a)).
+    pub rdma_p99_slowdown: f64,
+    /// 99th-percentile FCT slowdown of TCP flows (Fig. 7(b)).
+    pub tcp_p99_slowdown: f64,
+    /// Mean slowdowns (for Fig. 9-style summaries).
+    pub rdma_mean_slowdown: f64,
+    /// Mean TCP slowdown.
+    pub tcp_mean_slowdown: f64,
+    /// 99th-percentile sampled occupancy of the first ToR switch, bytes
+    /// (Fig. 7(c)).
+    pub tor_occupancy_p99: f64,
+    /// Total PFC pause frames over the run (Fig. 7(d) / Table II).
+    pub pause_frames: u64,
+    /// Lossy packets dropped.
+    pub lossy_drops: u64,
+    /// Lossless packets dropped (must stay 0).
+    pub lossless_drops: u64,
+    /// Flows that had not finished at the deadline.
+    pub unfinished: usize,
+    /// Full results for figure-specific post-processing (CDFs etc.).
+    pub results: RunResults,
+}
+
+/// Splits the hosts of each rack into an (RDMA, TCP) half, and returns
+/// the host→rack map used to keep traffic inter-rack.
+pub(crate) fn split_hosts(
+    topo: &Topology,
+    hosts_per_tor: usize,
+) -> (Vec<NodeId>, Vec<NodeId>, Vec<(NodeId, usize)>) {
+    let hosts: Vec<NodeId> = topo.hosts().collect();
+    let mut rdma = Vec::new();
+    let mut tcp = Vec::new();
+    let mut rack_of = Vec::new();
+    for (i, &h) in hosts.iter().enumerate() {
+        let rack = i / hosts_per_tor;
+        rack_of.push((h, rack));
+        if i % hosts_per_tor < hosts_per_tor / 2 {
+            rdma.push(h);
+        } else {
+            tcp.push(h);
+        }
+    }
+    (rdma, tcp, rack_of)
+}
+
+/// Priority queues the paper assigns: one lossless class for RDMA, one
+/// lossy class for TCP (two of the eight queues in use).
+pub(crate) const RDMA_PRIO: Priority = Priority::new(3);
+/// The lossy priority.
+pub(crate) const TCP_PRIO: Priority = Priority::new(1);
+
+/// Runs one hybrid experiment point.
+pub fn run_hybrid(cfg: &HybridConfig) -> HybridPoint {
+    let topo = Topology::clos(&cfg.scale.clos);
+    let (rdma_hosts, tcp_hosts, rack_of) = split_hosts(&topo, cfg.scale.clos.hosts_per_tor);
+    let mut rng = SimRng::seed_from_u64(cfg.scale.seed);
+
+    // §IV-A: "data is randomly sent to all other servers" — no rack
+    // restriction (the inter-rack restriction belongs to Fig. 3(a)'s
+    // motivation setup).
+    let _ = rack_of;
+    let mut flows = Vec::new();
+    if cfg.rdma_load > 0.0 {
+        let rdma = PoissonTraffic::builder(rdma_hosts.clone(), web_search_cdf())
+            .load(cfg.rdma_load)
+            .link_rate(cfg.scale.clos.host_rate)
+            .class(TrafficClass::Lossless, RDMA_PRIO)
+            .dests(rdma_hosts)
+            .build();
+        flows.extend(rdma.generate(cfg.scale.window, &mut rng.fork(1)));
+    }
+    if cfg.tcp_load > 0.0 {
+        let tcp = PoissonTraffic::builder(tcp_hosts.clone(), web_search_cdf())
+            .load(cfg.tcp_load)
+            .link_rate(cfg.scale.clos.host_rate)
+            .class(TrafficClass::Lossy, TCP_PRIO)
+            .dests(tcp_hosts)
+            .first_flow_id(1 << 40)
+            .build();
+        flows.extend(tcp.generate(cfg.scale.window, &mut rng.fork(2)));
+    }
+
+    let fabric_cfg = FabricConfig {
+        policy: cfg.policy,
+        seed: cfg.scale.seed,
+        switch: cfg.scale.switch_config(),
+        ..FabricConfig::default()
+    };
+    let mut sim = FabricSim::new(topo, fabric_cfg);
+    sim.add_flows(flows);
+    let deadline = SimTime::ZERO + cfg.scale.window + cfg.scale.drain;
+    sim.run_until_done(deadline);
+    let results = sim.results();
+
+    let first_tor = sim
+        .world()
+        .topology()
+        .switches()
+        .next()
+        .expect("clos has switches");
+    let tor_occupancy_p99 = results
+        .occupancy
+        .get(&first_tor)
+        .and_then(|s| s.quantile(0.99))
+        .unwrap_or(0.0);
+
+    HybridPoint {
+        label: cfg.policy.label(),
+        tcp_load: cfg.tcp_load,
+        rdma_p99_slowdown: results
+            .fct
+            .slowdown_percentile(TrafficClass::Lossless, 0.99)
+            .unwrap_or(f64::NAN),
+        tcp_p99_slowdown: results
+            .fct
+            .slowdown_percentile(TrafficClass::Lossy, 0.99)
+            .unwrap_or(f64::NAN),
+        rdma_mean_slowdown: results
+            .fct
+            .mean_slowdown(TrafficClass::Lossless)
+            .unwrap_or(f64::NAN),
+        tcp_mean_slowdown: results
+            .fct
+            .mean_slowdown(TrafficClass::Lossy)
+            .unwrap_or(f64::NAN),
+        tor_occupancy_p99,
+        pause_frames: results.pause_frames(),
+        lossy_drops: results.drops.lossy_packets,
+        lossless_drops: results.drops.lossless_packets,
+        unfinished: results.unfinished_flows,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_hybrid_run_produces_both_classes() {
+        let cfg = HybridConfig {
+            scale: ExperimentScale::tiny(),
+            policy: PolicyChoice::l2bm(),
+            rdma_load: 0.4,
+            tcp_load: 0.4,
+        };
+        let p = run_hybrid(&cfg);
+        assert_eq!(p.label, "L2BM");
+        assert!(p.results.fct.by_class(TrafficClass::Lossless).count() > 0);
+        assert!(p.results.fct.by_class(TrafficClass::Lossy).count() > 0);
+        assert_eq!(p.lossless_drops, 0, "lossless class must not drop");
+        assert!(p.rdma_p99_slowdown >= 1.0);
+    }
+
+    #[test]
+    fn split_is_half_and_inter_rack_map_is_complete() {
+        let scale = ExperimentScale::tiny();
+        let topo = Topology::clos(&scale.clos);
+        let (rdma, tcp, rack_of) = split_hosts(&topo, scale.clos.hosts_per_tor);
+        assert_eq!(rdma.len(), 4);
+        assert_eq!(tcp.len(), 4);
+        assert_eq!(rack_of.len(), 8);
+        // Two racks, four hosts each.
+        assert_eq!(rack_of.iter().filter(|&&(_, r)| r == 0).count(), 4);
+    }
+
+    #[test]
+    fn rdma_only_run() {
+        let cfg = HybridConfig {
+            scale: ExperimentScale::tiny(),
+            policy: PolicyChoice::dt(),
+            rdma_load: 0.4,
+            tcp_load: 0.0,
+        };
+        let p = run_hybrid(&cfg);
+        assert_eq!(p.results.fct.by_class(TrafficClass::Lossy).count(), 0);
+        assert!(p.results.fct.len() > 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! The burst deep-dive experiment (paper §IV-B): RDMA incast queries
+//! (x = 1 MB striped over N servers) against TCP web-search background
+//! traffic at load 0.8.
+
+use std::collections::HashMap;
+
+use dcn_fabric::{FabricConfig, FabricSim, PolicyChoice, RunResults};
+use dcn_metrics::ErrorBarStats;
+use dcn_net::{Topology, TrafficClass};
+use dcn_sim::{Bytes, SimDuration, SimRng, SimTime};
+use dcn_workload::{web_search_cdf, IncastWorkload, PoissonTraffic};
+
+use crate::hybrid::{split_hosts, RDMA_PRIO, TCP_PRIO};
+use crate::scale::ExperimentScale;
+
+/// One incast run's parameters.
+#[derive(Debug, Clone)]
+pub struct IncastConfig {
+    /// The scale (topology, window, seed).
+    pub scale: ExperimentScale,
+    /// Buffer-management policy under test.
+    pub policy: PolicyChoice,
+    /// Responders per query (paper: 5, 10, 15).
+    pub fanout: usize,
+    /// Total bytes per query (paper: 1 MB = 25% of the 4 MB buffer).
+    pub request_size: Bytes,
+    /// Mean inter-query gap (paper: ≈ 1.33 ms → 376 queries in 0.5 s).
+    pub query_gap: SimDuration,
+    /// Background TCP web-search load (paper: 0.8).
+    pub tcp_load: f64,
+}
+
+impl IncastConfig {
+    /// Paper §IV-B defaults at the given scale, policy and fanout. The
+    /// request size is 25% of the switch buffer (1 MB of 4 MB in the
+    /// paper), which keeps the burst-to-buffer pressure constant across
+    /// scales.
+    pub fn paper_defaults(scale: ExperimentScale, policy: PolicyChoice, fanout: usize) -> Self {
+        let request_size = (scale.total_buffer / 4).max(Bytes::from_kb(100));
+        IncastConfig {
+            scale,
+            policy,
+            fanout,
+            request_size,
+            query_gap: SimDuration::from_micros(1_330),
+            tcp_load: 0.8,
+        }
+    }
+}
+
+/// Summary of one incast run.
+#[derive(Debug, Clone)]
+pub struct IncastPoint {
+    /// Policy label.
+    pub label: String,
+    /// Responders per query.
+    pub fanout: usize,
+    /// Number of queries issued.
+    pub queries: usize,
+    /// 99th-percentile FCT slowdown over all incast flows (Fig. 11(a)).
+    pub incast_p99_slowdown: f64,
+    /// Fraction of incast flows with slowdown ≤ 10 (Fig. 10(a) headline).
+    pub frac_slowdown_le_10: f64,
+    /// Per-query response time = max FCT of its flows; error-bar summary
+    /// in seconds (Fig. 10(b) / Fig. 11(b)).
+    pub query_delay: Option<ErrorBarStats>,
+    /// 99th-percentile sampled ToR occupancy in bytes (Fig. 10(c)).
+    pub tor_occupancy_p99: f64,
+    /// Total PFC pause frames (Fig. 11(c)).
+    pub pause_frames: u64,
+    /// Lossless drops (must stay 0).
+    pub lossless_drops: u64,
+    /// Queries whose flows all finished.
+    pub completed_queries: usize,
+    /// Full results for figure-specific post-processing.
+    pub results: RunResults,
+    /// Raw per-query response times in seconds (completed queries only).
+    pub query_delays_s: Vec<f64>,
+    /// Raw slowdowns of all completed incast flows.
+    pub incast_slowdowns: Vec<f64>,
+}
+
+/// Runs one incast experiment point.
+pub fn run_incast(cfg: &IncastConfig) -> IncastPoint {
+    let topo = Topology::clos(&cfg.scale.clos);
+    let (rdma_hosts, tcp_hosts, rack_of) = split_hosts(&topo, cfg.scale.clos.hosts_per_tor);
+    let mut rng = SimRng::seed_from_u64(cfg.scale.seed);
+
+    // Background TCP web-search at the configured load.
+    let mut flows = Vec::new();
+    if cfg.tcp_load > 0.0 {
+        let tcp = PoissonTraffic::builder(tcp_hosts.clone(), web_search_cdf())
+            .load(cfg.tcp_load)
+            .link_rate(cfg.scale.clos.host_rate)
+            .class(TrafficClass::Lossy, TCP_PRIO)
+            .inter_rack(rack_of)
+            .dests(tcp_hosts)
+            .first_flow_id(1 << 40)
+            .build();
+        flows.extend(tcp.generate(cfg.scale.window, &mut rng.fork(2)));
+    }
+
+    // RDMA incast queries over the other half of the servers.
+    let incast = IncastWorkload::new(rdma_hosts, cfg.fanout, cfg.request_size, cfg.query_gap)
+        .class(TrafficClass::Lossless, RDMA_PRIO);
+    let queries = incast.generate(cfg.scale.window, &mut rng.fork(3));
+    let incast_flow_sizes: HashMap<dcn_net::FlowId, ()> = queries
+        .iter()
+        .flat_map(|q| q.flow_ids().map(|f| (f, ())))
+        .collect();
+    for q in &queries {
+        flows.extend(q.flows.iter().copied());
+    }
+
+    let fabric_cfg = FabricConfig {
+        policy: cfg.policy,
+        seed: cfg.scale.seed,
+        switch: cfg.scale.switch_config(),
+        ..FabricConfig::default()
+    };
+    let mut sim = FabricSim::new(topo, fabric_cfg);
+    sim.add_flows(flows);
+    let deadline = SimTime::ZERO + cfg.scale.window + cfg.scale.drain;
+    sim.run_until_done(deadline);
+    let results = sim.results();
+
+    // Per-flow records of incast flows.
+    let mut fct_by_flow: HashMap<dcn_net::FlowId, &dcn_metrics::FctRecord> = HashMap::new();
+    for r in results.fct.records() {
+        if incast_flow_sizes.contains_key(&r.flow) {
+            fct_by_flow.insert(r.flow, r);
+        }
+    }
+    let incast_slowdowns: Vec<f64> = fct_by_flow.values().map(|r| r.slowdown()).collect();
+
+    // Query response time = max FCT among its flows (completed only).
+    let mut query_delays_s = Vec::new();
+    let mut completed_queries = 0;
+    for q in &queries {
+        let mut worst: Option<f64> = None;
+        let mut all = true;
+        for f in q.flow_ids() {
+            match fct_by_flow.get(&f) {
+                Some(r) => {
+                    let fct = r.fct().as_secs_f64();
+                    worst = Some(worst.map_or(fct, |w: f64| w.max(fct)));
+                }
+                None => {
+                    all = false;
+                    break;
+                }
+            }
+        }
+        if all {
+            completed_queries += 1;
+            query_delays_s.push(worst.expect("fanout >= 1"));
+        }
+    }
+
+    let first_tor = sim
+        .world()
+        .topology()
+        .switches()
+        .next()
+        .expect("clos has switches");
+    let tor_occupancy_p99 = results
+        .occupancy
+        .get(&first_tor)
+        .and_then(|s| s.quantile(0.99))
+        .unwrap_or(0.0);
+
+    let frac_le_10 = if incast_slowdowns.is_empty() {
+        0.0
+    } else {
+        incast_slowdowns.iter().filter(|&&s| s <= 10.0).count() as f64
+            / incast_slowdowns.len() as f64
+    };
+
+    IncastPoint {
+        label: cfg.policy.label(),
+        fanout: cfg.fanout,
+        queries: queries.len(),
+        incast_p99_slowdown: dcn_metrics::percentile(&incast_slowdowns, 0.99).unwrap_or(f64::NAN),
+        frac_slowdown_le_10: frac_le_10,
+        query_delay: ErrorBarStats::from_samples(&query_delays_s),
+        tor_occupancy_p99,
+        pause_frames: results.pause_frames(),
+        lossless_drops: results.drops.lossless_packets,
+        completed_queries,
+        results,
+        query_delays_s,
+        incast_slowdowns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_incast_run_completes_queries() {
+        let mut cfg = IncastConfig::paper_defaults(
+            ExperimentScale::tiny(),
+            PolicyChoice::l2bm(),
+            3,
+        );
+        // 1 MB queries over 25G hosts in a tiny fabric: shrink to keep
+        // the test fast.
+        cfg.request_size = Bytes::from_kb(300);
+        cfg.tcp_load = 0.4;
+        let p = run_incast(&cfg);
+        assert!(p.queries > 0);
+        assert!(p.completed_queries > 0);
+        assert_eq!(p.lossless_drops, 0);
+        let eb = p.query_delay.expect("completed queries have stats");
+        assert!(eb.mean > 0.0);
+        assert!(eb.max >= eb.mean);
+        assert_eq!(p.query_delays_s.len(), p.completed_queries);
+    }
+}

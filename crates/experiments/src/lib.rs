@@ -1,0 +1,58 @@
+//! Experiment harness reproducing every table and figure of the L2BM
+//! paper's evaluation (§IV).
+//!
+//! Each `figN`/`tableN` function runs the corresponding experiment and
+//! returns a structured report whose `render()` prints the same
+//! rows/series the paper plots. The `repro` binary exposes them as
+//! subcommands; `dcn-bench` wraps scaled-down variants in Criterion.
+//!
+//! | id | paper artifact | function |
+//! |----|----------------|----------|
+//! | fig3a | buffer occupancy, TCP-only vs RDMA-only | [`fig3a`] |
+//! | fig3b | RDMA tail latency vs TCP load (DT/DT2/ABM) | [`fig3b`] |
+//! | fig7  | hybrid sweep: RDMA/TCP p99 slowdown, occupancy, pauses | [`fig7`] |
+//! | table2 | PFC pause frames per load × policy | [`table2`] |
+//! | fig8  | occupancy CDF of the four ToR switches @ 0.8 | [`fig8`] |
+//! | fig9  | FCT CDFs of RDMA and TCP flows @ 0.8 | [`fig9`] |
+//! | fig10 | incast: slowdown CDF, query-delay error bars, occupancy CDF | [`fig10`] |
+//! | fig11 | incast degree sweep N ∈ {5,10,15} | [`fig11`] |
+//!
+//! # Example
+//!
+//! ```no_run
+//! use dcn_experiments::{fig7, ExperimentScale};
+//! let report = fig7(&ExperimentScale::small());
+//! println!("{}", report.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ablations;
+mod figures;
+mod hybrid;
+mod incast;
+mod report;
+mod scale;
+
+pub use ablations::{ablations, ablations_with, standard_variants, AblationReport, AblationVariant};
+pub use figures::{
+    FIG11_FANOUTS, FIG7_LOADS, TABLE2_LOADS,
+    fig10, fig10_with_fanout, fig11, fig11_with_fanouts, fig3a, fig3b, fig7, fig7_with_loads, fig8, fig9, table2, table2_with_loads, Fig10Report, Fig11Report, Fig3aReport,
+    Fig3bReport, Fig7Report, Fig8Report, Fig9Report, Table2Report,
+};
+pub use hybrid::{run_hybrid, HybridConfig, HybridPoint};
+pub use incast::{run_incast, IncastConfig, IncastPoint};
+pub use report::{fmt_bytes, fmt_f64, Table};
+pub use scale::ExperimentScale;
+
+/// The four policies every comparison sweeps, in the paper's order.
+pub fn paper_policies() -> Vec<dcn_fabric::PolicyChoice> {
+    use dcn_fabric::PolicyChoice;
+    vec![
+        PolicyChoice::l2bm(),
+        PolicyChoice::dt(),
+        PolicyChoice::abm(),
+        PolicyChoice::dt2(),
+    ]
+}

@@ -1,0 +1,113 @@
+//! Fabric-level configuration: which buffer-management policy runs on
+//! the switches, plus transport tunables.
+
+use dcn_sim::SimDuration;
+use dcn_switch::{AbmPolicy, BufferPolicy, DtPolicy, SwitchConfig};
+use dcn_transport::{DcqcnConfig, DctcpConfig};
+use l2bm::{L2bmConfig, L2bmPolicy};
+
+/// Which PFC-threshold policy every switch runs — the four columns of
+/// the paper's comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyChoice {
+    /// Classic DT with the given α (the paper's DT is 0.125, DT2 0.5).
+    Dt(f64),
+    /// ABM adapted to the ingress pool, with the given α.
+    Abm(f64),
+    /// L2BM, the paper's contribution.
+    L2bm(L2bmConfig),
+}
+
+impl PolicyChoice {
+    /// The paper's "DT" baseline (α = 0.125, RoCEv2 default).
+    pub fn dt() -> Self {
+        PolicyChoice::Dt(0.125)
+    }
+
+    /// The paper's "DT2" baseline (α = 0.5).
+    pub fn dt2() -> Self {
+        PolicyChoice::Dt(0.5)
+    }
+
+    /// The paper's ABM comparison point (α = 0.5).
+    pub fn abm() -> Self {
+        PolicyChoice::Abm(0.5)
+    }
+
+    /// L2BM with paper defaults.
+    pub fn l2bm() -> Self {
+        PolicyChoice::L2bm(L2bmConfig::default())
+    }
+
+    /// Builds a fresh policy instance for one switch.
+    pub fn build(&self) -> Box<dyn BufferPolicy> {
+        match *self {
+            PolicyChoice::Dt(alpha) => Box::new(DtPolicy::new(alpha)),
+            PolicyChoice::Abm(alpha) => Box::new(AbmPolicy::new(alpha)),
+            PolicyChoice::L2bm(cfg) => Box::new(L2bmPolicy::new(cfg)),
+        }
+    }
+
+    /// Display label matching the paper's figures (DT / DT2 / ABM / L2BM).
+    pub fn label(&self) -> String {
+        match *self {
+            PolicyChoice::Dt(alpha) if (alpha - 0.125).abs() < 1e-9 => "DT".into(),
+            PolicyChoice::Dt(alpha) if (alpha - 0.5).abs() < 1e-9 => "DT2".into(),
+            PolicyChoice::Dt(alpha) => format!("DT(a={alpha})"),
+            PolicyChoice::Abm(_) => "ABM".into(),
+            PolicyChoice::L2bm(_) => "L2BM".into(),
+        }
+    }
+}
+
+/// Full configuration of a [`crate::FabricSim`].
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Per-switch MMU/PFC/ECN configuration.
+    pub switch: SwitchConfig,
+    /// Buffer-management policy for every switch.
+    pub policy: PolicyChoice,
+    /// DCTCP tunables (lossy flows).
+    pub dctcp: DctcpConfig,
+    /// DCQCN tunables (lossless flows).
+    pub dcqcn: DcqcnConfig,
+    /// Buffer-occupancy sampling period (paper: 1 ms). `None` disables
+    /// sampling.
+    pub sample_interval: Option<SimDuration>,
+    /// Seed for the switches' probabilistic ECN marking.
+    pub seed: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            switch: SwitchConfig::default(),
+            policy: PolicyChoice::dt(),
+            dctcp: DctcpConfig::default(),
+            dcqcn: DcqcnConfig::default(),
+            sample_interval: Some(SimDuration::from_millis(1)),
+            seed: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(PolicyChoice::dt().label(), "DT");
+        assert_eq!(PolicyChoice::dt2().label(), "DT2");
+        assert_eq!(PolicyChoice::abm().label(), "ABM");
+        assert_eq!(PolicyChoice::l2bm().label(), "L2BM");
+        assert_eq!(PolicyChoice::Dt(0.25).label(), "DT(a=0.25)");
+    }
+
+    #[test]
+    fn build_produces_named_policies() {
+        assert_eq!(PolicyChoice::dt().build().name(), "DT");
+        assert_eq!(PolicyChoice::abm().build().name(), "ABM");
+        assert_eq!(PolicyChoice::l2bm().build().name(), "L2BM");
+    }
+}

@@ -1,0 +1,64 @@
+//! Per-flow transport runtime: one DCTCP or DCQCN endpoint pair.
+
+use dcn_net::TrafficClass;
+use dcn_sim::SimTime;
+use dcn_transport::{DcqcnReceiver, DcqcnSender, DctcpReceiver, DctcpSender};
+use dcn_workload::FlowSpec;
+
+/// The sender/receiver pair of one flow, typed by traffic class.
+#[derive(Debug)]
+pub enum FlowRuntime {
+    /// A lossy flow: DCTCP endpoints.
+    Tcp {
+        /// Sender state machine.
+        sender: DctcpSender,
+        /// Receiver state machine.
+        receiver: DctcpReceiver,
+    },
+    /// A lossless flow: DCQCN endpoints.
+    Rdma {
+        /// Sender (reaction point).
+        sender: DcqcnSender,
+        /// Receiver (notification point).
+        receiver: DcqcnReceiver,
+    },
+}
+
+/// A flow plus its lifecycle bookkeeping.
+#[derive(Debug)]
+pub struct FlowState {
+    /// The immutable flow description.
+    pub spec: FlowSpec,
+    /// The protocol endpoints.
+    pub runtime: FlowRuntime,
+    /// Whether the FCT record has been emitted.
+    pub recorded: bool,
+}
+
+impl FlowState {
+    /// Whether both endpoints consider the flow finished (receiver got
+    /// every byte; sender has nothing outstanding).
+    pub fn is_done(&self) -> bool {
+        match &self.runtime {
+            FlowRuntime::Tcp { sender, receiver } => {
+                sender.is_completed() && receiver.finished_at().is_some()
+            }
+            FlowRuntime::Rdma { sender, receiver } => {
+                !sender.has_more() && receiver.finished_at().is_some()
+            }
+        }
+    }
+
+    /// When the receiver got the last byte, if it has.
+    pub fn finished_at(&self) -> Option<SimTime> {
+        match &self.runtime {
+            FlowRuntime::Tcp { receiver, .. } => receiver.finished_at(),
+            FlowRuntime::Rdma { receiver, .. } => receiver.finished_at(),
+        }
+    }
+
+    /// The flow's traffic class.
+    pub fn class(&self) -> TrafficClass {
+        self.spec.class
+    }
+}

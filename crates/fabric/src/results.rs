@@ -1,0 +1,32 @@
+//! Aggregated results of one simulation run.
+
+use std::collections::BTreeMap;
+
+use dcn_metrics::{DropCounters, FctSet, OccupancySeries, PfcCounters};
+use dcn_net::NodeId;
+
+/// Everything the paper's evaluation reads out of a run.
+#[derive(Debug, Clone, Default)]
+pub struct RunResults {
+    /// Completed-flow records (both classes).
+    pub fct: FctSet,
+    /// PFC pause/resume frames summed over all switches.
+    pub pfc: PfcCounters,
+    /// PFC counters per switch.
+    pub pfc_by_switch: BTreeMap<NodeId, PfcCounters>,
+    /// Drops summed over all switches.
+    pub drops: DropCounters,
+    /// Buffer-occupancy traces per switch (if sampling was enabled).
+    pub occupancy: BTreeMap<NodeId, OccupancySeries>,
+    /// Flows that had not finished when the run ended.
+    pub unfinished_flows: usize,
+    /// Total events processed (simulator throughput diagnostics).
+    pub events_processed: u64,
+}
+
+impl RunResults {
+    /// Total PFC pause frames (the paper's Fig. 7(d) / Table II metric).
+    pub fn pause_frames(&self) -> u64 {
+        self.pfc.pause_frames()
+    }
+}

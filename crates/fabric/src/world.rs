@@ -1,0 +1,931 @@
+//! The event loop: dispatches deliveries, transmissions, PFC frames and
+//! transport timers across every host and switch.
+
+use std::collections::HashMap;
+
+use dcn_metrics::{FctRecord, OccupancySeries};
+use dcn_net::{
+    FlowId, NodeId, Packet, PacketKind, PfcFrame, PortId, RoutingTable, Topology, TrafficClass,
+};
+use dcn_sim::{
+    run_while, BitRate, Bytes, EventQueue, SimDuration, SimTime, Simulation,
+};
+use dcn_switch::{PfcEmit, SharedMemorySwitch, TxStart};
+use dcn_transport::{
+    DcqcnReceiver, DcqcnSender, DctcpReceiver, DctcpSender, RpTimerKind,
+};
+use dcn_workload::FlowSpec;
+
+use crate::config::FabricConfig;
+use crate::flows::{FlowRuntime, FlowState};
+use crate::host::Host;
+use crate::results::RunResults;
+
+/// Events dispatched through the fabric's queue.
+#[derive(Debug)]
+pub enum Event {
+    /// A pre-registered flow starts sending.
+    FlowStart {
+        /// Index into the world's flow table.
+        index: usize,
+    },
+    /// A packet finishes propagating to `node` on `in_port`.
+    Deliver {
+        /// Receiving node (host or switch).
+        node: NodeId,
+        /// Port the packet arrives on.
+        in_port: PortId,
+        /// The packet.
+        packet: Packet,
+    },
+    /// A PFC frame reaches the upstream device.
+    PfcDeliver {
+        /// Receiving node.
+        node: NodeId,
+        /// Port the frame arrives on (the egress port it pauses).
+        in_port: PortId,
+        /// Pause or resume, per priority.
+        frame: PfcFrame,
+    },
+    /// A switch finishes serializing a packet out of `port`.
+    SwitchTxComplete {
+        /// The switch.
+        node: NodeId,
+        /// The transmitting port.
+        port: PortId,
+    },
+    /// A host NIC finishes serializing a packet.
+    HostTxComplete {
+        /// The host.
+        host: NodeId,
+    },
+    /// A DCQCN sender's pacing tick: emit the next packet.
+    RdmaPace {
+        /// The flow.
+        flow: FlowId,
+    },
+    /// A DCTCP retransmission timer.
+    Rto {
+        /// The flow.
+        flow: FlowId,
+        /// Generation stamp; stale timers are discarded.
+        generation: u64,
+    },
+    /// A DCQCN reaction-point timer (α decay or rate increase).
+    RpTimer {
+        /// The flow.
+        flow: FlowId,
+        /// Which timer.
+        kind: RpTimerKind,
+        /// Generation stamp; stale timers are discarded.
+        generation: u64,
+    },
+    /// Periodic buffer-occupancy sampling tick.
+    Sample,
+}
+
+/// The complete simulated fabric.
+#[derive(Debug)]
+pub struct World {
+    topo: Topology,
+    routes: RoutingTable,
+    cfg: FabricConfig,
+    switches: Vec<Option<SharedMemorySwitch>>,
+    hosts: Vec<Option<Host>>,
+    flows: Vec<FlowState>,
+    flow_ix: HashMap<FlowId, usize>,
+    fct: Vec<FctRecord>,
+    occupancy: HashMap<NodeId, OccupancySeries>,
+    done_flows: usize,
+    counted_done: Vec<bool>,
+}
+
+impl World {
+    fn new(topo: Topology, cfg: FabricConfig) -> World {
+        let routes = RoutingTable::shortest_paths(&topo);
+        let n = topo.node_count();
+        let mut switches: Vec<Option<SharedMemorySwitch>> = (0..n).map(|_| None).collect();
+        let mut hosts: Vec<Option<Host>> = (0..n).map(|_| None).collect();
+        for node in topo.nodes() {
+            match node.kind {
+                dcn_net::NodeKind::Switch => {
+                    let rates: Vec<BitRate> = node
+                        .ports
+                        .iter()
+                        .map(|&lid| topo.link(lid).rate)
+                        .collect();
+                    let mut sw = SharedMemorySwitch::new(
+                        node.id,
+                        cfg.switch.clone(),
+                        rates,
+                        cfg.policy.build(),
+                        cfg.seed,
+                    );
+                    // Size each port's headroom from its link: in-flight
+                    // bytes over a pause round trip (2 × BDP) plus slack
+                    // for the packets serializing at both ends when the
+                    // XOFF lands. The configured value acts as a floor.
+                    for (pix, &lid) in node.ports.iter().enumerate() {
+                        let link = topo.link(lid);
+                        let bdp = link.rate.bytes_over(link.propagation);
+                        let auto = bdp * 2 + cfg.switch.mtu * 4;
+                        let cap = auto.max(cfg.switch.headroom_per_queue);
+                        sw.set_port_headroom(PortId::new(pix as u16), cap);
+                    }
+                    switches[node.id.index()] = Some(sw);
+                }
+                dcn_net::NodeKind::Host => {
+                    let rate = topo.link(node.ports[0]).rate;
+                    hosts[node.id.index()] = Some(Host::new(node.id, rate));
+                }
+            }
+        }
+        World {
+            topo,
+            routes,
+            cfg,
+            switches,
+            hosts,
+            flows: Vec::new(),
+            flow_ix: HashMap::new(),
+            fct: Vec::new(),
+            occupancy: HashMap::new(),
+            done_flows: 0,
+            counted_done: Vec::new(),
+        }
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Completed flows so far.
+    pub fn done_flows(&self) -> usize {
+        self.done_flows
+    }
+
+    /// Registered flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// A switch by node id, if that node is a switch.
+    pub fn switch(&self, id: NodeId) -> Option<&SharedMemorySwitch> {
+        self.switches.get(id.index()).and_then(Option::as_ref)
+    }
+
+    fn register_flow(&mut self, spec: FlowSpec) -> usize {
+        assert!(
+            !self.flow_ix.contains_key(&spec.id),
+            "duplicate flow id {}",
+            spec.id
+        );
+        let runtime = match spec.class {
+            TrafficClass::Lossy => FlowRuntime::Tcp {
+                sender: DctcpSender::new(
+                    self.cfg.dctcp,
+                    spec.id,
+                    spec.src,
+                    spec.dst,
+                    spec.priority,
+                    spec.size,
+                ),
+                receiver: DctcpReceiver::new(spec.id, spec.dst, spec.src, spec.priority, spec.size),
+            },
+            TrafficClass::Lossless => {
+                let rate = self.topo.link(self.topo.node(spec.src).ports[0]).rate;
+                FlowRuntime::Rdma {
+                    sender: DcqcnSender::new(
+                        self.cfg.dcqcn,
+                        spec.id,
+                        spec.src,
+                        spec.dst,
+                        spec.priority,
+                        spec.size,
+                        rate,
+                    ),
+                    receiver: DcqcnReceiver::new(
+                        spec.id,
+                        spec.dst,
+                        spec.src,
+                        spec.priority,
+                        spec.size,
+                    ),
+                }
+            }
+        };
+        let ix = self.flows.len();
+        self.flow_ix.insert(spec.id, ix);
+        self.flows.push(FlowState {
+            spec,
+            runtime,
+            recorded: false,
+        });
+        self.counted_done.push(false);
+        ix
+    }
+
+    /// Ideal FCT on an empty network: pipeline fill (per-hop propagation
+    /// + first-packet serialization) plus draining the remaining bytes at
+    /// the bottleneck link.
+    fn ideal_fct(&self, spec: &FlowSpec) -> SimDuration {
+        let (mtu, header) = match spec.class {
+            TrafficClass::Lossy => (self.cfg.dctcp.mss, self.cfg.dctcp.header),
+            TrafficClass::Lossless => (self.cfg.dcqcn.mtu, self.cfg.dcqcn.header),
+        };
+        let n_pkts = spec.size.div_ceil_by(Bytes::new(mtu));
+        let total_wire = spec.size + header * n_pkts;
+        let first_wire = Bytes::new(spec.size.as_u64().min(mtu)) + header;
+
+        let mut node = spec.src;
+        let mut fill = SimDuration::ZERO;
+        let mut bottleneck = BitRate::from_gbps(100_000);
+        let mut hops = 0;
+        while node != spec.dst {
+            let port = self
+                .routes
+                .next_port(node, spec.dst, spec.id)
+                .expect("flow endpoints must be connected");
+            let link = self.topo.link_at(node, port);
+            fill += link.propagation + link.rate.tx_time(first_wire);
+            bottleneck = bottleneck.min(link.rate);
+            node = link.peer_of(node).node;
+            hops += 1;
+            assert!(hops <= 64, "routing loop computing ideal FCT");
+        }
+        fill + bottleneck.tx_time(total_wire.saturating_sub(first_wire))
+    }
+
+    fn update_done(&mut self, ix: usize) {
+        if !self.counted_done[ix] && self.flows[ix].is_done() {
+            self.counted_done[ix] = true;
+            self.done_flows += 1;
+        }
+    }
+
+    fn record_if_finished(&mut self, ix: usize) {
+        if self.flows[ix].recorded {
+            return;
+        }
+        if let Some(finish) = self.flows[ix].finished_at() {
+            let spec = self.flows[ix].spec;
+            let ideal = self.ideal_fct(&spec);
+            self.fct.push(FctRecord {
+                flow: spec.id,
+                class: spec.class,
+                size: spec.size,
+                start: spec.start,
+                finish,
+                ideal,
+            });
+            self.flows[ix].recorded = true;
+        }
+    }
+
+    // ---- scheduling helpers -------------------------------------------
+
+    fn schedule_switch_tx(
+        &self,
+        now: SimTime,
+        node: NodeId,
+        tx: TxStart,
+        q: &mut EventQueue<Event>,
+    ) {
+        let link = self.topo.link_at(node, tx.port);
+        let peer = link.peer_of(node);
+        q.schedule_after(
+            now,
+            tx.serialize,
+            Event::SwitchTxComplete {
+                node,
+                port: tx.port,
+            },
+        );
+        q.schedule_after(
+            now,
+            tx.serialize + link.propagation,
+            Event::Deliver {
+                node: peer.node,
+                in_port: peer.port,
+                packet: tx.packet,
+            },
+        );
+    }
+
+    fn schedule_host_tx(&self, now: SimTime, host: NodeId, tx: TxStart, q: &mut EventQueue<Event>) {
+        let link = self.topo.link_at(host, PortId::new(0));
+        let peer = link.peer_of(host);
+        q.schedule_after(now, tx.serialize, Event::HostTxComplete { host });
+        q.schedule_after(
+            now,
+            tx.serialize + link.propagation,
+            Event::Deliver {
+                node: peer.node,
+                in_port: peer.port,
+                packet: tx.packet,
+            },
+        );
+    }
+
+    fn emit_pfc(&self, now: SimTime, node: NodeId, emit: PfcEmit, q: &mut EventQueue<Event>) {
+        let link = self.topo.link_at(node, emit.port);
+        let peer = link.peer_of(node);
+        // PFC frames are tiny control frames that bypass data queues:
+        // modelled with propagation delay only.
+        q.schedule_after(
+            now,
+            link.propagation,
+            Event::PfcDeliver {
+                node: peer.node,
+                in_port: peer.port,
+                frame: emit.frame,
+            },
+        );
+    }
+
+    fn host_inject(&mut self, now: SimTime, host: NodeId, packet: Packet, q: &mut EventQueue<Event>) {
+        let h = self.hosts[host.index()].as_mut().expect("not a host");
+        h.enqueue(packet);
+        let tx = h.try_start();
+        if let Some(tx) = tx {
+            self.schedule_host_tx(now, host, tx, q);
+        }
+    }
+
+    // ---- event handlers ------------------------------------------------
+
+    fn start_flow(&mut self, now: SimTime, ix: usize, q: &mut EventQueue<Event>) {
+        let spec = self.flows[ix].spec;
+        match &mut self.flows[ix].runtime {
+            FlowRuntime::Tcp { sender, .. } => {
+                let burst = sender.take_ready(now);
+                let generation = sender.timer_generation();
+                let rto = sender.rto();
+                q.schedule_after(
+                    now,
+                    rto,
+                    Event::Rto {
+                        flow: spec.id,
+                        generation,
+                    },
+                );
+                for p in burst {
+                    self.host_inject(now, spec.src, p, q);
+                }
+            }
+            FlowRuntime::Rdma { sender, .. } => {
+                if let Some(p) = sender.emit_next(now) {
+                    let gap = sender.gap_for(p.size);
+                    q.schedule_after(now, gap, Event::RdmaPace { flow: spec.id });
+                    self.host_inject(now, spec.src, p, q);
+                }
+            }
+        }
+    }
+
+    fn switch_receive(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        in_port: PortId,
+        packet: Packet,
+        q: &mut EventQueue<Event>,
+    ) {
+        let out_port = self
+            .routes
+            .next_port(node, packet.dst, packet.flow)
+            .expect("packet with no route");
+        let sw = self.switches[node.index()].as_mut().expect("not a switch");
+        let res = sw.receive(now, packet, in_port, out_port);
+        if let Some(e) = res.pfc {
+            self.emit_pfc(now, node, e, q);
+        }
+        if let Some(tx) = res.tx {
+            self.schedule_switch_tx(now, node, tx, q);
+        }
+        // Drops need no action here: lossy transports recover via
+        // dup-ACKs/RTO, and lossless drops are counted as config failures.
+    }
+
+    fn host_receive(&mut self, now: SimTime, host: NodeId, packet: Packet, q: &mut EventQueue<Event>) {
+        debug_assert_eq!(packet.dst, host, "misrouted packet");
+        let Some(&ix) = self.flow_ix.get(&packet.flow) else {
+            return; // stray packet from an unregistered flow
+        };
+        let mut outs: Vec<Packet> = Vec::new();
+        let mut rearm_rto: Option<(u64, SimDuration)> = None;
+        let mut arm_rp: Option<(SimDuration, u64, SimDuration, u64)> = None;
+
+        match (&mut self.flows[ix].runtime, packet.kind) {
+            (FlowRuntime::Tcp { receiver, .. }, PacketKind::Data) => {
+                let ack = receiver.on_data(now, packet.seq, packet.payload, packet.ecn.is_ce());
+                outs.push(ack);
+            }
+            (
+                FlowRuntime::Tcp { sender, .. },
+                PacketKind::Ack {
+                    cumulative_ack,
+                    ecn_echo,
+                },
+            ) => {
+                let action = sender.on_ack(now, cumulative_ack, ecn_echo);
+                outs.extend(action.packets);
+                if action.rearm_timer {
+                    rearm_rto = Some((sender.timer_generation(), sender.rto()));
+                }
+            }
+            (FlowRuntime::Rdma { receiver, .. }, PacketKind::Data) => {
+                if let Some(cnp) = receiver.on_data(now, packet.payload, packet.ecn.is_ce()) {
+                    outs.push(cnp);
+                }
+            }
+            (FlowRuntime::Rdma { sender, .. }, PacketKind::Cnp) => {
+                if sender.on_cnp(now) {
+                    let cfg = sender.config();
+                    arm_rp = Some((
+                        cfg.alpha_timer,
+                        sender.timer_generation(RpTimerKind::Alpha),
+                        cfg.rate_timer,
+                        sender.timer_generation(RpTimerKind::Rate),
+                    ));
+                }
+            }
+            // Cross-protocol packets (e.g. an ACK for an RDMA flow)
+            // indicate a wiring bug.
+            (rt, kind) => panic!("flow {} runtime {rt:?} got {kind:?}", packet.flow),
+        }
+
+        self.record_if_finished(ix);
+        self.update_done(ix);
+
+        let flow = packet.flow;
+        if let Some((generation, rto)) = rearm_rto {
+            q.schedule_after(now, rto, Event::Rto { flow, generation });
+        }
+        if let Some((alpha_after, alpha_gen, rate_after, rate_gen)) = arm_rp {
+            q.schedule_after(
+                now,
+                alpha_after,
+                Event::RpTimer {
+                    flow,
+                    kind: RpTimerKind::Alpha,
+                    generation: alpha_gen,
+                },
+            );
+            q.schedule_after(
+                now,
+                rate_after,
+                Event::RpTimer {
+                    flow,
+                    kind: RpTimerKind::Rate,
+                    generation: rate_gen,
+                },
+            );
+        }
+        for p in outs {
+            self.host_inject(now, host, p, q);
+        }
+    }
+
+    fn handle_rdma_pace(&mut self, now: SimTime, flow: FlowId, q: &mut EventQueue<Event>) {
+        let Some(&ix) = self.flow_ix.get(&flow) else {
+            return;
+        };
+        let spec = self.flows[ix].spec;
+        let FlowRuntime::Rdma { sender, .. } = &mut self.flows[ix].runtime else {
+            return;
+        };
+        if let Some(p) = sender.emit_next(now) {
+            let gap = sender.gap_for(p.size);
+            q.schedule_after(now, gap, Event::RdmaPace { flow });
+            self.host_inject(now, spec.src, p, q);
+        }
+        self.update_done(ix);
+    }
+
+    fn handle_rto(&mut self, now: SimTime, flow: FlowId, generation: u64, q: &mut EventQueue<Event>) {
+        let Some(&ix) = self.flow_ix.get(&flow) else {
+            return;
+        };
+        let spec = self.flows[ix].spec;
+        let FlowRuntime::Tcp { sender, .. } = &mut self.flows[ix].runtime else {
+            return;
+        };
+        let action = sender.on_timeout(now, generation);
+        if action.rearm_timer {
+            let generation = sender.timer_generation();
+            let rto = sender.rto();
+            q.schedule_after(now, rto, Event::Rto { flow, generation });
+        }
+        for p in action.packets {
+            self.host_inject(now, spec.src, p, q);
+        }
+    }
+
+    fn handle_rp_timer(
+        &mut self,
+        now: SimTime,
+        flow: FlowId,
+        kind: RpTimerKind,
+        generation: u64,
+        q: &mut EventQueue<Event>,
+    ) {
+        let Some(&ix) = self.flow_ix.get(&flow) else {
+            return;
+        };
+        let FlowRuntime::Rdma { sender, .. } = &mut self.flows[ix].runtime else {
+            return;
+        };
+        if sender.on_timer(kind, generation) {
+            let period = match kind {
+                RpTimerKind::Alpha => sender.config().alpha_timer,
+                RpTimerKind::Rate => sender.config().rate_timer,
+            };
+            let generation = sender.timer_generation(kind);
+            q.schedule_after(
+                now,
+                period,
+                Event::RpTimer {
+                    flow,
+                    kind,
+                    generation,
+                },
+            );
+        }
+    }
+
+    fn handle_sample(&mut self, now: SimTime, q: &mut EventQueue<Event>) {
+        for sw in self.switches.iter().flatten() {
+            let occ = sw.occupancy();
+            self.occupancy
+                .entry(sw.id())
+                .or_default()
+                .push(now, occ);
+        }
+        if let Some(interval) = self.cfg.sample_interval {
+            q.schedule_after(now, interval, Event::Sample);
+        }
+    }
+}
+
+impl Simulation for World {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, q: &mut EventQueue<Event>) {
+        match event {
+            Event::FlowStart { index } => self.start_flow(now, index, q),
+            Event::Deliver {
+                node,
+                in_port,
+                packet,
+            } => match self.topo.node(node).kind {
+                dcn_net::NodeKind::Switch => self.switch_receive(now, node, in_port, packet, q),
+                dcn_net::NodeKind::Host => self.host_receive(now, node, packet, q),
+            },
+            Event::PfcDeliver {
+                node,
+                in_port,
+                frame,
+            } => match self.topo.node(node).kind {
+                dcn_net::NodeKind::Switch => {
+                    let sw = self.switches[node.index()].as_mut().expect("switch");
+                    if let Some(tx) = sw.handle_pfc(now, in_port, frame) {
+                        self.schedule_switch_tx(now, node, tx, q);
+                    }
+                }
+                dcn_net::NodeKind::Host => {
+                    let h = self.hosts[node.index()].as_mut().expect("host");
+                    h.set_paused(frame.priority, frame.pause);
+                    if !frame.pause {
+                        let tx = h.try_start();
+                        if let Some(tx) = tx {
+                            self.schedule_host_tx(now, node, tx, q);
+                        }
+                    }
+                }
+            },
+            Event::SwitchTxComplete { node, port } => {
+                let sw = self.switches[node.index()].as_mut().expect("switch");
+                let res = sw.tx_complete(now, port);
+                if let Some(e) = res.pfc {
+                    self.emit_pfc(now, node, e, q);
+                }
+                if let Some(tx) = res.next {
+                    self.schedule_switch_tx(now, node, tx, q);
+                }
+            }
+            Event::HostTxComplete { host } => {
+                let h = self.hosts[host.index()].as_mut().expect("host");
+                if let Some(tx) = h.tx_complete() {
+                    self.schedule_host_tx(now, host, tx, q);
+                }
+            }
+            Event::RdmaPace { flow } => self.handle_rdma_pace(now, flow, q),
+            Event::Rto { flow, generation } => self.handle_rto(now, flow, generation, q),
+            Event::RpTimer {
+                flow,
+                kind,
+                generation,
+            } => self.handle_rp_timer(now, flow, kind, generation, q),
+            Event::Sample => self.handle_sample(now, q),
+        }
+    }
+}
+
+/// A [`World`] coupled with its event queue: the user-facing simulator.
+#[derive(Debug)]
+pub struct FabricSim {
+    world: World,
+    queue: EventQueue<Event>,
+}
+
+impl FabricSim {
+    /// Builds the simulator for a topology (the `FabricConfig` selects
+    /// the buffer-management policy, transports and sampling).
+    pub fn new(topo: Topology, cfg: FabricConfig) -> FabricSim {
+        let sample = cfg.sample_interval;
+        let world = World::new(topo, cfg);
+        let mut queue = EventQueue::new();
+        if let Some(interval) = sample {
+            queue.schedule_at(SimTime::ZERO + interval, Event::Sample);
+        }
+        FabricSim { world, queue }
+    }
+
+    /// Registers a flow and schedules its start.
+    pub fn add_flow(&mut self, spec: FlowSpec) {
+        let ix = self.world.register_flow(spec);
+        self.queue
+            .schedule_at(spec.start, Event::FlowStart { index: ix });
+    }
+
+    /// Registers many flows.
+    pub fn add_flows(&mut self, specs: impl IntoIterator<Item = FlowSpec>) {
+        for s in specs {
+            self.add_flow(s);
+        }
+    }
+
+    /// Runs until `horizon` (events at or past it stay queued). Returns
+    /// events processed.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        dcn_sim::run_until(&mut self.world, &mut self.queue, horizon)
+    }
+
+    /// Runs until every registered flow has completed or `deadline`
+    /// passes. Returns whether all flows completed.
+    pub fn run_until_done(&mut self, deadline: SimTime) -> bool {
+        let total = self.world.flow_count();
+        run_while(&mut self.world, &mut self.queue, |w, t| {
+            t < deadline && w.done_flows() < total
+        });
+        self.world.done_flows() == total
+    }
+
+    /// The world (for inspection).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Collects the run's results (clones the accumulated metrics; the
+    /// simulator stays usable).
+    pub fn results(&self) -> RunResults {
+        let mut r = RunResults {
+            events_processed: self.queue.processed(),
+            unfinished_flows: self.world.flow_count() - self.world.done_flows(),
+            ..RunResults::default()
+        };
+        for rec in &self.world.fct {
+            r.fct.push(*rec);
+        }
+        for sw in self.world.switches.iter().flatten() {
+            r.pfc.merge(sw.pfc_counters());
+            r.pfc_by_switch.insert(sw.id(), sw.pfc_counters().clone());
+            r.drops.merge(sw.drop_counters());
+        }
+        for (id, series) in &self.world.occupancy {
+            r.occupancy.insert(*id, series.clone());
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolicyChoice;
+    use dcn_net::Priority;
+
+    fn spec(
+        id: u64,
+        src: u32,
+        dst: u32,
+        size: u64,
+        class: TrafficClass,
+        start_us: u64,
+    ) -> FlowSpec {
+        FlowSpec {
+            id: FlowId::new(id),
+            src: NodeId::new(src),
+            dst: NodeId::new(dst),
+            size: Bytes::new(size),
+            start: SimTime::from_micros(start_us),
+            class,
+            priority: match class {
+                TrafficClass::Lossless => Priority::new(3),
+                TrafficClass::Lossy => Priority::new(1),
+            },
+        }
+    }
+
+    fn single_switch_sim(policy: PolicyChoice, hosts: usize) -> FabricSim {
+        let topo = Topology::single_switch(
+            hosts,
+            BitRate::from_gbps(25),
+            SimDuration::from_micros(1),
+        );
+        let cfg = FabricConfig {
+            policy,
+            sample_interval: None,
+            ..FabricConfig::default()
+        };
+        FabricSim::new(topo, cfg)
+    }
+
+    #[test]
+    fn one_rdma_flow_completes_near_ideal() {
+        let mut sim = single_switch_sim(PolicyChoice::dt(), 2);
+        sim.add_flow(spec(1, 0, 1, 100_000, TrafficClass::Lossless, 0));
+        assert!(sim.run_until_done(SimTime::from_millis(50)));
+        let r = sim.results();
+        assert_eq!(r.fct.len(), 1);
+        let rec = r.fct.records()[0];
+        let slow = rec.slowdown();
+        assert!(slow < 1.6, "uncongested flow slowdown {slow}");
+        assert_eq!(r.drops.lossless_packets, 0);
+        assert_eq!(r.pause_frames(), 0);
+    }
+
+    #[test]
+    fn one_tcp_flow_completes() {
+        let mut sim = single_switch_sim(PolicyChoice::dt(), 2);
+        sim.add_flow(spec(1, 0, 1, 50_000, TrafficClass::Lossy, 0));
+        assert!(sim.run_until_done(SimTime::from_millis(100)));
+        let r = sim.results();
+        assert_eq!(r.fct.len(), 1);
+        // Window-limited short flow: a handful of RTTs.
+        assert!(r.fct.records()[0].fct() < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn rdma_incast_is_lossless_under_every_policy() {
+        for policy in [
+            PolicyChoice::dt(),
+            PolicyChoice::dt2(),
+            PolicyChoice::abm(),
+            PolicyChoice::l2bm(),
+        ] {
+            let mut sim = single_switch_sim(policy, 9);
+            for i in 0..8 {
+                sim.add_flow(spec(i, i as u32, 8, 250_000, TrafficClass::Lossless, 0));
+            }
+            let done = sim.run_until_done(SimTime::from_millis(200));
+            let r = sim.results();
+            assert!(done, "{}: incast must finish", policy.label());
+            assert_eq!(
+                r.drops.lossless_packets,
+                0,
+                "{}: lossless dropped",
+                policy.label()
+            );
+            assert_eq!(r.fct.len(), 8);
+        }
+    }
+
+    #[test]
+    fn tcp_incast_completes_despite_drops() {
+        let mut sim = single_switch_sim(PolicyChoice::dt(), 9);
+        for i in 0..8 {
+            sim.add_flow(spec(i, i as u32, 8, 250_000, TrafficClass::Lossy, 0));
+        }
+        assert!(sim.run_until_done(SimTime::from_millis(500)));
+        let r = sim.results();
+        assert_eq!(r.fct.len(), 8);
+    }
+
+    #[test]
+    fn mixed_traffic_one_switch() {
+        let mut sim = single_switch_sim(PolicyChoice::l2bm(), 6);
+        for i in 0..4 {
+            let class = if i % 2 == 0 {
+                TrafficClass::Lossless
+            } else {
+                TrafficClass::Lossy
+            };
+            sim.add_flow(spec(i, i as u32, 5, 500_000, class, i * 3));
+        }
+        assert!(sim.run_until_done(SimTime::from_millis(500)));
+        let r = sim.results();
+        assert_eq!(r.fct.len(), 4);
+        assert_eq!(r.drops.lossless_packets, 0);
+    }
+
+    #[test]
+    fn clos_cross_rack_flow() {
+        let topo = Topology::clos(&dcn_net::ClosConfig::small(4));
+        let cfg = FabricConfig {
+            sample_interval: None,
+            ..FabricConfig::default()
+        };
+        let mut sim = FabricSim::new(topo, cfg);
+        // Host 0 (rack 0) -> host 7 (rack 1): crosses the fabric.
+        sim.add_flow(spec(1, 0, 7, 200_000, TrafficClass::Lossless, 0));
+        sim.add_flow(spec(2, 1, 6, 200_000, TrafficClass::Lossy, 0));
+        assert!(sim.run_until_done(SimTime::from_millis(100)));
+        let r = sim.results();
+        assert_eq!(r.fct.len(), 2);
+        assert_eq!(r.drops.lossless_packets, 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_results() {
+        let run = || {
+            let mut sim = single_switch_sim(PolicyChoice::l2bm(), 9);
+            for i in 0..8 {
+                let class = if i % 2 == 0 {
+                    TrafficClass::Lossless
+                } else {
+                    TrafficClass::Lossy
+                };
+                sim.add_flow(spec(i, i as u32, 8, 300_000, class, 0));
+            }
+            sim.run_until_done(SimTime::from_millis(500));
+            let r = sim.results();
+            (
+                r.fct
+                    .records()
+                    .iter()
+                    .map(|x| (x.flow, x.finish))
+                    .collect::<Vec<_>>(),
+                r.pause_frames(),
+                r.events_processed,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn occupancy_sampling_produces_series() {
+        let topo = Topology::single_switch(
+            3,
+            BitRate::from_gbps(25),
+            SimDuration::from_micros(1),
+        );
+        let cfg = FabricConfig {
+            sample_interval: Some(SimDuration::from_micros(100)),
+            ..FabricConfig::default()
+        };
+        let mut sim = FabricSim::new(topo, cfg);
+        sim.add_flow(spec(1, 0, 2, 500_000, TrafficClass::Lossless, 0));
+        sim.add_flow(spec(2, 1, 2, 500_000, TrafficClass::Lossless, 0));
+        sim.run_until(SimTime::from_millis(2));
+        let r = sim.results();
+        let series = r.occupancy.values().next().expect("one switch sampled");
+        assert!(series.len() >= 10);
+        assert!(series.peak() > Bytes::ZERO, "incast must queue something");
+    }
+
+    #[test]
+    fn pfc_pauses_under_pressure_with_small_alpha() {
+        // 8-into-1 at line rate with DT(0.125) and a small buffer: the
+        // ingress queues cross their thresholds and pause frames flow.
+        let topo = Topology::single_switch(
+            9,
+            BitRate::from_gbps(25),
+            SimDuration::from_micros(1),
+        );
+        let cfg = FabricConfig {
+            policy: PolicyChoice::dt(),
+            switch: dcn_switch::SwitchConfig {
+                total_buffer: Bytes::from_kb(200),
+                ..Default::default()
+            },
+            sample_interval: None,
+            ..FabricConfig::default()
+        };
+        let mut sim = FabricSim::new(topo, cfg);
+        for i in 0..8 {
+            sim.add_flow(spec(i, i as u32, 8, 500_000, TrafficClass::Lossless, 0));
+        }
+        assert!(sim.run_until_done(SimTime::from_secs(2)));
+        let r = sim.results();
+        assert!(r.pause_frames() > 0, "small buffer must trigger PFC");
+        assert_eq!(r.drops.lossless_packets, 0, "headroom must cover in-flight");
+    }
+}

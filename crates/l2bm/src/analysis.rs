@@ -1,0 +1,128 @@
+//! Closed-form steady-state analysis (paper §III-D, Eqs. 5–9).
+//!
+//! When every active ingress queue sits exactly at its L2BM threshold
+//! (arrivals balance drains), the total occupancy and per-queue
+//! thresholds have the closed forms
+//!
+//! ```text
+//! Q  = B · Σw / (1 + Σw)            (Eq. 8)
+//! Tᵢ = B · wᵢ / (1 + Σw)            (Eq. 9)
+//! ```
+//!
+//! These helpers are used by tests to validate the implementation
+//! (e.g. the per-queue thresholds must sum to the occupancy, and
+//! occupancy must stay strictly below `B`) and are exported for users
+//! who want to reason about configurations analytically.
+
+use dcn_sim::Bytes;
+
+/// Steady-state total occupancy `Q = B·Σw/(1+Σw)` (Eq. 8).
+///
+/// # Example
+///
+/// ```
+/// use dcn_sim::Bytes;
+/// use l2bm::analysis::steady_state_occupancy;
+/// // One queue with w = 1 settles at half the buffer.
+/// let q = steady_state_occupancy(Bytes::from_mb(4), &[1.0]);
+/// assert_eq!(q, Bytes::from_mb(2));
+/// ```
+///
+/// # Panics
+///
+/// Panics if any weight is negative or NaN.
+pub fn steady_state_occupancy(total_buffer: Bytes, weights: &[f64]) -> Bytes {
+    let sum = weight_sum(weights);
+    total_buffer.scale(sum / (1.0 + sum))
+}
+
+/// Steady-state threshold of the queue with weight `w_i` when the
+/// weights of *all* active queues (including `w_i`) are `weights`
+/// (Eq. 9).
+///
+/// # Panics
+///
+/// Panics if any weight is negative or NaN.
+pub fn steady_state_threshold(total_buffer: Bytes, w_i: f64, weights: &[f64]) -> Bytes {
+    assert!(w_i >= 0.0 && !w_i.is_nan(), "weight must be non-negative");
+    let sum = weight_sum(weights);
+    total_buffer.scale(w_i / (1.0 + sum))
+}
+
+/// Steady-state per-queue thresholds for a whole weight vector; the
+/// `i`-th entry corresponds to `weights[i]`.
+///
+/// # Panics
+///
+/// Panics if any weight is negative or NaN.
+pub fn steady_state_thresholds(total_buffer: Bytes, weights: &[f64]) -> Vec<Bytes> {
+    weights
+        .iter()
+        .map(|&w| steady_state_threshold(total_buffer, w, weights))
+        .collect()
+}
+
+fn weight_sum(weights: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for &w in weights {
+        assert!(w >= 0.0 && !w.is_nan(), "weight must be non-negative, got {w}");
+        sum += w;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: Bytes = Bytes::new(4_000_000);
+
+    #[test]
+    fn thresholds_sum_to_occupancy() {
+        let w = [0.125, 0.5, 1.0, 0.02];
+        let q = steady_state_occupancy(B, &w);
+        let sum: Bytes = steady_state_thresholds(B, &w).into_iter().sum();
+        let diff = q.as_f64() - sum.as_f64();
+        assert!(diff.abs() <= 4.0, "rounding only: {diff}");
+    }
+
+    #[test]
+    fn occupancy_below_buffer() {
+        for n in [1, 4, 64] {
+            let w = vec![1.0; n];
+            let q = steady_state_occupancy(B, &w);
+            assert!(q < B);
+        }
+    }
+
+    #[test]
+    fn no_active_queues_means_empty() {
+        assert_eq!(steady_state_occupancy(B, &[]), Bytes::ZERO);
+    }
+
+    #[test]
+    fn classic_dt_single_queue_values() {
+        // DT with α: Q = B·α/(1+α); for α = 1, half the buffer — the
+        // textbook Choudhury–Hahne result.
+        let q = steady_state_occupancy(B, &[1.0]);
+        assert_eq!(q, Bytes::new(2_000_000));
+        let q = steady_state_occupancy(B, &[0.125]);
+        let expect = 4_000_000.0 * 0.125 / 1.125;
+        assert!((q.as_f64() - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn bigger_weight_bigger_share() {
+        let w = [0.125, 0.5];
+        let t = steady_state_thresholds(B, &w);
+        assert!(t[1] > t[0]);
+        let ratio = t[1].as_f64() / t[0].as_f64();
+        assert!((ratio - 4.0).abs() < 1e-4, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let _ = steady_state_occupancy(B, &[-0.1]);
+    }
+}

@@ -1,0 +1,91 @@
+//! L2BM configuration.
+
+/// How the normalization constant `C` of Eq. 3 is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Normalization {
+    /// `C = Σ τ` over all currently active ingress queues — the choice
+    /// the paper's evaluation uses ("we normalize C as the sum of the
+    /// average sojourn time of packets in all ingress queues").
+    SumActiveTau,
+    /// A fixed constant, in seconds ("C ... can be adjusted and
+    /// configured in different switches").
+    Fixed(f64),
+}
+
+/// Tunables of the L2BM policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct L2bmConfig {
+    /// The base DT control factor α the congestion factor scales
+    /// (paper default 0.125, the RoCEv2 deployment value).
+    pub alpha: f64,
+    /// Upper bound on the effective weight `w = C/τ · α`, so an idle or
+    /// instantly-draining queue (τ → 0) gets a large-but-finite
+    /// threshold. 1.0 means "at most the whole remaining buffer".
+    pub max_weight: f64,
+    /// Normalization constant selection.
+    pub normalization: Normalization,
+    /// Whether time spent behind a PFC-paused egress queue is excluded
+    /// from the sojourn estimate (the paper's §III-D "mitigate PFC
+    /// diffusion" rule). Disable only for ablation studies.
+    pub pause_freeze: bool,
+}
+
+impl Default for L2bmConfig {
+    fn default() -> Self {
+        L2bmConfig {
+            alpha: 0.125,
+            max_weight: 1.0,
+            normalization: Normalization::SumActiveTau,
+            pause_freeze: true,
+        }
+    }
+}
+
+impl L2bmConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if α or the weight cap is not positive, or a
+    /// fixed normalization constant is not positive.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.alpha > 0.0 && self.alpha.is_finite()) {
+            return Err(format!("alpha must be positive, got {}", self.alpha));
+        }
+        if !(self.max_weight > 0.0 && self.max_weight.is_finite()) {
+            return Err(format!("max_weight must be positive, got {}", self.max_weight));
+        }
+        if let Normalization::Fixed(c) = self.normalization {
+            if !(c > 0.0 && c.is_finite()) {
+                return Err(format!("fixed normalization must be positive, got {c}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(L2bmConfig::default().validate().is_ok());
+        assert_eq!(L2bmConfig::default().alpha, 0.125);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut c = L2bmConfig::default();
+        c.alpha = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = L2bmConfig::default();
+        c.max_weight = -1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = L2bmConfig::default();
+        c.normalization = Normalization::Fixed(0.0);
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,351 @@
+//! The sojourn-time recorder (paper Algorithm 1).
+//!
+//! For each ingress queue the module maintains the estimated *total
+//! remaining residence time* of its buffered packets (`t_total`), the
+//! packet count (`N`), and the last-update instant (`t_prev`). On
+//! enqueue, a packet's residence estimate is the destination output
+//! queue's depth divided by its drain rate (`Q_out / μ`); on every update
+//! the elapsed interval is subtracted once per *actively draining*
+//! packet. The average sojourn time is `τ = t_total / N` (paper Eq. 2).
+//!
+//! **PFC-diffusion mitigation** (paper §III-D): time during which a
+//! packet's destination egress queue is paused by a downstream XOFF does
+//! *not* count — those packets are excluded from the decay term, and the
+//! enqueue estimate uses the pause-free drain rate. Without this rule,
+//! back-pressure from elsewhere would masquerade as local congestion and
+//! make L2BM spread the pause further upstream.
+//!
+//! The paper's Algorithm 1 as printed updates `t_total` on dequeue with
+//! `t_total − (t_now − t_prev)`; we implement the self-consistent version
+//! of the same bookkeeping (settle the decay term first, then remove the
+//! departing packet, whose remaining estimate has already decayed to
+//! ≈ 0), and clamp `t_total ≥ 0` against estimator error.
+
+use std::collections::HashMap;
+
+use dcn_switch::{MmuState, QueueIndex};
+use dcn_sim::{SimDuration, SimTime};
+
+/// Per-ingress-queue sojourn record.
+#[derive(Debug, Clone, Copy, Default)]
+struct Record {
+    /// Σ estimated remaining residence time of buffered packets, seconds.
+    total: f64,
+    /// Buffered packet count `N`.
+    n: u64,
+    /// Packets currently sitting in paused egress queues (excluded from
+    /// the decay term).
+    paused_n: u64,
+    /// Last settle instant.
+    t_prev: SimTime,
+}
+
+impl Record {
+    fn settle(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.t_prev).as_secs_f64();
+        if dt > 0.0 {
+            let active = self.n.saturating_sub(self.paused_n) as f64;
+            self.total = (self.total - active * dt).max(0.0);
+        }
+        self.t_prev = now;
+    }
+}
+
+/// The residence-time recorder for every ingress queue of one switch.
+///
+/// Drive it with [`SojournModule::on_enqueue`] /
+/// [`SojournModule::on_dequeue`] / [`SojournModule::on_pause_changed`]
+/// and read [`SojournModule::tau`] (one queue) or
+/// [`SojournModule::sum_active_tau`] (the normalization constant `C`).
+#[derive(Debug, Default)]
+pub struct SojournModule {
+    records: Vec<Record>,
+    /// Packets per (egress queue flat, ingress queue flat) — needed to
+    /// freeze the right ingress records when an egress queue pauses.
+    by_egress: HashMap<usize, HashMap<usize, u64>>,
+    /// Our own view of egress pause state (kept so settling uses the
+    /// state that held *during* the elapsed interval).
+    egress_paused: Vec<bool>,
+}
+
+impl SojournModule {
+    /// An empty module; per-queue state is allocated on first use.
+    pub fn new() -> Self {
+        SojournModule::default()
+    }
+
+    fn record_mut(&mut self, q: QueueIndex) -> &mut Record {
+        let i = q.flat();
+        if self.records.len() <= i {
+            self.records.resize(i + 1, Record::default());
+        }
+        &mut self.records[i]
+    }
+
+    fn egress_paused(&self, flat: usize) -> bool {
+        self.egress_paused.get(flat).copied().unwrap_or(false)
+    }
+
+    /// Records a packet entering via `q_in`, queued at `q_out`. Call
+    /// after the MMU charge, so `mmu.egress_bytes(q_out)` includes the
+    /// packet.
+    pub fn on_enqueue(&mut self, mmu: &MmuState, now: SimTime, q_in: QueueIndex, q_out: QueueIndex) {
+        // Estimated residence: output queue depth over its pause-free
+        // drain share (pause time must not count — §III-D).
+        let mu = mmu.egress_drain_rate_ignoring_pause(q_out);
+        let q_bytes = mmu.egress_bytes(q_out);
+        let wait = mu.tx_time(q_bytes);
+        let wait_s = if wait == SimDuration::MAX {
+            0.0
+        } else {
+            wait.as_secs_f64()
+        };
+
+        let out_paused = self.egress_paused(q_out.flat());
+        let rec = self.record_mut(q_in);
+        rec.settle(now);
+        rec.total += wait_s;
+        rec.n += 1;
+        if out_paused {
+            rec.paused_n += 1;
+        }
+        *self
+            .by_egress
+            .entry(q_out.flat())
+            .or_default()
+            .entry(q_in.flat())
+            .or_insert(0) += 1;
+    }
+
+    /// Records a packet leaving `q_in` through `q_out`.
+    pub fn on_dequeue(&mut self, now: SimTime, q_in: QueueIndex, q_out: QueueIndex) {
+        let out_paused = self.egress_paused(q_out.flat());
+        let rec = self.record_mut(q_in);
+        rec.settle(now);
+        rec.n = rec.n.saturating_sub(1);
+        if out_paused {
+            rec.paused_n = rec.paused_n.saturating_sub(1);
+        }
+        if rec.n == 0 {
+            rec.total = 0.0;
+            rec.paused_n = 0;
+        }
+        if let Some(m) = self.by_egress.get_mut(&q_out.flat()) {
+            if let Some(c) = m.get_mut(&q_in.flat()) {
+                *c = c.saturating_sub(1);
+                if *c == 0 {
+                    m.remove(&q_in.flat());
+                }
+            }
+            if m.is_empty() {
+                self.by_egress.remove(&q_out.flat());
+            }
+        }
+    }
+
+    /// Records a downstream pause/resume of egress queue `q_out`:
+    /// settles every ingress queue holding packets behind it (under the
+    /// *old* state), then freezes/unfreezes those packets.
+    pub fn on_pause_changed(&mut self, now: SimTime, q_out: QueueIndex, paused: bool) {
+        let flat = q_out.flat();
+        if self.egress_paused.len() <= flat {
+            self.egress_paused.resize(flat + 1, false);
+        }
+        if self.egress_paused[flat] == paused {
+            return;
+        }
+        if let Some(m) = self.by_egress.get(&flat) {
+            let affected: Vec<(usize, u64)> = m.iter().map(|(&q, &c)| (q, c)).collect();
+            for (q_in_flat, count) in affected {
+                if self.records.len() <= q_in_flat {
+                    self.records.resize(q_in_flat + 1, Record::default());
+                }
+                let rec = &mut self.records[q_in_flat];
+                rec.settle(now);
+                if paused {
+                    rec.paused_n += count;
+                } else {
+                    rec.paused_n = rec.paused_n.saturating_sub(count);
+                }
+            }
+        }
+        self.egress_paused[flat] = paused;
+    }
+
+    /// The average sojourn time `τ` of ingress queue `q` at `now`
+    /// (Eq. 2), with the decay since the last event applied virtually.
+    /// Zero for an empty queue.
+    pub fn tau(&self, q: QueueIndex, now: SimTime) -> f64 {
+        match self.records.get(q.flat()) {
+            Some(rec) if rec.n > 0 => {
+                let dt = now.saturating_since(rec.t_prev).as_secs_f64();
+                let active = rec.n.saturating_sub(rec.paused_n) as f64;
+                let total = (rec.total - active * dt).max(0.0);
+                total / rec.n as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Buffered packet count of ingress queue `q`.
+    pub fn packet_count(&self, q: QueueIndex) -> u64 {
+        self.records.get(q.flat()).map_or(0, |r| r.n)
+    }
+
+    /// `Σ τ` over all queues currently holding packets — the paper's
+    /// normalization constant `C`.
+    pub fn sum_active_tau(&self, now: SimTime) -> f64 {
+        (0..self.records.len())
+            .filter(|&i| self.records[i].n > 0)
+            .map(|i| {
+                let rec = &self.records[i];
+                let dt = now.saturating_since(rec.t_prev).as_secs_f64();
+                let active = rec.n.saturating_sub(rec.paused_n) as f64;
+                ((rec.total - active * dt).max(0.0)) / rec.n as f64
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_net::{PortId, Priority};
+    use dcn_sim::{BitRate, Bytes};
+    use dcn_switch::{Pool, SwitchConfig};
+
+    fn mmu() -> MmuState {
+        MmuState::new(&SwitchConfig::default(), vec![BitRate::from_gbps(25); 4])
+    }
+
+    fn q(port: u16, prio: u8) -> QueueIndex {
+        QueueIndex::new(PortId::new(port), Priority::new(prio))
+    }
+
+    /// Charges the MMU and informs the module, like the switch does.
+    fn enqueue(m: &mut MmuState, s: &mut SojournModule, now: SimTime, qi: QueueIndex, qo: QueueIndex, bytes: u64) {
+        let c = m.plan_charge(qi, Bytes::new(bytes), Pool::Shared);
+        m.charge(qi, qo, c);
+        s.on_enqueue(m, now, qi, qo);
+    }
+
+    fn dequeue(m: &mut MmuState, s: &mut SojournModule, now: SimTime, qi: QueueIndex, qo: QueueIndex, bytes: u64) {
+        let c = m.plan_charge(qi, Bytes::ZERO, Pool::Shared);
+        let _ = c;
+        let charge = dcn_switch::Charge {
+            reserved: Bytes::ZERO,
+            pooled: Bytes::new(bytes),
+            pool: Pool::Shared,
+        };
+        m.discharge(now, qi, qo, charge);
+        s.on_dequeue(now, qi, qo);
+    }
+
+    #[test]
+    fn empty_queue_has_zero_tau() {
+        let s = SojournModule::new();
+        assert_eq!(s.tau(q(0, 3), SimTime::from_micros(5)), 0.0);
+        assert_eq!(s.sum_active_tau(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn single_packet_estimate_matches_queue_over_rate() {
+        let mut m = mmu();
+        let mut s = SojournModule::new();
+        // 12_500 bytes at 25 Gbps (sole active priority) = 4 µs.
+        enqueue(&mut m, &mut s, SimTime::ZERO, q(0, 3), q(1, 3), 12_500);
+        let tau = s.tau(q(0, 3), SimTime::ZERO);
+        assert!((tau - 4e-6).abs() < 1e-8, "tau {tau}");
+    }
+
+    #[test]
+    fn tau_decays_with_time() {
+        let mut m = mmu();
+        let mut s = SojournModule::new();
+        enqueue(&mut m, &mut s, SimTime::ZERO, q(0, 3), q(1, 3), 12_500);
+        let t0 = s.tau(q(0, 3), SimTime::ZERO);
+        let t1 = s.tau(q(0, 3), SimTime::from_micros(2));
+        assert!(t1 < t0);
+        // Fully decayed after the estimated 4 µs.
+        assert_eq!(s.tau(q(0, 3), SimTime::from_micros(10)), 0.0);
+    }
+
+    #[test]
+    fn congested_destination_raises_tau() {
+        let mut m = mmu();
+        let mut s = SojournModule::new();
+        // Pre-load 125 KB on egress (1,3) from another ingress.
+        enqueue(&mut m, &mut s, SimTime::ZERO, q(2, 3), q(1, 3), 125_000);
+        // Now a packet from ingress (0,3) joins the 40 µs backlog...
+        enqueue(&mut m, &mut s, SimTime::ZERO, q(0, 3), q(1, 3), 1_048);
+        // ...while one to an empty egress (3,3) would wait almost nothing.
+        enqueue(&mut m, &mut s, SimTime::ZERO, q(0, 1), q(3, 1), 1_048);
+        let hot = s.tau(q(0, 3), SimTime::ZERO);
+        let cold = s.tau(q(0, 1), SimTime::ZERO);
+        assert!(hot > 10.0 * cold, "hot {hot} vs cold {cold}");
+    }
+
+    #[test]
+    fn dequeue_empties_record() {
+        let mut m = mmu();
+        let mut s = SojournModule::new();
+        enqueue(&mut m, &mut s, SimTime::ZERO, q(0, 3), q(1, 3), 1_048);
+        assert_eq!(s.packet_count(q(0, 3)), 1);
+        dequeue(&mut m, &mut s, SimTime::from_micros(1), q(0, 3), q(1, 3), 1_048);
+        assert_eq!(s.packet_count(q(0, 3)), 0);
+        assert_eq!(s.tau(q(0, 3), SimTime::from_micros(1)), 0.0);
+    }
+
+    #[test]
+    fn paused_time_does_not_decay_tau() {
+        let mut m = mmu();
+        let mut s = SojournModule::new();
+        enqueue(&mut m, &mut s, SimTime::ZERO, q(0, 3), q(1, 3), 125_000);
+        let before = s.tau(q(0, 3), SimTime::ZERO);
+        // Downstream pauses egress (1,3): τ freezes.
+        m.set_egress_paused(q(1, 3), true);
+        s.on_pause_changed(SimTime::ZERO, q(1, 3), true);
+        let frozen = s.tau(q(0, 3), SimTime::from_micros(30));
+        assert!((frozen - before).abs() < 1e-9, "frozen {frozen} vs {before}");
+        // Resume: decay continues.
+        m.set_egress_paused(q(1, 3), false);
+        s.on_pause_changed(SimTime::from_micros(30), q(1, 3), false);
+        let later = s.tau(q(0, 3), SimTime::from_micros(50));
+        assert!(later < before);
+    }
+
+    #[test]
+    fn sum_active_tau_counts_each_active_queue() {
+        let mut m = mmu();
+        let mut s = SojournModule::new();
+        enqueue(&mut m, &mut s, SimTime::ZERO, q(0, 3), q(1, 3), 12_500);
+        enqueue(&mut m, &mut s, SimTime::ZERO, q(2, 3), q(3, 3), 12_500);
+        let c = s.sum_active_tau(SimTime::ZERO);
+        let t0 = s.tau(q(0, 3), SimTime::ZERO);
+        let t2 = s.tau(q(2, 3), SimTime::ZERO);
+        assert!((c - (t0 + t2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enqueue_during_pause_marks_packet_frozen() {
+        let mut m = mmu();
+        let mut s = SojournModule::new();
+        m.set_egress_paused(q(1, 3), true);
+        s.on_pause_changed(SimTime::ZERO, q(1, 3), true);
+        enqueue(&mut m, &mut s, SimTime::ZERO, q(0, 3), q(1, 3), 12_500);
+        let t0 = s.tau(q(0, 3), SimTime::ZERO);
+        let t1 = s.tau(q(0, 3), SimTime::from_micros(100));
+        assert!((t0 - t1).abs() < 1e-12, "paused packet must not decay");
+    }
+
+    #[test]
+    fn redundant_pause_events_are_ignored() {
+        let mut s = SojournModule::new();
+        s.on_pause_changed(SimTime::ZERO, q(1, 3), true);
+        s.on_pause_changed(SimTime::from_micros(1), q(1, 3), true);
+        s.on_pause_changed(SimTime::from_micros(2), q(1, 3), false);
+        s.on_pause_changed(SimTime::from_micros(3), q(1, 3), false);
+        // No packets involved — just must not panic or corrupt state.
+        assert_eq!(s.sum_active_tau(SimTime::from_micros(4)), 0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! PFC / drop counters and buffer-occupancy time series.
+
+use dcn_net::Priority;
+use dcn_sim::{Bytes, SimTime};
+
+use crate::stats::Cdf;
+
+/// Counts PFC pause and resume frames, total and per priority.
+///
+/// The paper's Fig. 7(d), Table II and Fig. 11(c) report the number of
+/// pause frames generated over a whole run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PfcCounters {
+    pause_total: u64,
+    resume_total: u64,
+    pause_by_priority: [u64; Priority::COUNT],
+}
+
+impl PfcCounters {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        PfcCounters::default()
+    }
+
+    /// Records one pause (XOFF) frame.
+    pub fn record_pause(&mut self, priority: Priority) {
+        self.pause_total += 1;
+        self.pause_by_priority[priority.index()] += 1;
+    }
+
+    /// Records one resume (XON) frame.
+    pub fn record_resume(&mut self, _priority: Priority) {
+        self.resume_total += 1;
+    }
+
+    /// Total pause frames.
+    pub fn pause_frames(&self) -> u64 {
+        self.pause_total
+    }
+
+    /// Total resume frames.
+    pub fn resume_frames(&self) -> u64 {
+        self.resume_total
+    }
+
+    /// Pause frames for one priority.
+    pub fn pause_frames_for(&self, priority: Priority) -> u64 {
+        self.pause_by_priority[priority.index()]
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &PfcCounters) {
+        self.pause_total += other.pause_total;
+        self.resume_total += other.resume_total;
+        for (a, b) in self
+            .pause_by_priority
+            .iter_mut()
+            .zip(other.pause_by_priority.iter())
+        {
+            *a += b;
+        }
+    }
+}
+
+/// Counts dropped packets and bytes, split by traffic class semantics:
+/// lossy drops are expected under congestion; lossless drops indicate
+/// headroom exhaustion and should be zero in a healthy configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropCounters {
+    /// Lossy (TCP) packets dropped.
+    pub lossy_packets: u64,
+    /// Lossy bytes dropped.
+    pub lossy_bytes: u64,
+    /// Lossless (RDMA) packets dropped — should stay zero.
+    pub lossless_packets: u64,
+    /// Lossless bytes dropped — should stay zero.
+    pub lossless_bytes: u64,
+}
+
+impl DropCounters {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        DropCounters::default()
+    }
+
+    /// Records a lossy drop.
+    pub fn record_lossy(&mut self, size: Bytes) {
+        self.lossy_packets += 1;
+        self.lossy_bytes += size.as_u64();
+    }
+
+    /// Records a lossless drop (headroom exhausted — a config failure).
+    pub fn record_lossless(&mut self, size: Bytes) {
+        self.lossless_packets += 1;
+        self.lossless_bytes += size.as_u64();
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &DropCounters) {
+        self.lossy_packets += other.lossy_packets;
+        self.lossy_bytes += other.lossy_bytes;
+        self.lossless_packets += other.lossless_packets;
+        self.lossless_bytes += other.lossless_bytes;
+    }
+}
+
+/// A periodically-sampled buffer-occupancy trace for one switch.
+///
+/// The paper samples total occupancy every 1 ms (Fig. 8) and reports
+/// CDFs over the trace.
+#[derive(Debug, Clone, Default)]
+pub struct OccupancySeries {
+    samples: Vec<(SimTime, Bytes)>,
+}
+
+impl OccupancySeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        OccupancySeries::default()
+    }
+
+    /// Appends a sample. Samples must be pushed in time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` precedes the last sample.
+    pub fn push(&mut self, at: SimTime, occupancy: Bytes) {
+        debug_assert!(
+            self.samples.last().map_or(true, |&(t, _)| at >= t),
+            "occupancy samples out of order"
+        );
+        self.samples.push((at, occupancy));
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[(SimTime, Bytes)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Peak occupancy over the trace.
+    pub fn peak(&self) -> Bytes {
+        self.samples
+            .iter()
+            .map(|&(_, b)| b)
+            .max()
+            .unwrap_or(Bytes::ZERO)
+    }
+
+    /// Mean occupancy in bytes over the trace (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&(_, b)| b.as_f64()).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// CDF over sampled occupancy in bytes — the series of Figs. 8, 10(c).
+    pub fn cdf(&self) -> Cdf {
+        self.samples.iter().map(|&(_, b)| b.as_f64()).collect()
+    }
+
+    /// The `p`-quantile of occupancy in bytes, or `None` if empty.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        let mut cdf = self.cdf();
+        cdf.quantile(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pfc_counting() {
+        let mut c = PfcCounters::new();
+        c.record_pause(Priority::new(3));
+        c.record_pause(Priority::new(3));
+        c.record_pause(Priority::new(1));
+        c.record_resume(Priority::new(3));
+        assert_eq!(c.pause_frames(), 3);
+        assert_eq!(c.resume_frames(), 1);
+        assert_eq!(c.pause_frames_for(Priority::new(3)), 2);
+        assert_eq!(c.pause_frames_for(Priority::new(0)), 0);
+    }
+
+    #[test]
+    fn pfc_merge() {
+        let mut a = PfcCounters::new();
+        a.record_pause(Priority::new(1));
+        let mut b = PfcCounters::new();
+        b.record_pause(Priority::new(1));
+        b.record_resume(Priority::new(1));
+        a.merge(&b);
+        assert_eq!(a.pause_frames(), 2);
+        assert_eq!(a.resume_frames(), 1);
+    }
+
+    #[test]
+    fn drop_counting_and_merge() {
+        let mut d = DropCounters::new();
+        d.record_lossy(Bytes::new(1_000));
+        d.record_lossy(Bytes::new(500));
+        d.record_lossless(Bytes::new(100));
+        assert_eq!(d.lossy_packets, 2);
+        assert_eq!(d.lossy_bytes, 1_500);
+        assert_eq!(d.lossless_packets, 1);
+        let mut e = DropCounters::new();
+        e.merge(&d);
+        assert_eq!(e.lossy_bytes, 1_500);
+    }
+
+    #[test]
+    fn occupancy_series_stats() {
+        let mut s = OccupancySeries::new();
+        s.push(SimTime::from_millis(1), Bytes::new(100));
+        s.push(SimTime::from_millis(2), Bytes::new(300));
+        s.push(SimTime::from_millis(3), Bytes::new(200));
+        assert_eq!(s.peak(), Bytes::new(300));
+        assert!((s.mean() - 200.0).abs() < 1e-9);
+        assert_eq!(s.quantile(0.5), Some(200.0));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = OccupancySeries::new();
+        assert_eq!(s.peak(), Bytes::ZERO);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.quantile(0.5).is_none());
+    }
+}

@@ -1,0 +1,319 @@
+//! Percentiles, empirical CDFs and error-bar summaries.
+
+/// The `p`-quantile (`0 ≤ p ≤ 1`) of a sample set using linear
+/// interpolation between order statistics (type-7, the numpy default).
+/// Returns `None` on an empty set.
+///
+/// # Example
+///
+/// ```
+/// use dcn_metrics::percentile;
+/// let v = vec![1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&v, 0.5), Some(2.5));
+/// assert_eq!(percentile(&v, 1.0), Some(4.0));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or any sample is NaN.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    if samples.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    Some(percentile_sorted(&v, p))
+}
+
+/// Like [`percentile`] but assumes `sorted` is already ascending. Used in
+/// hot loops to avoid repeated sorting.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty sample set");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = p * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// An empirical cumulative distribution over collected samples.
+///
+/// # Example
+///
+/// ```
+/// use dcn_metrics::Cdf;
+/// let mut cdf = Cdf::new();
+/// cdf.extend([3.0, 1.0, 2.0]);
+/// assert_eq!(cdf.quantile(0.5), Some(2.0));
+/// assert!((cdf.fraction_below(2.5) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// An empty CDF.
+    pub fn new() -> Self {
+        Cdf::default()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample");
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Adds many samples.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-quantile, or `None` if empty.
+    pub fn quantile(&mut self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        Some(percentile_sorted(&self.samples, p))
+    }
+
+    /// Fraction of samples `≤ x` (0 if empty).
+    pub fn fraction_below(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let k = self.samples.partition_point(|&s| s <= x);
+        k as f64 / self.samples.len() as f64
+    }
+
+    /// The sample mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// The largest sample, or `None` if empty.
+    pub fn max(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.last().copied()
+    }
+
+    /// `(value, cumulative_fraction)` points at `n` evenly spaced
+    /// quantiles — the series a CDF plot draws.
+    pub fn curve(&mut self, n: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        (0..=n)
+            .map(|i| {
+                let p = i as f64 / n as f64;
+                (percentile_sorted(&self.samples, p), p)
+            })
+            .collect()
+    }
+
+    /// A view of the raw samples (unsorted order not guaranteed).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl FromIterator<f64> for Cdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut c = Cdf::new();
+        c.extend(iter);
+        c
+    }
+}
+
+impl Extend<f64> for Cdf {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Box-plot style summary: mean, median, quartiles, 1.5·IQR whisker range
+/// and extremes — what the paper's Fig. 10(b) error bars show.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBarStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (population, n denominator).
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// 25th percentile.
+    pub q25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q75: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Low end of the 1.5·IQR whisker (smallest sample ≥ q25 − 1.5·IQR).
+    pub whisker_lo: f64,
+    /// High end of the 1.5·IQR whisker (largest sample ≤ q75 + 1.5·IQR).
+    pub whisker_hi: f64,
+}
+
+impl ErrorBarStats {
+    /// Computes the summary, or `None` for an empty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn from_samples(samples: &[f64]) -> Option<ErrorBarStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut v = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let n = v.len() as f64;
+        let mean = v.iter().sum::<f64>() / n;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let q25 = percentile_sorted(&v, 0.25);
+        let median = percentile_sorted(&v, 0.5);
+        let q75 = percentile_sorted(&v, 0.75);
+        let iqr = q75 - q25;
+        let lo_limit = q25 - 1.5 * iqr;
+        let hi_limit = q75 + 1.5 * iqr;
+        let whisker_lo = *v
+            .iter()
+            .find(|&&x| x >= lo_limit)
+            .expect("non-empty sorted set");
+        let whisker_hi = *v
+            .iter()
+            .rev()
+            .find(|&&x| x <= hi_limit)
+            .expect("non-empty sorted set");
+        Some(ErrorBarStats {
+            mean,
+            std_dev: var.sqrt(),
+            min: v[0],
+            q25,
+            median,
+            q75,
+            max: *v.last().expect("non-empty"),
+            whisker_lo,
+            whisker_hi,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[7.0], 0.0), Some(7.0));
+        assert_eq!(percentile(&[7.0], 1.0), Some(7.0));
+        let v = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 1.0), Some(4.0));
+        assert_eq!(percentile(&v, 0.5), Some(2.5));
+    }
+
+    #[test]
+    fn p99_on_uniform_grid() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p99 = percentile(&v, 0.99).unwrap();
+        assert!((p99 - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_fraction_below() {
+        let mut c: Cdf = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(c.fraction_below(0.5), 0.0);
+        assert_eq!(c.fraction_below(2.0), 0.5);
+        assert_eq!(c.fraction_below(10.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_curve_is_monotonic() {
+        let mut c: Cdf = (0..100).map(|i| ((i * 7919) % 100) as f64).collect();
+        let curve = c.curve(20);
+        assert_eq!(curve.len(), 21);
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn cdf_mean_and_max() {
+        let mut c: Cdf = [2.0, 4.0].into_iter().collect();
+        assert_eq!(c.mean(), Some(3.0));
+        assert_eq!(c.max(), Some(4.0));
+        assert!(Cdf::new().mean().is_none());
+    }
+
+    #[test]
+    fn error_bars_basic() {
+        let s = ErrorBarStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 100.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.median, 3.0);
+        // 100 is far outside 1.5*IQR of [2,4]: whisker stops at 4.
+        assert_eq!(s.whisker_hi, 4.0);
+        assert_eq!(s.whisker_lo, 1.0);
+        assert!((s.mean - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_bars_empty() {
+        assert!(ErrorBarStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn error_bars_constant_samples() {
+        let s = ErrorBarStats::from_samples(&[5.0; 10]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.whisker_lo, 5.0);
+        assert_eq!(s.whisker_hi, 5.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Typed identifiers for nodes, ports, flows and priorities.
+
+use std::fmt;
+
+/// Identifies a node (host or switch) in a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its index in the topology.
+    pub const fn new(ix: u32) -> Self {
+        NodeId(ix)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a port within one switch (or the single port of a host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PortId(u16);
+
+impl PortId {
+    /// Creates a port id from its index on the node.
+    pub const fn new(ix: u16) -> Self {
+        PortId(ix)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifies one flow (a transfer of a given size between two hosts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(u64);
+
+impl FlowId {
+    /// Creates a flow id.
+    pub const fn new(id: u64) -> Self {
+        FlowId(id)
+    }
+
+    /// The raw id.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// A stable hash of (flow, salt), used for ECMP path selection so a
+    /// flow's packets stay on one path.
+    pub fn ecmp_hash(self, salt: u64) -> u64 {
+        // SplitMix64 finalizer — cheap and well distributed.
+        let mut z = self.0 ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// An IEEE 802.1p priority (0–7), selecting one of the eight per-port
+/// queues and one of the eight PFC virtual channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Priority(u8);
+
+impl Priority {
+    /// Number of priorities per port (fixed by 802.1p / PFC).
+    pub const COUNT: usize = 8;
+
+    /// Creates a priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= 8`.
+    pub const fn new(p: u8) -> Self {
+        assert!(p < 8, "priority out of range");
+        Priority(p)
+    }
+
+    /// The raw value (0–7).
+    pub const fn as_u8(self) -> u8 {
+        self.0
+    }
+
+    /// The raw value as an index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// All eight priorities in order.
+    pub fn all() -> impl Iterator<Item = Priority> {
+        (0..8).map(Priority)
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio{}", self.0)
+    }
+}
+
+/// Whether a traffic class tolerates drops (TCP) or requires PFC-backed
+/// lossless delivery (RDMA / RoCEv2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Lossless traffic: protected by PFC, never intentionally dropped.
+    Lossless,
+    /// Lossy traffic: dropped when it exceeds buffer thresholds.
+    Lossy,
+}
+
+impl TrafficClass {
+    /// Whether this class is lossless.
+    pub const fn is_lossless(self) -> bool {
+        matches!(self, TrafficClass::Lossless)
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficClass::Lossless => write!(f, "lossless"),
+            TrafficClass::Lossy => write!(f, "lossy"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_bounds() {
+        assert_eq!(Priority::new(7).as_u8(), 7);
+        assert_eq!(Priority::all().count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "priority out of range")]
+    fn priority_rejects_8() {
+        let _ = Priority::new(8);
+    }
+
+    #[test]
+    fn ecmp_hash_is_stable_and_spreads() {
+        let f = FlowId::new(1234);
+        assert_eq!(f.ecmp_hash(7), f.ecmp_hash(7));
+        // Different salts give different choices most of the time.
+        let distinct: std::collections::HashSet<u64> =
+            (0..32).map(|s| f.ecmp_hash(s) % 4).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(NodeId::new(3).to_string(), "n3");
+        assert_eq!(PortId::new(2).to_string(), "p2");
+        assert_eq!(FlowId::new(9).to_string(), "f9");
+        assert_eq!(Priority::new(1).to_string(), "prio1");
+        assert_eq!(TrafficClass::Lossless.to_string(), "lossless");
+    }
+}

@@ -1,0 +1,42 @@
+//! Network substrate for DCN simulation: identifiers, packets, links,
+//! topology builders and ECMP routing.
+//!
+//! This crate provides the passive data model shared by the switch,
+//! transport and fabric crates:
+//!
+//! * [`NodeId`], [`PortId`], [`FlowId`], [`Priority`] — typed identifiers.
+//! * [`Packet`] — a data/ACK/CNP unit with ECN codepoint and traffic class.
+//! * [`Link`] — full-duplex point-to-point link (rate + propagation delay).
+//! * [`Topology`] — node/link graph with builders for the paper's 3-layer
+//!   clos fabric ([`Topology::clos`]), plus small test topologies.
+//! * [`RoutingTable`] — all-shortest-path next-hop sets with per-flow ECMP.
+//!
+//! # Example
+//!
+//! ```
+//! use dcn_net::{ClosConfig, FlowId, RoutingTable, Topology};
+//!
+//! let topo = Topology::clos(&ClosConfig::paper());
+//! assert_eq!(topo.hosts().count(), 128);
+//! let routes = RoutingTable::shortest_paths(&topo);
+//! let src = topo.hosts().next().unwrap();
+//! let dst = topo.hosts().last().unwrap();
+//! // Every switch on the way knows a next hop for dst.
+//! let port = routes.next_port(topo.host_uplink_switch(src).unwrap(), dst, FlowId::new(1));
+//! assert!(port.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ids;
+mod link;
+mod packet;
+mod routing;
+mod topology;
+
+pub use ids::{FlowId, NodeId, PortId, Priority, TrafficClass};
+pub use link::{Link, LinkEnd, LinkId};
+pub use packet::{EcnCodepoint, Packet, PacketKind, PfcFrame, ACK_SIZE, CNP_SIZE, PFC_FRAME_SIZE};
+pub use routing::RoutingTable;
+pub use topology::{ClosConfig, Node, NodeKind, Topology};

@@ -1,0 +1,129 @@
+//! Point-to-point full-duplex links.
+
+use std::fmt;
+
+use dcn_sim::{BitRate, SimDuration};
+
+use crate::ids::{NodeId, PortId};
+
+/// Identifies a link in a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(u32);
+
+impl LinkId {
+    /// Creates a link id from its index in the topology.
+    pub const fn new(ix: u32) -> Self {
+        LinkId(ix)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// One attachment point of a link: which node, and which of its ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkEnd {
+    /// The attached node.
+    pub node: NodeId,
+    /// The port on that node.
+    pub port: PortId,
+}
+
+impl LinkEnd {
+    /// Creates an attachment point.
+    pub const fn new(node: NodeId, port: PortId) -> Self {
+        LinkEnd { node, port }
+    }
+}
+
+/// A full-duplex point-to-point link. Both directions share the same rate
+/// and propagation delay; each direction serializes independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// This link's id.
+    pub id: LinkId,
+    /// One endpoint.
+    pub a: LinkEnd,
+    /// The other endpoint.
+    pub b: LinkEnd,
+    /// Transmission rate of each direction.
+    pub rate: BitRate,
+    /// One-way propagation delay.
+    pub propagation: SimDuration,
+}
+
+impl Link {
+    /// The endpoint opposite `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not attached to this link.
+    pub fn peer_of(&self, node: NodeId) -> LinkEnd {
+        if self.a.node == node {
+            self.b
+        } else if self.b.node == node {
+            self.a
+        } else {
+            panic!("{node} is not attached to {}", self.id)
+        }
+    }
+
+    /// The local attachment point for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not attached to this link.
+    pub fn end_of(&self, node: NodeId) -> LinkEnd {
+        if self.a.node == node {
+            self.a
+        } else if self.b.node == node {
+            self.b
+        } else {
+            panic!("{node} is not attached to {}", self.id)
+        }
+    }
+
+    /// Whether `node` is one of the endpoints.
+    pub fn touches(&self, node: NodeId) -> bool {
+        self.a.node == node || self.b.node == node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link {
+        Link {
+            id: LinkId::new(0),
+            a: LinkEnd::new(NodeId::new(1), PortId::new(0)),
+            b: LinkEnd::new(NodeId::new(2), PortId::new(3)),
+            rate: BitRate::from_gbps(100),
+            propagation: SimDuration::from_micros(1),
+        }
+    }
+
+    #[test]
+    fn peer_lookup() {
+        let l = link();
+        assert_eq!(l.peer_of(NodeId::new(1)).node, NodeId::new(2));
+        assert_eq!(l.peer_of(NodeId::new(2)).port, PortId::new(0));
+        assert_eq!(l.end_of(NodeId::new(2)).port, PortId::new(3));
+        assert!(l.touches(NodeId::new(1)));
+        assert!(!l.touches(NodeId::new(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not attached")]
+    fn peer_of_unattached_panics() {
+        link().peer_of(NodeId::new(7));
+    }
+}

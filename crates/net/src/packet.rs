@@ -1,0 +1,268 @@
+//! Packets and PFC frames.
+//!
+//! A [`Packet`] is the unit stored in switch buffers and delivered over
+//! links. Data packets carry a byte range of a flow; ACKs and CNPs are the
+//! transports' feedback. PFC pause/resume frames are separate control
+//! messages ([`PfcFrame`]) that bypass data queues, as on real hardware.
+
+use dcn_sim::Bytes;
+
+use crate::ids::{FlowId, NodeId, Priority, TrafficClass};
+
+/// Wire size of an ACK packet (header-only segment).
+pub const ACK_SIZE: Bytes = Bytes::new(60);
+/// Wire size of a DCQCN Congestion Notification Packet.
+pub const CNP_SIZE: Bytes = Bytes::new(60);
+/// Wire size of an IEEE 802.1Qbb PFC pause frame.
+pub const PFC_FRAME_SIZE: Bytes = Bytes::new(64);
+
+/// The ECN codepoint of a packet (RFC 3168).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EcnCodepoint {
+    /// Not ECN-capable transport.
+    #[default]
+    NotEct,
+    /// ECN-capable, not marked.
+    Ect,
+    /// Congestion experienced — set by switches, echoed by receivers.
+    Ce,
+}
+
+impl EcnCodepoint {
+    /// Whether the congestion-experienced mark is set.
+    pub const fn is_ce(self) -> bool {
+        matches!(self, EcnCodepoint::Ce)
+    }
+}
+
+/// What role a packet plays for its transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// A data segment carrying `payload` bytes at offset `seq`.
+    Data,
+    /// A (DC)TCP acknowledgement: cumulative ack plus the echoed ECN bit.
+    Ack {
+        /// Next expected byte offset at the receiver.
+        cumulative_ack: u64,
+        /// ECN-echo: the acked data arrived CE-marked.
+        ecn_echo: bool,
+    },
+    /// A DCQCN congestion notification packet from receiver to sender.
+    Cnp,
+}
+
+/// A simulated packet.
+///
+/// `size` is the wire size used for buffer accounting and serialization
+/// time; `payload` is the flow bytes carried (zero for ACK/CNP).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// The flow this packet belongs to.
+    pub flow: FlowId,
+    /// Originating host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// 802.1p priority — selects the queue and PFC channel at every hop.
+    pub priority: Priority,
+    /// Lossless (RDMA) or lossy (TCP) handling.
+    pub class: TrafficClass,
+    /// Role of the packet.
+    pub kind: PacketKind,
+    /// Byte offset of the first payload byte within the flow.
+    pub seq: u64,
+    /// Flow payload bytes carried.
+    pub payload: Bytes,
+    /// Wire size (payload + headers) used for buffers and serialization.
+    pub size: Bytes,
+    /// ECN codepoint, possibly rewritten to CE by congested switches.
+    pub ecn: EcnCodepoint,
+}
+
+impl Packet {
+    /// Builds a data packet of `payload` flow bytes plus `header` overhead.
+    pub fn data(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        priority: Priority,
+        class: TrafficClass,
+        seq: u64,
+        payload: Bytes,
+        header: Bytes,
+    ) -> Packet {
+        Packet {
+            flow,
+            src,
+            dst,
+            priority,
+            class,
+            kind: PacketKind::Data,
+            seq,
+            payload,
+            size: payload + header,
+            ecn: EcnCodepoint::Ect,
+        }
+    }
+
+    /// Builds an ACK from `src` back to `dst` (receiver → sender).
+    pub fn ack(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        priority: Priority,
+        class: TrafficClass,
+        cumulative_ack: u64,
+        ecn_echo: bool,
+    ) -> Packet {
+        Packet {
+            flow,
+            src,
+            dst,
+            priority,
+            class,
+            kind: PacketKind::Ack {
+                cumulative_ack,
+                ecn_echo,
+            },
+            seq: 0,
+            payload: Bytes::ZERO,
+            size: ACK_SIZE,
+            ecn: EcnCodepoint::NotEct,
+        }
+    }
+
+    /// Builds a DCQCN CNP from the notification point back to the sender.
+    pub fn cnp(flow: FlowId, src: NodeId, dst: NodeId, priority: Priority) -> Packet {
+        Packet {
+            flow,
+            src,
+            dst,
+            priority,
+            class: TrafficClass::Lossless,
+            kind: PacketKind::Cnp,
+            seq: 0,
+            payload: Bytes::ZERO,
+            size: CNP_SIZE,
+            ecn: EcnCodepoint::NotEct,
+        }
+    }
+
+    /// Whether this is a data packet (vs transport feedback).
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, PacketKind::Data)
+    }
+
+    /// Marks the packet with congestion-experienced if it is ECN-capable.
+    /// Returns whether the mark was applied.
+    pub fn mark_ce(&mut self) -> bool {
+        match self.ecn {
+            EcnCodepoint::Ect | EcnCodepoint::Ce => {
+                self.ecn = EcnCodepoint::Ce;
+                true
+            }
+            EcnCodepoint::NotEct => false,
+        }
+    }
+}
+
+/// An IEEE 802.1Qbb per-priority pause or resume frame.
+///
+/// PFC frames travel hop-by-hop from a congested ingress port back to the
+/// upstream transmitter. They are control-plane messages here: delivered
+/// with link propagation delay, never queued behind data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PfcFrame {
+    /// The priority (virtual channel) being paused or resumed.
+    pub priority: Priority,
+    /// `true` = XOFF (pause), `false` = XON (resume).
+    pub pause: bool,
+}
+
+impl PfcFrame {
+    /// An XOFF frame for `priority`.
+    pub const fn pause(priority: Priority) -> Self {
+        PfcFrame {
+            priority,
+            pause: true,
+        }
+    }
+
+    /// An XON frame for `priority`.
+    pub const fn resume(priority: Priority) -> Self {
+        PfcFrame {
+            priority,
+            pause: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (FlowId, NodeId, NodeId) {
+        (FlowId::new(1), NodeId::new(0), NodeId::new(1))
+    }
+
+    #[test]
+    fn data_packet_sizes() {
+        let (f, a, b) = ids();
+        let p = Packet::data(
+            f,
+            a,
+            b,
+            Priority::new(3),
+            TrafficClass::Lossless,
+            0,
+            Bytes::new(1_000),
+            Bytes::new(48),
+        );
+        assert_eq!(p.size, Bytes::new(1_048));
+        assert_eq!(p.payload, Bytes::new(1_000));
+        assert!(p.is_data());
+    }
+
+    #[test]
+    fn ack_and_cnp_are_not_data() {
+        let (f, a, b) = ids();
+        let ack = Packet::ack(f, b, a, Priority::new(1), TrafficClass::Lossy, 5_000, true);
+        assert!(!ack.is_data());
+        assert_eq!(ack.size, ACK_SIZE);
+        let cnp = Packet::cnp(f, b, a, Priority::new(3));
+        assert!(!cnp.is_data());
+        assert_eq!(cnp.size, CNP_SIZE);
+    }
+
+    #[test]
+    fn ecn_marking_rules() {
+        let (f, a, b) = ids();
+        let mut p = Packet::data(
+            f,
+            a,
+            b,
+            Priority::new(0),
+            TrafficClass::Lossy,
+            0,
+            Bytes::new(10),
+            Bytes::new(48),
+        );
+        assert!(p.mark_ce());
+        assert!(p.ecn.is_ce());
+        // Already CE stays CE.
+        assert!(p.mark_ce());
+        // Non-ECT cannot be marked.
+        let mut ack = Packet::ack(f, b, a, Priority::new(0), TrafficClass::Lossy, 0, false);
+        assert!(!ack.mark_ce());
+        assert_eq!(ack.ecn, EcnCodepoint::NotEct);
+    }
+
+    #[test]
+    fn pfc_frame_constructors() {
+        let p = PfcFrame::pause(Priority::new(3));
+        assert!(p.pause);
+        let r = PfcFrame::resume(Priority::new(3));
+        assert!(!r.pause);
+        assert_eq!(p.priority, r.priority);
+    }
+}

@@ -1,0 +1,212 @@
+//! All-shortest-path routing with per-flow ECMP.
+//!
+//! For every (switch, destination host) pair we precompute the set of
+//! output ports that lie on some shortest path (by hop count, breaking
+//! distance ties by keeping all minimal next hops). At forwarding time a
+//! flow hashes onto one of the candidates so that all its packets follow
+//! one path — standard per-flow ECMP, which is what the paper's ns-3
+//! setup uses.
+
+use std::collections::VecDeque;
+
+use crate::ids::{FlowId, NodeId, PortId};
+use crate::topology::{NodeKind, Topology};
+
+/// Precomputed next-hop sets: for each node and destination host, the
+/// output ports on shortest paths.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    /// `ports[node][dst_host_rank]` = candidate output ports.
+    ports: Vec<Vec<Vec<PortId>>>,
+    /// Maps host NodeId -> dense rank used to index `ports`.
+    host_rank: Vec<Option<usize>>,
+    /// ECMP hash salt (per-topology constant; change to re-roll paths).
+    salt: u64,
+}
+
+impl RoutingTable {
+    /// Builds shortest-path next-hop sets for every destination host by
+    /// BFS from each host over the topology.
+    pub fn shortest_paths(topo: &Topology) -> RoutingTable {
+        let n = topo.node_count();
+        let hosts: Vec<NodeId> = topo.hosts().collect();
+        let mut host_rank = vec![None; n];
+        for (rank, h) in hosts.iter().enumerate() {
+            host_rank[h.index()] = Some(rank);
+        }
+        let mut ports = vec![vec![Vec::new(); hosts.len()]; n];
+
+        for (rank, &dst) in hosts.iter().enumerate() {
+            // BFS from dst; dist[v] = hops from v to dst.
+            let mut dist = vec![u32::MAX; n];
+            dist[dst.index()] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(dst);
+            while let Some(v) = q.pop_front() {
+                let dv = dist[v.index()];
+                for &lid in &topo.node(v).ports {
+                    let peer = topo.link(lid).peer_of(v).node;
+                    if dist[peer.index()] == u32::MAX {
+                        dist[peer.index()] = dv + 1;
+                        q.push_back(peer);
+                    }
+                }
+            }
+            // Next hops: every port whose peer is strictly closer to dst.
+            for node in topo.nodes() {
+                if dist[node.id.index()] == u32::MAX || node.id == dst {
+                    continue;
+                }
+                let dn = dist[node.id.index()];
+                for (pix, &lid) in node.ports.iter().enumerate() {
+                    let peer = topo.link(lid).peer_of(node.id).node;
+                    if dist[peer.index()] != u32::MAX && dist[peer.index()] + 1 == dn {
+                        ports[node.id.index()][rank].push(PortId::new(pix as u16));
+                    }
+                }
+            }
+        }
+
+        RoutingTable {
+            ports,
+            host_rank,
+            salt: 0x5EED_0F_EC_A7,
+        }
+    }
+
+    /// All candidate output ports at `node` toward `dst`, or an empty
+    /// slice if unreachable / `dst` is not a host.
+    pub fn candidates(&self, node: NodeId, dst: NodeId) -> &[PortId] {
+        match self.host_rank.get(dst.index()).copied().flatten() {
+            Some(rank) => &self.ports[node.index()][rank],
+            None => &[],
+        }
+    }
+
+    /// The ECMP-selected output port for `flow` at `node` toward `dst`,
+    /// or `None` if unreachable.
+    ///
+    /// All packets of one flow at one node get the same port.
+    pub fn next_port(&self, node: NodeId, dst: NodeId, flow: FlowId) -> Option<PortId> {
+        let c = self.candidates(node, dst);
+        if c.is_empty() {
+            return None;
+        }
+        // Salt with the node id so a flow re-rolls independently per hop.
+        let h = flow.ecmp_hash(self.salt ^ (node.index() as u64) << 17);
+        Some(c[(h % c.len() as u64) as usize])
+    }
+
+    /// Hop count from `node` to `dst` following shortest paths, or `None`
+    /// if unreachable. Useful for ideal-FCT computation.
+    pub fn hop_count(&self, topo: &Topology, mut node: NodeId, dst: NodeId) -> Option<u32> {
+        let mut hops = 0;
+        let flow = FlowId::new(0);
+        while node != dst {
+            if topo.node(node).kind == NodeKind::Host && hops > 0 {
+                return None; // wandered into a wrong host
+            }
+            let port = self.next_port(node, dst, flow)?;
+            node = topo.link_at(node, port).peer_of(node).node;
+            hops += 1;
+            if hops > 64 {
+                return None; // routing loop guard
+            }
+        }
+        Some(hops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ClosConfig;
+    use dcn_sim::{BitRate, SimDuration};
+
+    fn paper() -> (Topology, RoutingTable) {
+        let t = Topology::clos(&ClosConfig::paper());
+        let r = RoutingTable::shortest_paths(&t);
+        (t, r)
+    }
+
+    #[test]
+    fn same_tor_is_two_hops() {
+        let (t, r) = paper();
+        let hosts: Vec<NodeId> = t.hosts().collect();
+        // hosts 0 and 1 share a ToR: host -> tor -> host = 2 hops.
+        assert_eq!(r.hop_count(&t, hosts[0], hosts[1]), Some(2));
+    }
+
+    #[test]
+    fn cross_tor_is_four_hops() {
+        let (t, r) = paper();
+        let hosts: Vec<NodeId> = t.hosts().collect();
+        // host 0 (ToR 0) to host 32 (ToR 1): host-tor-agg-tor-host.
+        assert_eq!(r.hop_count(&t, hosts[0], hosts[32]), Some(4));
+    }
+
+    #[test]
+    fn tor_has_four_ecmp_uplinks_cross_rack() {
+        let (t, r) = paper();
+        let hosts: Vec<NodeId> = t.hosts().collect();
+        let tor0 = t.host_uplink_switch(hosts[0]).unwrap();
+        let c = r.candidates(tor0, hosts[32]);
+        assert_eq!(c.len(), 4, "one per aggregation switch");
+    }
+
+    #[test]
+    fn tor_has_single_downlink_same_rack() {
+        let (t, r) = paper();
+        let hosts: Vec<NodeId> = t.hosts().collect();
+        let tor0 = t.host_uplink_switch(hosts[0]).unwrap();
+        let c = r.candidates(tor0, hosts[1]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn flow_pinning_is_stable() {
+        let (t, r) = paper();
+        let hosts: Vec<NodeId> = t.hosts().collect();
+        let tor0 = t.host_uplink_switch(hosts[0]).unwrap();
+        let f = FlowId::new(77);
+        let p1 = r.next_port(tor0, hosts[32], f);
+        let p2 = r.next_port(tor0, hosts[32], f);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn ecmp_spreads_flows() {
+        let (t, r) = paper();
+        let hosts: Vec<NodeId> = t.hosts().collect();
+        let tor0 = t.host_uplink_switch(hosts[0]).unwrap();
+        let distinct: std::collections::HashSet<PortId> = (0..256)
+            .filter_map(|i| r.next_port(tor0, hosts[32], FlowId::new(i)))
+            .collect();
+        assert!(distinct.len() >= 3, "got {} distinct uplinks", distinct.len());
+    }
+
+    #[test]
+    fn unreachable_and_non_host_destinations() {
+        let (t, r) = paper();
+        let sw = t.switches().next().unwrap();
+        let host = t.hosts().next().unwrap();
+        // Switch as destination: not a host, no routes.
+        assert!(r.candidates(host, sw).is_empty());
+        assert_eq!(r.next_port(host, sw, FlowId::new(1)), None);
+    }
+
+    #[test]
+    fn works_on_dumbbell() {
+        let t = Topology::dumbbell(
+            2,
+            2,
+            BitRate::from_gbps(25),
+            BitRate::from_gbps(10),
+            SimDuration::from_micros(1),
+        );
+        let r = RoutingTable::shortest_paths(&t);
+        let hosts: Vec<NodeId> = t.hosts().collect();
+        // left host to right host: host-swL-swR-host = 3 hops.
+        assert_eq!(r.hop_count(&t, hosts[0], hosts[2]), Some(3));
+    }
+}

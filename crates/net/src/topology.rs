@@ -1,0 +1,375 @@
+//! Topology graph and builders.
+//!
+//! The paper evaluates on a 3-layer clos (Fig. 6): 2 core switches, 4
+//! aggregation switches, 4 ToR switches, 32 servers per ToR, 25 Gbps host
+//! links and 100 Gbps fabric links, 1 µs propagation everywhere except
+//! 5 µs between aggregation and core. [`ClosConfig::paper`] reproduces
+//! exactly that; scaled-down variants are used in tests and benches.
+
+use dcn_sim::{BitRate, SimDuration};
+
+use crate::ids::{NodeId, PortId};
+use crate::link::{Link, LinkEnd, LinkId};
+
+/// What kind of device a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// An end host with a single NIC port.
+    Host,
+    /// A shared-memory switch.
+    Switch,
+}
+
+/// A node in the topology: a host or a switch, with its attached links
+/// indexed by port.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// Host or switch.
+    pub kind: NodeKind,
+    /// Attached link per port, in port order.
+    pub ports: Vec<LinkId>,
+}
+
+impl Node {
+    /// Number of ports in use.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+}
+
+/// An immutable node/link graph.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+}
+
+/// Configuration for the 3-layer clos fabric of the paper's Fig. 6.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosConfig {
+    /// Number of ToR (leaf) switches.
+    pub tors: usize,
+    /// Number of aggregation switches.
+    pub aggs: usize,
+    /// Number of core switches.
+    pub cores: usize,
+    /// Servers attached to each ToR.
+    pub hosts_per_tor: usize,
+    /// Host access link rate.
+    pub host_rate: BitRate,
+    /// Switch-to-switch link rate.
+    pub fabric_rate: BitRate,
+    /// Propagation delay of host and ToR–Agg links.
+    pub edge_propagation: SimDuration,
+    /// Propagation delay of Agg–Core links.
+    pub core_propagation: SimDuration,
+}
+
+impl ClosConfig {
+    /// The exact configuration of the paper's evaluation (§IV *Setup*):
+    /// 2 cores, 4 aggs, 4 ToRs, 32 servers/ToR, 25/100 Gbps, 1 µs edges,
+    /// 5 µs Agg–Core.
+    pub fn paper() -> Self {
+        ClosConfig {
+            tors: 4,
+            aggs: 4,
+            cores: 2,
+            hosts_per_tor: 32,
+            host_rate: BitRate::from_gbps(25),
+            fabric_rate: BitRate::from_gbps(100),
+            edge_propagation: SimDuration::from_micros(1),
+            core_propagation: SimDuration::from_micros(5),
+        }
+    }
+
+    /// A scaled-down clos with the same structure (2 cores, 2 aggs, 2
+    /// ToRs, `hosts_per_tor` servers) for tests and fast benches.
+    pub fn small(hosts_per_tor: usize) -> Self {
+        ClosConfig {
+            tors: 2,
+            aggs: 2,
+            cores: 2,
+            hosts_per_tor,
+            ..ClosConfig::paper()
+        }
+    }
+
+    /// Total number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.tors * self.hosts_per_tor
+    }
+}
+
+impl Topology {
+    /// Builds the clos fabric: every ToR connects to every aggregation
+    /// switch, every aggregation switch connects to every core switch.
+    ///
+    /// Node ids are assigned hosts first (ToR-major), then ToRs, then
+    /// aggs, then cores, so `hosts()` yields ids `0..host_count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tier count is zero.
+    pub fn clos(cfg: &ClosConfig) -> Topology {
+        assert!(cfg.tors > 0 && cfg.aggs > 0 && cfg.cores > 0 && cfg.hosts_per_tor > 0);
+        let n_hosts = cfg.host_count();
+        let mut b = Builder::new();
+        let hosts: Vec<NodeId> = (0..n_hosts).map(|_| b.add(NodeKind::Host)).collect();
+        let tors: Vec<NodeId> = (0..cfg.tors).map(|_| b.add(NodeKind::Switch)).collect();
+        let aggs: Vec<NodeId> = (0..cfg.aggs).map(|_| b.add(NodeKind::Switch)).collect();
+        let cores: Vec<NodeId> = (0..cfg.cores).map(|_| b.add(NodeKind::Switch)).collect();
+
+        for (t, &tor) in tors.iter().enumerate() {
+            for h in 0..cfg.hosts_per_tor {
+                let host = hosts[t * cfg.hosts_per_tor + h];
+                b.connect(host, tor, cfg.host_rate, cfg.edge_propagation);
+            }
+            for &agg in &aggs {
+                b.connect(tor, agg, cfg.fabric_rate, cfg.edge_propagation);
+            }
+        }
+        for &agg in &aggs {
+            for &core in &cores {
+                b.connect(agg, core, cfg.fabric_rate, cfg.core_propagation);
+            }
+        }
+        b.build()
+    }
+
+    /// A single switch with `n` directly-attached hosts — the minimal
+    /// incast scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn single_switch(n: usize, host_rate: BitRate, propagation: SimDuration) -> Topology {
+        assert!(n > 0);
+        let mut b = Builder::new();
+        let hosts: Vec<NodeId> = (0..n).map(|_| b.add(NodeKind::Host)).collect();
+        let sw = b.add(NodeKind::Switch);
+        for &h in &hosts {
+            b.connect(h, sw, host_rate, propagation);
+        }
+        b.build()
+    }
+
+    /// Two switches joined by a bottleneck link, with `n_left`/`n_right`
+    /// hosts on each side — the classic dumbbell for congestion tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either host count is zero.
+    pub fn dumbbell(
+        n_left: usize,
+        n_right: usize,
+        host_rate: BitRate,
+        bottleneck: BitRate,
+        propagation: SimDuration,
+    ) -> Topology {
+        assert!(n_left > 0 && n_right > 0);
+        let mut b = Builder::new();
+        let left: Vec<NodeId> = (0..n_left).map(|_| b.add(NodeKind::Host)).collect();
+        let right: Vec<NodeId> = (0..n_right).map(|_| b.add(NodeKind::Host)).collect();
+        let sl = b.add(NodeKind::Switch);
+        let sr = b.add(NodeKind::Switch);
+        for &h in &left {
+            b.connect(h, sl, host_rate, propagation);
+        }
+        for &h in &right {
+            b.connect(h, sr, host_rate, propagation);
+        }
+        b.connect(sl, sr, bottleneck, propagation);
+        b.build()
+    }
+
+    /// All nodes, in id order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All links, in id order.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The link with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// The link attached to `(node, port)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node or port is out of range.
+    pub fn link_at(&self, node: NodeId, port: PortId) -> &Link {
+        let lid = self.node(node).ports[port.index()];
+        self.link(lid)
+    }
+
+    /// Ids of all hosts, in id order.
+    pub fn hosts(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Host)
+            .map(|n| n.id)
+    }
+
+    /// Ids of all switches, in id order.
+    pub fn switches(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Switch)
+            .map(|n| n.id)
+    }
+
+    /// The switch a host's single port connects to, or `None` for
+    /// switches / unattached nodes.
+    pub fn host_uplink_switch(&self, host: NodeId) -> Option<NodeId> {
+        let n = self.node(host);
+        if n.kind != NodeKind::Host {
+            return None;
+        }
+        let link = self.link(*n.ports.first()?);
+        Some(link.peer_of(host).node)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+struct Builder {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder {
+            nodes: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    fn add(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            kind,
+            ports: Vec::new(),
+        });
+        id
+    }
+
+    fn connect(&mut self, x: NodeId, y: NodeId, rate: BitRate, propagation: SimDuration) {
+        let id = LinkId::new(self.links.len() as u32);
+        let px = PortId::new(self.nodes[x.index()].ports.len() as u16);
+        let py = PortId::new(self.nodes[y.index()].ports.len() as u16);
+        self.nodes[x.index()].ports.push(id);
+        self.nodes[y.index()].ports.push(id);
+        self.links.push(Link {
+            id,
+            a: LinkEnd::new(x, px),
+            b: LinkEnd::new(y, py),
+            rate,
+            propagation,
+        });
+    }
+
+    fn build(self) -> Topology {
+        Topology {
+            nodes: self.nodes,
+            links: self.links,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_clos_shape() {
+        let cfg = ClosConfig::paper();
+        let t = Topology::clos(&cfg);
+        assert_eq!(t.hosts().count(), 128);
+        assert_eq!(t.switches().count(), 10);
+        // Links: 128 host + 4*4 tor-agg + 4*2 agg-core = 152.
+        assert_eq!(t.links().len(), 152);
+    }
+
+    #[test]
+    fn tor_port_layout() {
+        let cfg = ClosConfig::paper();
+        let t = Topology::clos(&cfg);
+        let tor = t.switches().next().unwrap();
+        // 32 host-facing + 4 agg-facing ports.
+        assert_eq!(t.node(tor).port_count(), 36);
+        // First 32 ports face hosts at 25G, rest face aggs at 100G.
+        for p in 0..32 {
+            assert_eq!(t.link_at(tor, PortId::new(p)).rate, BitRate::from_gbps(25));
+        }
+        for p in 32..36 {
+            assert_eq!(t.link_at(tor, PortId::new(p)).rate, BitRate::from_gbps(100));
+        }
+    }
+
+    #[test]
+    fn host_uplinks() {
+        let t = Topology::clos(&ClosConfig::small(4));
+        for h in t.hosts() {
+            let sw = t.host_uplink_switch(h).unwrap();
+            assert_eq!(t.node(sw).kind, NodeKind::Switch);
+        }
+        let sw = t.switches().next().unwrap();
+        assert_eq!(t.host_uplink_switch(sw), None);
+    }
+
+    #[test]
+    fn single_switch_and_dumbbell() {
+        let s = Topology::single_switch(5, BitRate::from_gbps(25), SimDuration::from_micros(1));
+        assert_eq!(s.hosts().count(), 5);
+        assert_eq!(s.switches().count(), 1);
+        assert_eq!(s.links().len(), 5);
+
+        let d = Topology::dumbbell(
+            3,
+            2,
+            BitRate::from_gbps(25),
+            BitRate::from_gbps(10),
+            SimDuration::from_micros(1),
+        );
+        assert_eq!(d.hosts().count(), 5);
+        assert_eq!(d.switches().count(), 2);
+        assert_eq!(d.links().len(), 6);
+    }
+
+    #[test]
+    fn core_links_have_long_propagation() {
+        let cfg = ClosConfig::paper();
+        let t = Topology::clos(&cfg);
+        let long = t
+            .links()
+            .iter()
+            .filter(|l| l.propagation == SimDuration::from_micros(5))
+            .count();
+        assert_eq!(long, 8); // 4 aggs × 2 cores
+    }
+}

@@ -1,0 +1,289 @@
+//! Event queue and simulation driver.
+//!
+//! Events are an application-defined type `E`; the queue orders them by
+//! scheduled time, breaking ties by insertion order so that runs are fully
+//! deterministic regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A model that consumes events and schedules new ones.
+///
+/// The driver functions [`run_until`] / [`run_while`] pop events in time
+/// order and pass them to [`Simulation::handle`] together with the current
+/// simulated time and the queue (for scheduling follow-up events).
+pub trait Simulation {
+    /// The event type dispatched through the queue.
+    type Event;
+
+    /// Processes one event at simulated time `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: the BinaryHeap is a max-heap, we want the
+        // earliest (time, seq) on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+///
+/// # Example
+///
+/// ```
+/// use dcn_sim::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.schedule_at(SimTime::from_nanos(5), "b");
+/// q.schedule_at(SimTime::from_nanos(1), "a");
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(1), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(5), "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E: std::fmt::Debug> std::fmt::Debug for Scheduled<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduled")
+            .field("at", &self.at)
+            .field("seq", &self.seq)
+            .field("event", &self.event)
+            .finish()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a model bug; this is checked in debug
+    /// builds and clamped to `now` in release builds.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduling in the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` at `now + delay`.
+    pub fn schedule_after(&mut self, now: SimTime, delay: SimDuration, event: E) {
+        self.schedule_at(now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the queue's clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        self.processed += 1;
+        Some((s.at, s.event))
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// The current simulated time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events processed so far (for throughput reporting).
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+/// Runs `sim` until the queue drains or the next event is at or past
+/// `horizon`. Returns the number of events processed.
+///
+/// Events scheduled exactly at `horizon` are *not* processed, so
+/// `run_until(.., t)` covers the half-open interval `[start, t)`.
+pub fn run_until<S: Simulation>(
+    sim: &mut S,
+    queue: &mut EventQueue<S::Event>,
+    horizon: SimTime,
+) -> u64 {
+    let mut n = 0;
+    while let Some(at) = queue.peek_time() {
+        if at >= horizon {
+            break;
+        }
+        let (now, ev) = queue.pop().expect("peeked event must pop");
+        sim.handle(now, ev, queue);
+        n += 1;
+    }
+    n
+}
+
+/// Runs `sim` until the queue drains or `keep_going` returns false
+/// (checked before each event). Returns the number of events processed.
+pub fn run_while<S: Simulation>(
+    sim: &mut S,
+    queue: &mut EventQueue<S::Event>,
+    mut keep_going: impl FnMut(&S, SimTime) -> bool,
+) -> u64 {
+    let mut n = 0;
+    while let Some(at) = queue.peek_time() {
+        if !keep_going(sim, at) {
+            break;
+        }
+        let (now, ev) = queue.pop().expect("peeked event must pop");
+        sim.handle(now, ev, queue);
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_tie_breaking() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(7);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn time_ordering() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(30), 3);
+        q.schedule_at(SimTime::from_nanos(10), 1);
+        q.schedule_at(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(42));
+    }
+
+    struct Chain {
+        hops: u32,
+        last: SimTime,
+    }
+
+    impl Simulation for Chain {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, q: &mut EventQueue<u32>) {
+            self.hops = ev;
+            self.last = now;
+            if ev < 100 {
+                q.schedule_after(now, SimDuration::from_nanos(10), ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Chain {
+            hops: 0,
+            last: SimTime::ZERO,
+        };
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::ZERO, 1);
+        // Events at 0,10,...; horizon 55 processes t=0..50 (6 events).
+        let n = run_until(&mut sim, &mut q, SimTime::from_nanos(55));
+        assert_eq!(n, 6);
+        assert_eq!(sim.hops, 6);
+        assert_eq!(sim.last, SimTime::from_nanos(50));
+        // Event exactly at the horizon is not processed.
+        q.schedule_at(SimTime::from_nanos(55), 999);
+        let n2 = run_until(&mut sim, &mut q, SimTime::from_nanos(55));
+        assert_eq!(n2, 0);
+    }
+
+    #[test]
+    fn run_while_predicate() {
+        let mut sim = Chain {
+            hops: 0,
+            last: SimTime::ZERO,
+        };
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::ZERO, 1);
+        let n = run_while(&mut sim, &mut q, |s, _| s.hops < 5);
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn processed_counter() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(1), ());
+        q.schedule_at(SimTime::from_nanos(2), ());
+        q.pop();
+        q.pop();
+        assert_eq!(q.processed(), 2);
+    }
+}

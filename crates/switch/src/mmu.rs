@@ -1,0 +1,534 @@
+//! The Memory Management Unit: virtual counter pools.
+//!
+//! Packets are physically stored once (in the egress queues); the MMU
+//! tracks them in *two* sets of counters, exactly as the paper describes
+//! (§II-A): an ingress counter per (ingress port, priority) used for PFC
+//! thresholds, and an egress counter per (egress port, priority) used for
+//! output-queue thresholds and ECN. Both are charged at admission and
+//! discharged at departure.
+//!
+//! Ingress bytes are charged in three layers: the queue's *reserved*
+//! (static) allotment first, then the *shared* pool (bounded by the
+//! policy's PFC threshold), then — for lossless traffic that arrives
+//! after/above the pause threshold — the queue's *headroom*.
+
+use dcn_net::{PortId, Priority};
+use dcn_sim::{BitRate, Bytes, SimDuration, SimTime};
+
+use crate::config::SwitchConfig;
+
+/// Identifies one (port, priority) queue within a switch; used for both
+/// ingress and egress counter indexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueueIndex {
+    /// The port.
+    pub port: PortId,
+    /// The priority.
+    pub priority: Priority,
+}
+
+impl QueueIndex {
+    /// Creates a queue index.
+    pub const fn new(port: PortId, priority: Priority) -> Self {
+        QueueIndex { port, priority }
+    }
+
+    /// Flat index into per-queue arrays.
+    pub fn flat(self) -> usize {
+        self.port.index() * Priority::COUNT + self.priority.index()
+    }
+}
+
+/// Which pool the non-reserved part of a packet was charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pool {
+    /// The shared service pool.
+    Shared,
+    /// The per-queue headroom pool (lossless overflow after pause).
+    Headroom,
+}
+
+/// How one admitted packet's bytes were charged; stored with the packet
+/// and replayed in reverse at departure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Charge {
+    /// Bytes charged to the queue's reserved allotment.
+    pub reserved: Bytes,
+    /// Bytes charged to `pool`.
+    pub pooled: Bytes,
+    /// Pool the non-reserved bytes went to.
+    pub pool: Pool,
+}
+
+impl Charge {
+    /// Total bytes of the charge.
+    pub fn total(&self) -> Bytes {
+        self.reserved + self.pooled
+    }
+}
+
+/// Drain-rate estimator state for one ingress queue (used by ABM's
+/// normalized-dequeue-rate factor).
+#[derive(Debug, Clone, Copy, Default)]
+struct DrainEstimator {
+    window_start: SimTime,
+    acc: u64,
+    rate_bps: f64,
+    measured: bool,
+}
+
+const DRAIN_WINDOW: SimDuration = SimDuration::from_micros(50);
+
+impl DrainEstimator {
+    fn record(&mut self, now: SimTime, size: Bytes) {
+        self.acc += size.as_u64();
+        let elapsed = now.saturating_since(self.window_start);
+        if elapsed >= DRAIN_WINDOW {
+            self.rate_bps = self.acc as f64 * 8.0 / elapsed.as_secs_f64();
+            self.acc = 0;
+            self.window_start = now;
+            self.measured = true;
+        }
+    }
+}
+
+/// The MMU counter state of one switch.
+///
+/// All mutation goes through [`MmuState::charge`] / [`MmuState::discharge`]
+/// so the aggregate counters can never drift from the per-queue ones
+/// (property-tested).
+#[derive(Debug)]
+pub struct MmuState {
+    n_ports: usize,
+    total_buffer: Bytes,
+    reserved_cap: Bytes,
+    /// Per-port headroom cap (each of the port's queues may hold this
+    /// much paused-overflow traffic).
+    headroom_cap: Vec<Bytes>,
+    mtu: Bytes,
+    link_rate: Vec<BitRate>,
+
+    // Ingress side, indexed by QueueIndex::flat.
+    in_reserved: Vec<Bytes>,
+    in_shared: Vec<Bytes>,
+    in_headroom: Vec<Bytes>,
+    drain: Vec<DrainEstimator>,
+
+    // Egress side, indexed by QueueIndex::flat.
+    out_bytes: Vec<Bytes>,
+    /// Number of non-empty egress priority queues per port, for the
+    /// round-robin drain-share estimate.
+    out_active: Vec<usize>,
+    /// Egress (port, priority) paused by a downstream XOFF.
+    out_paused: Vec<bool>,
+
+    shared_used: Bytes,
+    headroom_used: Bytes,
+    reserved_used: Bytes,
+}
+
+impl MmuState {
+    /// Creates MMU state for a switch with the given per-port link rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_rate` is empty.
+    pub fn new(cfg: &SwitchConfig, link_rate: Vec<BitRate>) -> MmuState {
+        assert!(!link_rate.is_empty(), "switch needs at least one port");
+        let n_ports = link_rate.len();
+        let nq = n_ports * Priority::COUNT;
+        MmuState {
+            n_ports,
+            total_buffer: cfg.total_buffer,
+            reserved_cap: cfg.reserved_per_queue,
+            headroom_cap: vec![cfg.headroom_per_queue; n_ports],
+            mtu: cfg.mtu,
+            link_rate,
+            in_reserved: vec![Bytes::ZERO; nq],
+            in_shared: vec![Bytes::ZERO; nq],
+            in_headroom: vec![Bytes::ZERO; nq],
+            drain: vec![DrainEstimator::default(); nq],
+            out_bytes: vec![Bytes::ZERO; nq],
+            out_active: vec![0; n_ports],
+            out_paused: vec![false; nq],
+            shared_used: Bytes::ZERO,
+            headroom_used: Bytes::ZERO,
+            reserved_used: Bytes::ZERO,
+        }
+    }
+
+    // ---- capacity and aggregate views -------------------------------
+
+    /// Number of ports.
+    pub fn port_count(&self) -> usize {
+        self.n_ports
+    }
+
+    /// The shared pool capacity `B`.
+    pub fn shared_capacity(&self) -> Bytes {
+        self.total_buffer
+    }
+
+    /// Total shared-pool usage `Q(t)`.
+    pub fn shared_used(&self) -> Bytes {
+        self.shared_used
+    }
+
+    /// Unallocated shared buffer `B − Q(t)`.
+    pub fn shared_remaining(&self) -> Bytes {
+        self.total_buffer.saturating_sub(self.shared_used)
+    }
+
+    /// Total bytes stored in the switch (reserved + shared + headroom).
+    pub fn total_stored(&self) -> Bytes {
+        self.reserved_used + self.shared_used + self.headroom_used
+    }
+
+    /// Total headroom usage.
+    pub fn headroom_used(&self) -> Bytes {
+        self.headroom_used
+    }
+
+    /// Link rate of a port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range.
+    pub fn link_rate(&self, port: PortId) -> BitRate {
+        self.link_rate[port.index()]
+    }
+
+    /// Configured MTU (for congestion heuristics).
+    pub fn mtu(&self) -> Bytes {
+        self.mtu
+    }
+
+    // ---- per-queue views --------------------------------------------
+
+    /// Shared-pool bytes of an ingress queue — the quantity PFC
+    /// thresholds compare against.
+    pub fn ingress_shared(&self, q: QueueIndex) -> Bytes {
+        self.in_shared[q.flat()]
+    }
+
+    /// Total ingress bytes of a queue (reserved + shared + headroom).
+    pub fn ingress_total(&self, q: QueueIndex) -> Bytes {
+        let i = q.flat();
+        self.in_reserved[i] + self.in_shared[i] + self.in_headroom[i]
+    }
+
+    /// Headroom bytes of an ingress queue.
+    pub fn ingress_headroom(&self, q: QueueIndex) -> Bytes {
+        self.in_headroom[q.flat()]
+    }
+
+    /// Reserved allotment still free for an ingress queue.
+    pub fn reserved_available(&self, q: QueueIndex) -> Bytes {
+        self.reserved_cap.saturating_sub(self.in_reserved[q.flat()])
+    }
+
+    /// Headroom still free for an ingress queue.
+    pub fn headroom_available(&self, q: QueueIndex) -> Bytes {
+        self.headroom_cap[q.port.index()].saturating_sub(self.in_headroom[q.flat()])
+    }
+
+    /// Overrides the headroom cap of one port's queues. Real deployments
+    /// size headroom per port from the attached link's bandwidth-delay
+    /// product (in-flight bytes between XOFF emission and it taking
+    /// effect upstream); the fabric layer does this automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range.
+    pub fn set_headroom_cap(&mut self, port: PortId, cap: Bytes) {
+        self.headroom_cap[port.index()] = cap;
+    }
+
+    /// Egress queue bytes (including any packet being serialized).
+    pub fn egress_bytes(&self, q: QueueIndex) -> Bytes {
+        self.out_bytes[q.flat()]
+    }
+
+    /// Whether a downstream XOFF currently pauses this egress queue.
+    pub fn egress_paused(&self, q: QueueIndex) -> bool {
+        self.out_paused[q.flat()]
+    }
+
+    /// Estimated drain rate of an egress queue under round-robin: the
+    /// port rate divided by the number of non-empty priority queues
+    /// (at least 1). Zero if the queue is paused.
+    pub fn egress_drain_rate(&self, q: QueueIndex) -> BitRate {
+        if self.out_paused[q.flat()] {
+            return BitRate::ZERO;
+        }
+        let active = self.out_active[q.port.index()].max(1);
+        self.link_rate[q.port.index()] / active as u64
+    }
+
+    /// Like [`MmuState::egress_drain_rate`] but ignoring any downstream
+    /// pause — the drain the queue *would* have. L2BM's sojourn estimator
+    /// uses this so that PFC back-pressure is not mistaken for congestion
+    /// (the paper's "mitigate PFC diffusion" rule).
+    pub fn egress_drain_rate_ignoring_pause(&self, q: QueueIndex) -> BitRate {
+        let active = self.out_active[q.port.index()].max(1);
+        self.link_rate[q.port.index()] / active as u64
+    }
+
+    /// Measured drain rate of an *ingress* queue, normalized by its
+    /// port's link rate and capped at 1. Optimistically 1.0 until the
+    /// first measurement window completes (ABM's behaviour for fresh
+    /// queues).
+    pub fn ingress_normalized_drain(&self, q: QueueIndex) -> f64 {
+        let d = &self.drain[q.flat()];
+        // A (nearly) empty queue has nothing meaningful to measure; a
+        // stale low estimate from an old burst must not throttle the
+        // next one, so report the optimistic default.
+        if !d.measured || self.ingress_total(q) < self.mtu {
+            return 1.0;
+        }
+        let cap = self.link_rate[q.port.index()].as_f64();
+        if cap == 0.0 {
+            return 1.0;
+        }
+        (d.rate_bps / cap).min(1.0)
+    }
+
+    /// Number of ingress queues of `priority` whose occupancy is at
+    /// least one MTU — ABM's "congested queues of this priority" count.
+    pub fn congested_ingress_count(&self, priority: Priority) -> usize {
+        (0..self.n_ports)
+            .filter(|&p| {
+                let q = QueueIndex::new(PortId::new(p as u16), priority);
+                self.ingress_total(q) >= self.mtu
+            })
+            .count()
+    }
+
+    /// Iterates over all ingress queues with non-zero occupancy.
+    pub fn active_ingress_queues(&self) -> impl Iterator<Item = QueueIndex> + '_ {
+        (0..self.n_ports).flat_map(move |p| {
+            Priority::all().map(move |prio| QueueIndex::new(PortId::new(p as u16), prio))
+        })
+        .filter(|&q| self.ingress_total(q) > Bytes::ZERO)
+    }
+
+    // ---- mutation -----------------------------------------------------
+
+    /// Splits `size` into a charge for ingress queue `q` given the pool
+    /// choice for the non-reserved remainder. Does not mutate.
+    pub fn plan_charge(&self, q: QueueIndex, size: Bytes, pool: Pool) -> Charge {
+        let reserved = self.reserved_available(q).min(size);
+        Charge {
+            reserved,
+            pooled: size - reserved,
+            pool,
+        }
+    }
+
+    /// Applies a charge for a packet entering via ingress `q_in` and
+    /// queued at egress `q_out`.
+    pub fn charge(&mut self, q_in: QueueIndex, q_out: QueueIndex, c: Charge) {
+        let i = q_in.flat();
+        self.in_reserved[i] += c.reserved;
+        self.reserved_used += c.reserved;
+        match c.pool {
+            Pool::Shared => {
+                self.in_shared[i] += c.pooled;
+                self.shared_used += c.pooled;
+            }
+            Pool::Headroom => {
+                self.in_headroom[i] += c.pooled;
+                self.headroom_used += c.pooled;
+            }
+        }
+        let o = q_out.flat();
+        if self.out_bytes[o] == Bytes::ZERO && c.total() > Bytes::ZERO {
+            self.out_active[q_out.port.index()] += 1;
+        }
+        self.out_bytes[o] += c.total();
+    }
+
+    /// Reverses a charge when the packet departs; records the dequeue in
+    /// the ingress drain estimator.
+    pub fn discharge(&mut self, now: SimTime, q_in: QueueIndex, q_out: QueueIndex, c: Charge) {
+        let i = q_in.flat();
+        self.in_reserved[i] -= c.reserved;
+        self.reserved_used -= c.reserved;
+        match c.pool {
+            Pool::Shared => {
+                self.in_shared[i] -= c.pooled;
+                self.shared_used -= c.pooled;
+            }
+            Pool::Headroom => {
+                self.in_headroom[i] -= c.pooled;
+                self.headroom_used -= c.pooled;
+            }
+        }
+        let o = q_out.flat();
+        self.out_bytes[o] -= c.total();
+        if self.out_bytes[o] == Bytes::ZERO && c.total() > Bytes::ZERO {
+            self.out_active[q_out.port.index()] -= 1;
+        }
+        self.drain[i].record(now, c.total());
+    }
+
+    /// Sets the downstream pause state of an egress queue. Returns
+    /// whether the state changed.
+    pub fn set_egress_paused(&mut self, q: QueueIndex, paused: bool) -> bool {
+        let slot = &mut self.out_paused[q.flat()];
+        if *slot == paused {
+            false
+        } else {
+            *slot = paused;
+            true
+        }
+    }
+
+    /// Debug invariant: aggregate counters equal the sums of per-queue
+    /// counters, and ingress totals equal egress totals.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let sum_sh: Bytes = self.in_shared.iter().copied().sum();
+        let sum_hr: Bytes = self.in_headroom.iter().copied().sum();
+        let sum_rs: Bytes = self.in_reserved.iter().copied().sum();
+        let sum_out: Bytes = self.out_bytes.iter().copied().sum();
+        if sum_sh != self.shared_used {
+            return Err(format!("shared {} != sum {}", self.shared_used, sum_sh));
+        }
+        if sum_hr != self.headroom_used {
+            return Err(format!("headroom {} != sum {}", self.headroom_used, sum_hr));
+        }
+        if sum_rs != self.reserved_used {
+            return Err(format!("reserved {} != sum {}", self.reserved_used, sum_rs));
+        }
+        let total_in = sum_sh + sum_hr + sum_rs;
+        if total_in != sum_out {
+            return Err(format!("ingress total {total_in} != egress total {sum_out}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mmu() -> MmuState {
+        let mut cfg = SwitchConfig::default();
+        cfg.reserved_per_queue = Bytes::new(2_000);
+        cfg.headroom_per_queue = Bytes::new(10_000);
+        MmuState::new(&cfg, vec![BitRate::from_gbps(25); 4])
+    }
+
+    fn q(port: u16, prio: u8) -> QueueIndex {
+        QueueIndex::new(PortId::new(port), Priority::new(prio))
+    }
+
+    #[test]
+    fn charge_uses_reserved_first() {
+        let m = mmu();
+        let c = m.plan_charge(q(0, 3), Bytes::new(1_500), Pool::Shared);
+        assert_eq!(c.reserved, Bytes::new(1_500));
+        assert_eq!(c.pooled, Bytes::ZERO);
+        let c2 = m.plan_charge(q(0, 3), Bytes::new(3_000), Pool::Shared);
+        assert_eq!(c2.reserved, Bytes::new(2_000));
+        assert_eq!(c2.pooled, Bytes::new(1_000));
+    }
+
+    #[test]
+    fn charge_discharge_round_trip() {
+        let mut m = mmu();
+        let qi = q(0, 3);
+        let qo = q(2, 3);
+        let c = m.plan_charge(qi, Bytes::new(5_000), Pool::Shared);
+        m.charge(qi, qo, c);
+        assert_eq!(m.ingress_total(qi), Bytes::new(5_000));
+        assert_eq!(m.ingress_shared(qi), Bytes::new(3_000));
+        assert_eq!(m.egress_bytes(qo), Bytes::new(5_000));
+        assert_eq!(m.shared_used(), Bytes::new(3_000));
+        m.check_conservation().unwrap();
+        m.discharge(SimTime::from_micros(10), qi, qo, c);
+        assert_eq!(m.ingress_total(qi), Bytes::ZERO);
+        assert_eq!(m.total_stored(), Bytes::ZERO);
+        m.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn headroom_pool_is_separate() {
+        let mut m = mmu();
+        let qi = q(1, 3);
+        let qo = q(2, 3);
+        // Exhaust reserved first so the remainder lands in headroom.
+        let c = m.plan_charge(qi, Bytes::new(6_000), Pool::Headroom);
+        m.charge(qi, qo, c);
+        assert_eq!(m.ingress_headroom(qi), Bytes::new(4_000));
+        assert_eq!(m.shared_used(), Bytes::ZERO);
+        assert_eq!(m.headroom_available(qi), Bytes::new(6_000));
+        m.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn egress_active_counts_drive_drain_estimate() {
+        let mut m = mmu();
+        let qo3 = q(3, 3);
+        let qo1 = q(3, 1);
+        assert_eq!(m.egress_drain_rate(qo3), BitRate::from_gbps(25));
+        let c = m.plan_charge(q(0, 3), Bytes::new(3_000), Pool::Shared);
+        m.charge(q(0, 3), qo3, c);
+        let c2 = m.plan_charge(q(1, 1), Bytes::new(3_000), Pool::Shared);
+        m.charge(q(1, 1), qo1, c2);
+        // Two active priorities share the port under round-robin.
+        assert_eq!(m.egress_drain_rate(qo3).as_bps(), BitRate::from_gbps(25).as_bps() / 2);
+    }
+
+    #[test]
+    fn paused_egress_has_zero_drain() {
+        let mut m = mmu();
+        let qo = q(3, 3);
+        assert!(m.set_egress_paused(qo, true));
+        assert!(!m.set_egress_paused(qo, true), "no change");
+        assert_eq!(m.egress_drain_rate(qo), BitRate::ZERO);
+        assert!(m.set_egress_paused(qo, false));
+    }
+
+    #[test]
+    fn congested_count_uses_mtu() {
+        let mut m = mmu();
+        assert_eq!(m.congested_ingress_count(Priority::new(3)), 0);
+        let c = m.plan_charge(q(0, 3), Bytes::new(1_048), Pool::Shared);
+        m.charge(q(0, 3), q(2, 3), c);
+        assert_eq!(m.congested_ingress_count(Priority::new(3)), 1);
+        assert_eq!(m.congested_ingress_count(Priority::new(1)), 0);
+    }
+
+    #[test]
+    fn drain_estimator_measures_rate() {
+        let mut m = mmu();
+        let qi = q(0, 3);
+        let qo = q(2, 3);
+        assert_eq!(m.ingress_normalized_drain(qi), 1.0);
+        // Dequeue 125 KB over 100 µs = 10 Gbps on a 25 Gbps port -> 0.4.
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            let c = m.plan_charge(qi, Bytes::new(1_250), Pool::Shared);
+            m.charge(qi, qo, c);
+            t += SimDuration::from_micros(1);
+            m.discharge(t, qi, qo, c);
+        }
+        // Keep the queue non-empty: an empty queue reports the
+        // optimistic 1.0 regardless of history.
+        let c = m.plan_charge(qi, Bytes::new(2_000), Pool::Shared);
+        m.charge(qi, qo, c);
+        let nd = m.ingress_normalized_drain(qi);
+        assert!((nd - 0.4).abs() < 0.05, "normalized drain {nd}");
+    }
+
+    #[test]
+    fn active_ingress_queue_iteration() {
+        let mut m = mmu();
+        assert_eq!(m.active_ingress_queues().count(), 0);
+        let c = m.plan_charge(q(0, 3), Bytes::new(500), Pool::Shared);
+        m.charge(q(0, 3), q(1, 3), c);
+        let active: Vec<QueueIndex> = m.active_ingress_queues().collect();
+        assert_eq!(active, vec![q(0, 3)]);
+    }
+}

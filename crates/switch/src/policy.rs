@@ -1,0 +1,268 @@
+//! The pluggable buffer-management (PFC-threshold) policy interface and
+//! the two baselines the paper compares against.
+//!
+//! A policy answers one question — *how many shared-pool bytes may
+//! ingress queue `q` hold before the switch sends XOFF (lossless) or
+//! drops (lossy)?* — and may observe enqueue/dequeue/pause events to
+//! maintain its own state (L2BM's sojourn-time module does).
+
+use std::fmt::Debug;
+
+use dcn_sim::{Bytes, SimTime};
+
+use crate::mmu::{MmuState, QueueIndex};
+
+/// A PFC-threshold algorithm for the ingress pool.
+///
+/// Implementations must be deterministic functions of the MMU state and
+/// their own event-driven state; the switch invokes the callbacks *after*
+/// updating the MMU counters for the triggering packet.
+pub trait BufferPolicy: Debug {
+    /// Short name used in reports ("DT", "ABM", "L2BM"...).
+    fn name(&self) -> &str;
+
+    /// The current shared-pool threshold for ingress queue `q` at
+    /// simulated time `now`.
+    fn pfc_threshold(&self, mmu: &MmuState, q: QueueIndex, now: SimTime) -> Bytes;
+
+    /// A packet of `size` bytes entered via `q_in`, queued at `q_out`.
+    /// MMU counters already include it.
+    fn on_enqueue(
+        &mut self,
+        mmu: &MmuState,
+        now: SimTime,
+        q_in: QueueIndex,
+        q_out: QueueIndex,
+        size: Bytes,
+    ) {
+        let _ = (mmu, now, q_in, q_out, size);
+    }
+
+    /// A packet of `size` bytes departed. MMU counters already exclude it.
+    fn on_dequeue(
+        &mut self,
+        mmu: &MmuState,
+        now: SimTime,
+        q_in: QueueIndex,
+        q_out: QueueIndex,
+        size: Bytes,
+    ) {
+        let _ = (mmu, now, q_in, q_out, size);
+    }
+
+    /// The downstream pause state of egress queue `q_out` changed. The
+    /// MMU already reflects the new state.
+    fn on_egress_pause_changed(
+        &mut self,
+        mmu: &MmuState,
+        now: SimTime,
+        q_out: QueueIndex,
+        paused: bool,
+    ) {
+        let _ = (mmu, now, q_out, paused);
+    }
+}
+
+/// Classic Dynamic Threshold (Choudhury & Hahne): every queue's threshold
+/// is `α × (B − Q(t))`, the remaining shared buffer scaled by one global
+/// control factor.
+///
+/// The paper evaluates `α = 0.125` ("DT", Microsoft's RoCEv2 setting) and
+/// `α = 0.5` ("DT2", a common switch default).
+///
+/// # Example
+///
+/// ```
+/// use dcn_switch::DtPolicy;
+/// let dt = DtPolicy::new(0.125);
+/// let dt2 = DtPolicy::new(0.5);
+/// assert_ne!(dt.alpha(), dt2.alpha());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DtPolicy {
+    alpha: f64,
+}
+
+impl DtPolicy {
+    /// Creates a DT policy with control factor `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive and finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        DtPolicy { alpha }
+    }
+
+    /// The control factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl BufferPolicy for DtPolicy {
+    fn name(&self) -> &str {
+        "DT"
+    }
+
+    fn pfc_threshold(&self, mmu: &MmuState, _q: QueueIndex, _now: SimTime) -> Bytes {
+        mmu.shared_remaining().scale(self.alpha)
+    }
+}
+
+/// ABM (Active Buffer Management, SIGCOMM'22) applied to the ingress
+/// pool, as the paper's comparison does:
+///
+/// `T(q) = α_p / n_p × (B − Q(t)) × d(q)`
+///
+/// where `n_p` is the number of congested ingress queues of `q`'s
+/// priority (≥ 1 MTU buffered) and `d(q)` is the queue's measured drain
+/// rate normalized by its port speed. ABM was designed for egress pools
+/// and lossy traffic only; the paper's point — which this reproduction
+/// preserves — is that even adapted to ingress, it cannot account for
+/// flow control (see DESIGN.md interpretation notes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbmPolicy {
+    /// Per-priority α (`alpha[p]` for priority p).
+    alpha: [f64; dcn_net::Priority::COUNT],
+    /// Floor on the normalized-drain factor. ABM measures dequeue rates
+    /// at egress queues; transplanted to ingress queues the raw
+    /// measurement is noisy enough to starve queues outright, so the
+    /// factor is clamped to `[drain_floor, 1]`.
+    drain_floor: f64,
+}
+
+impl AbmPolicy {
+    /// Creates ABM with the same α for every priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive and finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        AbmPolicy {
+            alpha: [alpha; dcn_net::Priority::COUNT],
+            drain_floor: 0.25,
+        }
+    }
+
+    /// Creates ABM with an explicit per-priority α vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any α is not positive and finite.
+    pub fn with_per_priority_alpha(alpha: [f64; dcn_net::Priority::COUNT]) -> Self {
+        for a in alpha {
+            assert!(a > 0.0 && a.is_finite(), "alpha must be positive");
+        }
+        AbmPolicy {
+            alpha,
+            drain_floor: 0.25,
+        }
+    }
+
+    /// Overrides the drain-factor floor (see the struct docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ floor ≤ 1`.
+    pub fn with_drain_floor(mut self, floor: f64) -> Self {
+        assert!((0.0..=1.0).contains(&floor), "floor must be in [0,1]");
+        self.drain_floor = floor;
+        self
+    }
+}
+
+impl BufferPolicy for AbmPolicy {
+    fn name(&self) -> &str {
+        "ABM"
+    }
+
+    fn pfc_threshold(&self, mmu: &MmuState, q: QueueIndex, _now: SimTime) -> Bytes {
+        let n_p = mmu.congested_ingress_count(q.priority).max(1) as f64;
+        let drain = mmu.ingress_normalized_drain(q).max(self.drain_floor);
+        let factor = self.alpha[q.priority.index()] / n_p * drain;
+        mmu.shared_remaining().scale(factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SwitchConfig;
+    use crate::mmu::Pool;
+    use dcn_net::{PortId, Priority};
+    use dcn_sim::{BitRate, SimTime};
+
+    fn mmu() -> MmuState {
+        MmuState::new(&SwitchConfig::default(), vec![BitRate::from_gbps(25); 4])
+    }
+
+    fn q(port: u16, prio: u8) -> QueueIndex {
+        QueueIndex::new(PortId::new(port), Priority::new(prio))
+    }
+
+    #[test]
+    fn dt_threshold_tracks_remaining() {
+        let mut m = mmu();
+        let dt = DtPolicy::new(0.125);
+        // Empty switch: T = 0.125 × 4 MB = 500 KB.
+        assert_eq!(dt.pfc_threshold(&m, q(0, 3), SimTime::ZERO), Bytes::new(500_000));
+        // Fill 2 MB: T halves.
+        let c = m.plan_charge(q(1, 3), Bytes::from_mb(2), Pool::Shared);
+        m.charge(q(1, 3), q(2, 3), c);
+        assert_eq!(dt.pfc_threshold(&m, q(0, 3), SimTime::ZERO), Bytes::new(250_000));
+    }
+
+    #[test]
+    fn dt_threshold_is_queue_independent() {
+        let m = mmu();
+        let dt = DtPolicy::new(0.5);
+        assert_eq!(dt.pfc_threshold(&m, q(0, 1), SimTime::ZERO), dt.pfc_threshold(&m, q(3, 7), SimTime::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn dt_rejects_zero_alpha() {
+        let _ = DtPolicy::new(0.0);
+    }
+
+    #[test]
+    fn abm_divides_by_congested_count() {
+        let mut m = mmu();
+        let abm = AbmPolicy::new(0.5);
+        let base = abm.pfc_threshold(&m, q(0, 3), SimTime::ZERO);
+        // Make two other queues of the same priority congested (≥ MTU).
+        for port in 1..3 {
+            let qi = q(port, 3);
+            let c = m.plan_charge(qi, Bytes::new(2_000), Pool::Shared);
+            m.charge(qi, q(3, 3), c);
+        }
+        let t = abm.pfc_threshold(&m, q(0, 3), SimTime::ZERO);
+        // Remaining shrank by 4 KB and n_p went from 1 to 2.
+        assert!(t < base.scale(0.51));
+        // Other priorities are unaffected by priority-3 congestion.
+        let other = abm.pfc_threshold(&m, q(0, 1), SimTime::ZERO);
+        assert!(other > t);
+    }
+
+    #[test]
+    fn abm_scales_with_drain() {
+        let m = mmu();
+        let abm = AbmPolicy::new(0.5);
+        // Fresh queue: optimistic drain 1.0 => same as DT(0.5).
+        let dt = DtPolicy::new(0.5);
+        assert_eq!(abm.pfc_threshold(&m, q(0, 3), SimTime::ZERO), dt.pfc_threshold(&m, q(0, 3), SimTime::ZERO));
+    }
+
+    #[test]
+    fn abm_per_priority_alpha() {
+        let mut alphas = [0.5; 8];
+        alphas[3] = 0.125;
+        let abm = AbmPolicy::with_per_priority_alpha(alphas);
+        let m = mmu();
+        let hi = abm.pfc_threshold(&m, q(0, 1), SimTime::ZERO);
+        let lo = abm.pfc_threshold(&m, q(0, 3), SimTime::ZERO);
+        assert!(hi > lo);
+    }
+}

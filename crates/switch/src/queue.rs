@@ -1,0 +1,194 @@
+//! Per-egress-port priority queues with round-robin scheduling.
+//!
+//! Each egress port has eight FIFO priority queues (one per 802.1p
+//! class) and serializes one packet at a time. The scheduler is
+//! round-robin over non-empty, non-paused priorities, as the paper's
+//! switch configuration describes ("egress ports schedule 8 priority
+//! queue packets through Round Robin").
+
+use std::collections::VecDeque;
+
+use dcn_net::{Packet, PortId, Priority};
+
+use crate::mmu::Charge;
+
+/// A packet held in an egress queue together with the bookkeeping needed
+/// to reverse its MMU charge when it departs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedPacket {
+    /// The packet itself.
+    pub packet: Packet,
+    /// The ingress port it arrived on (its priority names the ingress
+    /// queue together with this port).
+    pub in_port: PortId,
+    /// How its bytes were charged at admission.
+    pub charge: Charge,
+}
+
+/// One egress port: eight priority FIFOs, a round-robin pointer, and at
+/// most one packet in flight on the wire.
+#[derive(Debug, Default)]
+pub struct EgressPort {
+    queues: [VecDeque<QueuedPacket>; Priority::COUNT],
+    rr_next: usize,
+    in_flight: Option<QueuedPacket>,
+}
+
+impl EgressPort {
+    /// An empty port.
+    pub fn new() -> Self {
+        EgressPort::default()
+    }
+
+    /// Appends a packet to its priority FIFO.
+    pub fn enqueue(&mut self, qp: QueuedPacket) {
+        let prio = qp.packet.priority.index();
+        self.queues[prio].push_back(qp);
+    }
+
+    /// Whether the transmitter is idle (no packet being serialized).
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_none()
+    }
+
+    /// Packets queued at one priority (excluding any in flight).
+    pub fn queued_at(&self, priority: Priority) -> usize {
+        self.queues[priority.index()].len()
+    }
+
+    /// Total queued packets (excluding any in flight).
+    pub fn queued_total(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Starts transmitting the next eligible packet, if the port is idle
+    /// and some non-paused priority has one. Round-robin resumes after
+    /// the last served priority. Returns the packet now in flight.
+    ///
+    /// `paused(prio)` reports whether a downstream XOFF blocks a
+    /// priority.
+    pub fn start_next(&mut self, paused: impl Fn(Priority) -> bool) -> Option<&QueuedPacket> {
+        if self.in_flight.is_some() {
+            return None;
+        }
+        for off in 0..Priority::COUNT {
+            let ix = (self.rr_next + off) % Priority::COUNT;
+            let prio = Priority::new(ix as u8);
+            if paused(prio) || self.queues[ix].is_empty() {
+                continue;
+            }
+            let qp = self.queues[ix].pop_front().expect("checked non-empty");
+            self.rr_next = (ix + 1) % Priority::COUNT;
+            self.in_flight = Some(qp);
+            return self.in_flight.as_ref();
+        }
+        None
+    }
+
+    /// Completes the in-flight transmission, returning the departed
+    /// packet for MMU discharge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was in flight — a scheduling bug.
+    pub fn finish_tx(&mut self) -> QueuedPacket {
+        self.in_flight.take().expect("tx_complete with idle port")
+    }
+
+    /// The packet currently being serialized, if any.
+    pub fn in_flight(&self) -> Option<&QueuedPacket> {
+        self.in_flight.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmu::{Charge, Pool};
+    use dcn_net::{FlowId, NodeId, TrafficClass};
+    use dcn_sim::Bytes;
+
+    fn qp(prio: u8, seq: u64) -> QueuedPacket {
+        QueuedPacket {
+            packet: Packet::data(
+                FlowId::new(seq),
+                NodeId::new(0),
+                NodeId::new(1),
+                Priority::new(prio),
+                TrafficClass::Lossless,
+                seq,
+                Bytes::new(1_000),
+                Bytes::new(48),
+            ),
+            in_port: PortId::new(0),
+            charge: Charge {
+                reserved: Bytes::ZERO,
+                pooled: Bytes::new(1_048),
+                pool: Pool::Shared,
+            },
+        }
+    }
+
+    #[test]
+    fn fifo_within_priority() {
+        let mut p = EgressPort::new();
+        p.enqueue(qp(3, 1));
+        p.enqueue(qp(3, 2));
+        let first = p.start_next(|_| false).unwrap().packet.seq;
+        assert_eq!(first, 1);
+        p.finish_tx();
+        let second = p.start_next(|_| false).unwrap().packet.seq;
+        assert_eq!(second, 2);
+    }
+
+    #[test]
+    fn round_robin_alternates_priorities() {
+        let mut p = EgressPort::new();
+        p.enqueue(qp(1, 10));
+        p.enqueue(qp(1, 11));
+        p.enqueue(qp(3, 30));
+        p.enqueue(qp(3, 31));
+        let mut served = Vec::new();
+        while let Some(q) = p.start_next(|_| false) {
+            served.push(q.packet.seq);
+            p.finish_tx();
+        }
+        assert_eq!(served, vec![10, 30, 11, 31]);
+    }
+
+    #[test]
+    fn paused_priority_is_skipped() {
+        let mut p = EgressPort::new();
+        p.enqueue(qp(1, 10));
+        p.enqueue(qp(3, 30));
+        let got = p
+            .start_next(|prio| prio == Priority::new(1))
+            .unwrap()
+            .packet
+            .seq;
+        assert_eq!(got, 30);
+        p.finish_tx();
+        // Everything eligible is paused: nothing starts.
+        assert!(p.start_next(|_| true).is_none());
+        assert_eq!(p.queued_total(), 1);
+    }
+
+    #[test]
+    fn busy_port_does_not_start_another() {
+        let mut p = EgressPort::new();
+        p.enqueue(qp(3, 1));
+        p.enqueue(qp(3, 2));
+        assert!(p.start_next(|_| false).is_some());
+        assert!(p.start_next(|_| false).is_none(), "already busy");
+        assert!(!p.is_idle());
+        let done = p.finish_tx();
+        assert_eq!(done.packet.seq, 1);
+        assert!(p.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "tx_complete with idle port")]
+    fn finish_on_idle_panics() {
+        EgressPort::new().finish_tx();
+    }
+}

@@ -1,0 +1,546 @@
+//! DCTCP: TCP with ECN-fraction congestion control (Alizadeh et al.,
+//! SIGCOMM 2010), plus NewReno-style loss recovery for the lossy class.
+
+use dcn_net::{FlowId, NodeId, Packet, Priority, TrafficClass};
+use dcn_sim::{Bytes, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// DCTCP tunables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DctcpConfig {
+    /// Maximum segment size (payload bytes per packet).
+    pub mss: u64,
+    /// Header overhead added to each data packet on the wire.
+    pub header: Bytes,
+    /// Initial congestion window, in segments.
+    pub init_cwnd_segments: u64,
+    /// EWMA gain `g` of the marked-fraction estimator.
+    pub g: f64,
+    /// Retransmission timeout (fixed; DCN-tuned minimum).
+    pub rto: SimDuration,
+}
+
+impl Default for DctcpConfig {
+    fn default() -> Self {
+        DctcpConfig {
+            mss: 1_000,
+            header: Bytes::new(48),
+            init_cwnd_segments: 10,
+            g: 1.0 / 16.0,
+            rto: SimDuration::from_millis(2),
+        }
+    }
+}
+
+/// What the sender wants done after processing an ACK.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AckAction {
+    /// Segments to transmit now (new data and/or retransmissions).
+    pub packets: Vec<Packet>,
+    /// Whether the retransmission timer should be (re)armed for
+    /// [`DctcpSender::timer_generation`] at `now + rto`.
+    pub rearm_timer: bool,
+    /// All data acknowledged — the flow is complete at the sender.
+    pub completed: bool,
+}
+
+/// Sender-side DCTCP state machine for one flow.
+#[derive(Debug, Clone)]
+pub struct DctcpSender {
+    cfg: DctcpConfig,
+    flow: FlowId,
+    src: NodeId,
+    dst: NodeId,
+    priority: Priority,
+    size: u64,
+
+    snd_nxt: u64,
+    snd_una: u64,
+    cwnd: f64,
+    ssthresh: f64,
+
+    // DCTCP estimator.
+    alpha: f64,
+    acked_bytes: u64,
+    marked_bytes: u64,
+    window_end: u64,
+    cut_this_window: bool,
+
+    // Loss recovery.
+    dup_acks: u32,
+    in_recovery: bool,
+    recover_seq: u64,
+
+    timer_gen: u64,
+    completed: bool,
+}
+
+impl DctcpSender {
+    /// Creates a sender for a flow of `size` payload bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(
+        cfg: DctcpConfig,
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        priority: Priority,
+        size: Bytes,
+    ) -> DctcpSender {
+        assert!(size > Bytes::ZERO, "flow must carry at least one byte");
+        let cwnd = (cfg.init_cwnd_segments * cfg.mss) as f64;
+        DctcpSender {
+            cfg,
+            flow,
+            src,
+            dst,
+            priority,
+            size: size.as_u64(),
+            snd_nxt: 0,
+            snd_una: 0,
+            cwnd,
+            ssthresh: f64::MAX,
+            // DCTCP convention: start α at 1 so the first congestion
+            // signal cuts conservatively before the estimator converges.
+            alpha: 1.0,
+            acked_bytes: 0,
+            marked_bytes: 0,
+            window_end: 0,
+            cut_this_window: false,
+            dup_acks: 0,
+            in_recovery: false,
+            recover_seq: 0,
+            timer_gen: 0,
+            completed: false,
+        }
+    }
+
+    /// The flow id.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Current DCTCP α estimate.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Whether all payload has been acknowledged.
+    pub fn is_completed(&self) -> bool {
+        self.completed
+    }
+
+    /// Generation stamp for the currently valid retransmission timer;
+    /// timer events carrying an older stamp must be discarded.
+    pub fn timer_generation(&self) -> u64 {
+        self.timer_gen
+    }
+
+    /// The configured RTO.
+    pub fn rto(&self) -> SimDuration {
+        self.cfg.rto
+    }
+
+    fn segment(&self, seq: u64) -> Packet {
+        let payload = self.cfg.mss.min(self.size - seq);
+        Packet::data(
+            self.flow,
+            self.src,
+            self.dst,
+            self.priority,
+            TrafficClass::Lossy,
+            seq,
+            Bytes::new(payload),
+            self.cfg.header,
+        )
+    }
+
+    /// Emits every segment the window currently allows. Call at start
+    /// and after each ACK (included in [`AckAction::packets`] there).
+    pub fn take_ready(&mut self, _now: SimTime) -> Vec<Packet> {
+        let mut out = Vec::new();
+        let limit = (self.snd_una as f64 + self.cwnd) as u64;
+        while self.snd_nxt < self.size && self.snd_nxt + self.cfg.mss.min(self.size - self.snd_nxt) <= limit {
+            let pkt = self.segment(self.snd_nxt);
+            self.snd_nxt += pkt.payload.as_u64();
+            out.push(pkt);
+        }
+        if self.window_end == 0 {
+            self.window_end = self.snd_nxt;
+        }
+        out
+    }
+
+    /// Processes a cumulative ACK with its ECN-echo bit.
+    pub fn on_ack(&mut self, now: SimTime, cumulative_ack: u64, ecn_echo: bool) -> AckAction {
+        let mut action = AckAction::default();
+        if self.completed {
+            return action;
+        }
+
+        if cumulative_ack > self.snd_una {
+            let newly = cumulative_ack - self.snd_una;
+            self.snd_una = cumulative_ack;
+            self.dup_acks = 0;
+            self.acked_bytes += newly;
+            if ecn_echo {
+                self.marked_bytes += newly;
+            }
+
+            if self.in_recovery && cumulative_ack >= self.recover_seq {
+                self.in_recovery = false;
+                self.cwnd = self.ssthresh.max(self.cfg.mss as f64);
+            }
+
+            // The ECE of this ACK belongs to the window it closes, so
+            // react before rolling the window boundary over.
+            if ecn_echo && !self.cut_this_window && !self.in_recovery {
+                // DCTCP cut: once per window, proportional to α.
+                self.cwnd = (self.cwnd * (1.0 - self.alpha / 2.0)).max(self.cfg.mss as f64);
+                self.ssthresh = self.cwnd;
+                self.cut_this_window = true;
+            } else if !self.in_recovery {
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += newly as f64; // slow start
+                } else {
+                    self.cwnd += self.cfg.mss as f64 * newly as f64 / self.cwnd;
+                }
+            }
+
+            // DCTCP window-boundary α update.
+            if cumulative_ack >= self.window_end {
+                if self.acked_bytes > 0 {
+                    let f = self.marked_bytes as f64 / self.acked_bytes as f64;
+                    self.alpha = (1.0 - self.cfg.g) * self.alpha + self.cfg.g * f;
+                }
+                self.acked_bytes = 0;
+                self.marked_bytes = 0;
+                self.window_end = self.snd_nxt.max(cumulative_ack);
+                self.cut_this_window = false;
+            }
+
+            if self.snd_una >= self.size {
+                self.completed = true;
+                self.timer_gen += 1; // cancel outstanding timer
+                action.completed = true;
+                return action;
+            }
+            self.timer_gen += 1;
+            action.rearm_timer = true;
+            action.packets = self.take_ready(now);
+        } else {
+            // Duplicate ACK.
+            self.dup_acks += 1;
+            if self.dup_acks == 3 && !self.in_recovery {
+                self.in_recovery = true;
+                self.recover_seq = self.snd_nxt;
+                self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.cfg.mss as f64);
+                self.cwnd = self.ssthresh;
+                action.packets.push(self.segment(self.snd_una));
+                self.timer_gen += 1;
+                action.rearm_timer = true;
+            }
+        }
+        action
+    }
+
+    /// Handles a retransmission timeout carrying `generation`. Stale
+    /// timers (generation mismatch) are ignored.
+    pub fn on_timeout(&mut self, now: SimTime, generation: u64) -> AckAction {
+        let mut action = AckAction::default();
+        if self.completed || generation != self.timer_gen {
+            return action;
+        }
+        // Go-back-N: collapse to one segment and resend from snd_una.
+        self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.cfg.mss as f64);
+        self.cwnd = self.cfg.mss as f64;
+        self.in_recovery = false;
+        self.dup_acks = 0;
+        self.snd_nxt = self.snd_una;
+        self.timer_gen += 1;
+        action.packets = self.take_ready(now);
+        action.rearm_timer = true;
+        action
+    }
+}
+
+/// Receiver-side state: cumulative ACK generation with out-of-order
+/// segment tracking and per-packet ECN echo (the DCTCP receiver echoes
+/// the CE state of each segment).
+#[derive(Debug, Clone)]
+pub struct DctcpReceiver {
+    flow: FlowId,
+    host: NodeId,
+    peer: NodeId,
+    priority: Priority,
+    size: u64,
+    rcv_nxt: u64,
+    /// Out-of-order segments: start → end (exclusive).
+    ooo: BTreeMap<u64, u64>,
+    finished_at: Option<SimTime>,
+}
+
+impl DctcpReceiver {
+    /// Creates receiver state for a flow of `size` payload bytes
+    /// arriving at `host` from `peer`.
+    pub fn new(flow: FlowId, host: NodeId, peer: NodeId, priority: Priority, size: Bytes) -> Self {
+        DctcpReceiver {
+            flow,
+            host,
+            peer,
+            priority,
+            size: size.as_u64(),
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            finished_at: None,
+        }
+    }
+
+    /// Bytes received in order so far.
+    pub fn received(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// When the last payload byte arrived, if the flow is complete.
+    pub fn finished_at(&self) -> Option<SimTime> {
+        self.finished_at
+    }
+
+    /// Processes a data segment; returns the ACK to send back.
+    pub fn on_data(&mut self, now: SimTime, seq: u64, payload: Bytes, ce: bool) -> Packet {
+        let end = seq + payload.as_u64();
+        if end > self.rcv_nxt {
+            if seq <= self.rcv_nxt {
+                self.rcv_nxt = end;
+            } else {
+                // Store and merge later.
+                let e = self.ooo.entry(seq).or_insert(end);
+                if *e < end {
+                    *e = end;
+                }
+            }
+            // Pull any now-contiguous segments.
+            while let Some((&s, &e)) = self.ooo.first_key_value() {
+                if s <= self.rcv_nxt {
+                    self.ooo.remove(&s);
+                    if e > self.rcv_nxt {
+                        self.rcv_nxt = e;
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+        if self.rcv_nxt >= self.size && self.finished_at.is_none() {
+            self.finished_at = Some(now);
+        }
+        Packet::ack(
+            self.flow,
+            self.host,
+            self.peer,
+            self.priority,
+            TrafficClass::Lossy,
+            self.rcv_nxt,
+            ce,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sender(size: u64) -> DctcpSender {
+        DctcpSender::new(
+            DctcpConfig::default(),
+            FlowId::new(1),
+            NodeId::new(0),
+            NodeId::new(1),
+            Priority::new(1),
+            Bytes::new(size),
+        )
+    }
+
+    #[test]
+    fn initial_window_burst() {
+        let mut s = sender(100_000);
+        let burst = s.take_ready(SimTime::ZERO);
+        assert_eq!(burst.len(), 10, "init cwnd = 10 segments");
+        assert_eq!(burst[0].seq, 0);
+        assert_eq!(burst[9].seq, 9_000);
+        // No more until acked.
+        assert!(s.take_ready(SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn short_flow_single_segment() {
+        let mut s = sender(500);
+        let burst = s.take_ready(SimTime::ZERO);
+        assert_eq!(burst.len(), 1);
+        assert_eq!(burst[0].payload, Bytes::new(500));
+        let a = s.on_ack(SimTime::from_micros(10), 500, false);
+        assert!(a.completed);
+        assert!(s.is_completed());
+    }
+
+    #[test]
+    fn slow_start_doubles() {
+        let mut s = sender(10_000_000);
+        let w0 = s.cwnd();
+        let burst = s.take_ready(SimTime::ZERO);
+        let mut t = SimTime::from_micros(10);
+        for p in &burst {
+            s.on_ack(t, p.seq + p.payload.as_u64(), false);
+            t += SimDuration::from_nanos(100);
+        }
+        assert!((s.cwnd() - 2.0 * w0).abs() < 1.0, "cwnd {} vs {}", s.cwnd(), 2.0 * w0);
+    }
+
+    #[test]
+    fn ecn_cut_uses_alpha_once_per_window() {
+        let mut s = sender(10_000_000);
+        let burst = s.take_ready(SimTime::ZERO);
+        let mut t = SimTime::from_micros(10);
+        // Whole first window marked: alpha jumps to g·1 at the boundary,
+        // and the window is cut once.
+        let before = s.cwnd();
+        let mut cut_seen = 0;
+        let mut last_cwnd = before;
+        for p in &burst {
+            s.on_ack(t, p.seq + p.payload.as_u64(), true);
+            if s.cwnd() < last_cwnd {
+                cut_seen += 1;
+            }
+            last_cwnd = s.cwnd();
+            t += SimDuration::from_nanos(100);
+        }
+        assert_eq!(cut_seen, 1, "exactly one multiplicative cut per window");
+        assert!(s.alpha() > 0.0);
+    }
+
+    #[test]
+    fn unmarked_traffic_decays_alpha() {
+        let mut s = sender(10_000_000);
+        let mut t = SimTime::from_micros(1);
+        let mut inflight = s.take_ready(SimTime::ZERO);
+        let mut ack_all = |s: &mut DctcpSender,
+                           inflight: &mut Vec<Packet>,
+                           t: &mut SimTime,
+                           marked: bool| {
+            let pkts = std::mem::take(inflight);
+            for p in pkts {
+                let a = s.on_ack(*t, p.seq + p.payload.as_u64(), marked);
+                inflight.extend(a.packets);
+                *t += SimDuration::from_nanos(100);
+            }
+        };
+        // Marked phase keeps α high.
+        for _ in 0..3 {
+            ack_all(&mut s, &mut inflight, &mut t, true);
+        }
+        let a1 = s.alpha();
+        assert!(a1 > 0.5, "α after marked phase: {a1}");
+        // Clean phase decays it window by window.
+        for _ in 0..3 {
+            ack_all(&mut s, &mut inflight, &mut t, false);
+        }
+        assert!(s.alpha() < a1, "α {} did not decay from {a1}", s.alpha());
+    }
+
+    #[test]
+    fn triple_dup_ack_fast_retransmits() {
+        let mut s = sender(100_000);
+        let burst = s.take_ready(SimTime::ZERO);
+        assert!(burst.len() >= 4);
+        let t = SimTime::from_micros(10);
+        // First segment lost: acks for later segments all carry cum = 0...
+        // Receiver semantics: cumulative stays at 0 (well, seq 0 missing).
+        let w_before = s.cwnd();
+        assert!(s.on_ack(t, 0, false).packets.is_empty());
+        assert!(s.on_ack(t, 0, false).packets.is_empty());
+        let third = s.on_ack(t, 0, false);
+        assert_eq!(third.packets.len(), 1, "fast retransmit");
+        assert_eq!(third.packets[0].seq, 0);
+        assert!(s.cwnd() < w_before);
+    }
+
+    #[test]
+    fn timeout_collapses_window() {
+        let mut s = sender(100_000);
+        let _ = s.take_ready(SimTime::ZERO);
+        let generation = s.timer_generation();
+        let a = s.on_timeout(SimTime::from_millis(3), generation);
+        assert_eq!(a.packets.len(), 1);
+        assert_eq!(a.packets[0].seq, 0);
+        assert_eq!(s.cwnd(), 1_000.0);
+        // Stale generation ignored.
+        let stale = s.on_timeout(SimTime::from_millis(4), generation);
+        assert!(stale.packets.is_empty());
+    }
+
+    #[test]
+    fn receiver_cumulative_and_ooo() {
+        let mut r = DctcpReceiver::new(
+            FlowId::new(1),
+            NodeId::new(1),
+            NodeId::new(0),
+            Priority::new(1),
+            Bytes::new(3_000),
+        );
+        // Segment 1 (1000..2000) arrives before segment 0.
+        let a1 = r.on_data(SimTime::from_micros(1), 1_000, Bytes::new(1_000), false);
+        match a1.kind {
+            dcn_net::PacketKind::Ack { cumulative_ack, .. } => assert_eq!(cumulative_ack, 0),
+            _ => panic!("expected ack"),
+        }
+        let a0 = r.on_data(SimTime::from_micros(2), 0, Bytes::new(1_000), false);
+        match a0.kind {
+            dcn_net::PacketKind::Ack { cumulative_ack, .. } => assert_eq!(cumulative_ack, 2_000),
+            _ => panic!("expected ack"),
+        }
+        assert!(r.finished_at().is_none());
+        let _ = r.on_data(SimTime::from_micros(3), 2_000, Bytes::new(1_000), true);
+        assert_eq!(r.finished_at(), Some(SimTime::from_micros(3)));
+    }
+
+    #[test]
+    fn receiver_echoes_ce() {
+        let mut r = DctcpReceiver::new(
+            FlowId::new(1),
+            NodeId::new(1),
+            NodeId::new(0),
+            Priority::new(1),
+            Bytes::new(2_000),
+        );
+        let ack = r.on_data(SimTime::ZERO, 0, Bytes::new(1_000), true);
+        match ack.kind {
+            dcn_net::PacketKind::Ack { ecn_echo, .. } => assert!(ecn_echo),
+            _ => panic!("expected ack"),
+        }
+    }
+
+    #[test]
+    fn duplicate_data_does_not_regress() {
+        let mut r = DctcpReceiver::new(
+            FlowId::new(1),
+            NodeId::new(1),
+            NodeId::new(0),
+            Priority::new(1),
+            Bytes::new(2_000),
+        );
+        r.on_data(SimTime::ZERO, 0, Bytes::new(1_000), false);
+        let again = r.on_data(SimTime::from_micros(1), 0, Bytes::new(1_000), false);
+        match again.kind {
+            dcn_net::PacketKind::Ack { cumulative_ack, .. } => assert_eq!(cumulative_ack, 1_000),
+            _ => panic!("expected ack"),
+        }
+        assert_eq!(r.received(), 1_000);
+    }
+}

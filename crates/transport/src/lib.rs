@@ -1,0 +1,48 @@
+//! Transport protocols for the hybrid DCN: DCTCP (lossy TCP) and DCQCN
+//! (lossless RDMA).
+//!
+//! The paper's evaluation runs DCTCP on the TCP/lossy class and DCQCN on
+//! the RDMA/lossless class (§IV), both reacting to ECN set by the
+//! switches. This crate implements both as passive state machines: the
+//! fabric event loop feeds them arrivals/timers and transmits the
+//! packets they emit.
+//!
+//! * [`DctcpSender`] / [`DctcpReceiver`] — window-based congestion
+//!   control with the DCTCP fraction-of-marked-bytes `α`, slow start,
+//!   fast retransmit/recovery and RTO (packets may be dropped).
+//! * [`DcqcnSender`] / [`DcqcnReceiver`] — rate-based control: the
+//!   receiver (NP) reflects CE marks as CNPs at most once per 50 µs, the
+//!   sender (RP) multiplicatively cuts on CNP and recovers through
+//!   fast-recovery / additive-increase / hyper-increase stages.
+//!
+//! Both senders are deterministic; all pacing/timers surface as explicit
+//! "call me back at T" values the event loop schedules.
+//!
+//! # Example
+//!
+//! ```
+//! use dcn_net::{FlowId, NodeId, Priority};
+//! use dcn_sim::{Bytes, SimTime};
+//! use dcn_transport::{DctcpConfig, DctcpSender};
+//!
+//! let mut s = DctcpSender::new(
+//!     DctcpConfig::default(),
+//!     FlowId::new(1),
+//!     NodeId::new(0),
+//!     NodeId::new(1),
+//!     Priority::new(1),
+//!     Bytes::new(30_000),
+//! );
+//! // Initial window: packets ready to hand to the NIC.
+//! let burst = s.take_ready(SimTime::ZERO);
+//! assert!(!burst.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dctcp;
+mod dcqcn;
+
+pub use dctcp::{AckAction, DctcpConfig, DctcpReceiver, DctcpSender};
+pub use dcqcn::{DcqcnConfig, DcqcnReceiver, DcqcnSender, RpTimerKind};

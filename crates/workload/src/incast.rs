@@ -1,0 +1,234 @@
+//! Incast (fan-in burst) query generation.
+//!
+//! A query is a target server requesting an `x`-byte file striped over
+//! `N` random other servers; all `N` respond simultaneously with `x/N`
+//! bytes each (the paper's §IV-B setup: `x = 1 MB`, `N ∈ {5, 10, 15}`,
+//! Poisson query arrivals — 376 queries in 0.5 s in their run). The query
+//! completes when its slowest response finishes, so per-query response
+//! time is the max FCT over its flows.
+
+use dcn_net::{FlowId, NodeId, Priority, TrafficClass};
+use dcn_sim::{Bytes, SimDuration, SimRng, SimTime};
+
+use crate::poisson::FlowSpec;
+
+/// One generated incast query: the requester and its response flows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncastQuery {
+    /// Query sequence number.
+    pub id: u64,
+    /// The requesting (receiving) server.
+    pub target: NodeId,
+    /// When the request is issued (responses start then; the request
+    /// itself is negligible and not simulated).
+    pub at: SimTime,
+    /// The `N` response flows, all starting at `at`.
+    pub flows: Vec<FlowSpec>,
+}
+
+impl IncastQuery {
+    /// Ids of this query's response flows.
+    pub fn flow_ids(&self) -> impl Iterator<Item = FlowId> + '_ {
+        self.flows.iter().map(|f| f.id)
+    }
+}
+
+/// Generates Poisson-arriving incast queries.
+#[derive(Debug, Clone)]
+pub struct IncastWorkload {
+    hosts: Vec<NodeId>,
+    fanout: usize,
+    request_size: Bytes,
+    mean_gap: SimDuration,
+    class: TrafficClass,
+    priority: Priority,
+    first_flow_id: u64,
+}
+
+impl IncastWorkload {
+    /// Creates a generator.
+    ///
+    /// * `hosts` — the server pool; targets and responders are drawn here.
+    /// * `fanout` — `N`, responders per query.
+    /// * `request_size` — `x`, total bytes per query (each responder
+    ///   sends `x / N`, remainder going to the first responder).
+    /// * `mean_gap` — mean inter-query time (Poisson). The paper's run
+    ///   (376 queries / 0.5 s) corresponds to ≈ 1.33 ms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout == 0`, `fanout >= hosts.len()`, or
+    /// `request_size < fanout` bytes.
+    pub fn new(
+        hosts: Vec<NodeId>,
+        fanout: usize,
+        request_size: Bytes,
+        mean_gap: SimDuration,
+    ) -> IncastWorkload {
+        assert!(fanout > 0, "fanout must be positive");
+        assert!(
+            fanout < hosts.len(),
+            "fanout {} needs more than {} hosts",
+            fanout,
+            hosts.len()
+        );
+        assert!(
+            request_size.as_u64() >= fanout as u64,
+            "request smaller than one byte per responder"
+        );
+        IncastWorkload {
+            hosts,
+            fanout,
+            request_size,
+            mean_gap,
+            class: TrafficClass::Lossless,
+            priority: Priority::new(3),
+            first_flow_id: 0,
+        }
+    }
+
+    /// Sets the traffic class and priority of response flows (default:
+    /// lossless RDMA on priority 3, as in the paper's burst deep-dive).
+    pub fn class(mut self, class: TrafficClass, priority: Priority) -> Self {
+        self.class = class;
+        self.priority = priority;
+        self
+    }
+
+    /// First flow id to allocate.
+    pub fn first_flow_id(mut self, id: u64) -> Self {
+        self.first_flow_id = id;
+        self
+    }
+
+    /// Generates all queries arriving within `[0, window)`.
+    pub fn generate(&self, window: SimDuration, rng: &mut SimRng) -> Vec<IncastQuery> {
+        let horizon = SimTime::ZERO + window;
+        let mut queries = Vec::new();
+        let mut t = SimTime::ZERO + rng.exponential(self.mean_gap);
+        let mut next_flow = self.first_flow_id;
+        let mut qid = 0;
+        while t < horizon {
+            let target_ix = rng.below(self.hosts.len() as u64) as usize;
+            let target = self.hosts[target_ix];
+            // Choose N distinct responders ≠ target: shuffle a candidate
+            // index list and take the first N.
+            let mut candidates: Vec<usize> =
+                (0..self.hosts.len()).filter(|&i| i != target_ix).collect();
+            rng.shuffle(&mut candidates);
+            let per_flow = self.request_size / self.fanout as u64;
+            let remainder = self.request_size - per_flow * self.fanout as u64;
+            let flows: Vec<FlowSpec> = candidates[..self.fanout]
+                .iter()
+                .enumerate()
+                .map(|(k, &ix)| {
+                    let size = if k == 0 { per_flow + remainder } else { per_flow };
+                    let spec = FlowSpec {
+                        id: FlowId::new(next_flow),
+                        src: self.hosts[ix],
+                        dst: target,
+                        size,
+                        start: t,
+                        class: self.class,
+                        priority: self.priority,
+                    };
+                    next_flow += 1;
+                    spec
+                })
+                .collect();
+            queries.push(IncastQuery {
+                id: qid,
+                target,
+                at: t,
+                flows,
+            });
+            qid += 1;
+            t += rng.exponential(self.mean_gap);
+        }
+        queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hosts(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    fn workload() -> IncastWorkload {
+        IncastWorkload::new(
+            hosts(16),
+            5,
+            Bytes::from_mb(1),
+            SimDuration::from_micros(1_330),
+        )
+    }
+
+    #[test]
+    fn query_structure() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let queries = workload().generate(SimDuration::from_millis(50), &mut rng);
+        assert!(!queries.is_empty());
+        for q in &queries {
+            assert_eq!(q.flows.len(), 5);
+            let total: u64 = q.flows.iter().map(|f| f.size.as_u64()).sum();
+            assert_eq!(total, 1_000_000);
+            for f in &q.flows {
+                assert_eq!(f.dst, q.target);
+                assert_ne!(f.src, q.target);
+                assert_eq!(f.start, q.at);
+            }
+            // Responders are distinct.
+            let mut srcs: Vec<NodeId> = q.flows.iter().map(|f| f.src).collect();
+            srcs.sort();
+            srcs.dedup();
+            assert_eq!(srcs.len(), 5);
+        }
+    }
+
+    #[test]
+    fn paper_rate_gives_about_376_queries_per_half_second() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let queries = workload().generate(SimDuration::from_millis(500), &mut rng);
+        // 0.5 s / 1.33 ms ≈ 376; allow Poisson noise.
+        assert!((300..450).contains(&queries.len()), "{}", queries.len());
+    }
+
+    #[test]
+    fn flow_ids_unique_and_consecutive() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let queries = workload().first_flow_id(1_000).generate(SimDuration::from_millis(20), &mut rng);
+        let ids: Vec<u64> = queries
+            .iter()
+            .flat_map(|q| q.flows.iter().map(|f| f.id.as_u64()))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(*id, 1_000 + i as u64);
+        }
+    }
+
+    #[test]
+    fn remainder_goes_to_first_responder() {
+        let w = IncastWorkload::new(hosts(8), 3, Bytes::new(1_000_003), SimDuration::from_millis(1));
+        let mut rng = SimRng::seed_from_u64(4);
+        let queries = w.generate(SimDuration::from_millis(10), &mut rng);
+        let q = &queries[0];
+        assert_eq!(q.flows[0].size.as_u64(), 333_334 + 1);
+        assert_eq!(q.flows[1].size.as_u64(), 333_334);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout")]
+    fn fanout_must_fit_pool() {
+        let _ = IncastWorkload::new(hosts(4), 4, Bytes::from_mb(1), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = workload().generate(SimDuration::from_millis(10), &mut SimRng::seed_from_u64(9));
+        let b = workload().generate(SimDuration::from_millis(10), &mut SimRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

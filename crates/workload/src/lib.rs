@@ -1,0 +1,42 @@
+//! Traffic workload generators for the L2BM reproduction.
+//!
+//! The paper drives its evaluation with two workloads (§IV):
+//!
+//! * **Web search** — flows sampled from the heavy-tailed web-search
+//!   flow-size CDF, arriving as a Poisson process whose rate realizes a
+//!   target *load* on the host access links, each flow between a random
+//!   pair of servers ([`PoissonTraffic`], [`web_search_cdf`]).
+//! * **Incast** — a target server requests an `x`-MB file striped over
+//!   `N` random other servers, which all respond simultaneously
+//!   ([`IncastWorkload`]); queries arrive Poisson.
+//!
+//! Both produce [`FlowSpec`]s, the fabric simulator's input.
+//!
+//! # Example
+//!
+//! ```
+//! use dcn_net::{NodeId, Priority, TrafficClass};
+//! use dcn_sim::{BitRate, SimDuration, SimRng};
+//! use dcn_workload::{web_search_cdf, PoissonTraffic};
+//!
+//! let hosts: Vec<NodeId> = (0..8).map(NodeId::new).collect();
+//! let traffic = PoissonTraffic::builder(hosts, web_search_cdf())
+//!     .load(0.4)
+//!     .link_rate(BitRate::from_gbps(25))
+//!     .class(TrafficClass::Lossless, Priority::new(3))
+//!     .build();
+//! let mut rng = SimRng::seed_from_u64(1);
+//! let flows = traffic.generate(SimDuration::from_millis(1), &mut rng);
+//! assert!(flows.iter().all(|f| f.src != f.dst));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod incast;
+mod poisson;
+mod websearch;
+
+pub use incast::{IncastQuery, IncastWorkload};
+pub use poisson::{FlowSpec, PoissonTraffic, PoissonTrafficBuilder};
+pub use websearch::web_search_cdf;

@@ -1,0 +1,304 @@
+//! Poisson-arrival random-pair traffic at a target load.
+
+use dcn_net::{FlowId, NodeId, Priority, TrafficClass};
+use dcn_sim::{BitRate, Bytes, EmpiricalCdf, SimDuration, SimRng, SimTime};
+
+/// One flow to inject: who sends how much to whom, when, at what class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Unique flow id.
+    pub id: FlowId,
+    /// Sending host.
+    pub src: NodeId,
+    /// Receiving host.
+    pub dst: NodeId,
+    /// Payload bytes to transfer.
+    pub size: Bytes,
+    /// When the sender starts.
+    pub start: SimTime,
+    /// Lossless (RDMA/DCQCN) or lossy (TCP/DCTCP).
+    pub class: TrafficClass,
+    /// 802.1p priority queue the flow uses.
+    pub priority: Priority,
+}
+
+/// Generates flows between random host pairs with Poisson arrivals whose
+/// rate realizes a target load on the hosts' access links.
+///
+/// Load is defined as in the paper's workload setup: with `H` sources of
+/// access rate `R` and mean flow size `S̄`, the aggregate arrival rate is
+/// `λ = load · H · R / (8 · S̄)` flows per second.
+#[derive(Debug, Clone)]
+pub struct PoissonTraffic {
+    sources: Vec<NodeId>,
+    dests: Vec<NodeId>,
+    sizes: EmpiricalCdf,
+    load: f64,
+    link_rate: BitRate,
+    class: TrafficClass,
+    priority: Priority,
+    /// Rack index per host (same length/order as the host-id universe);
+    /// when present, destinations are restricted to other racks.
+    rack_of: Option<Vec<(NodeId, usize)>>,
+    first_flow_id: u64,
+}
+
+/// Builder for [`PoissonTraffic`].
+#[derive(Debug, Clone)]
+pub struct PoissonTrafficBuilder {
+    inner: PoissonTraffic,
+}
+
+impl PoissonTraffic {
+    /// Starts building a generator over `sources` (destinations default
+    /// to the same set) drawing sizes from `sizes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` has fewer than two hosts.
+    pub fn builder(sources: Vec<NodeId>, sizes: EmpiricalCdf) -> PoissonTrafficBuilder {
+        assert!(sources.len() >= 2, "need at least two hosts");
+        PoissonTrafficBuilder {
+            inner: PoissonTraffic {
+                dests: sources.clone(),
+                sources,
+                sizes,
+                load: 0.5,
+                link_rate: BitRate::from_gbps(25),
+                class: TrafficClass::Lossy,
+                priority: Priority::new(1),
+                rack_of: None,
+                first_flow_id: 0,
+            },
+        }
+    }
+
+    /// Mean inter-arrival time implied by the configured load.
+    pub fn mean_interarrival(&self) -> SimDuration {
+        let lambda = self.load * self.sources.len() as f64 * self.link_rate.as_f64()
+            / (8.0 * self.sizes.mean());
+        SimDuration::from_secs_f64(1.0 / lambda)
+    }
+
+    /// Generates all flows arriving within `[0, window)`.
+    ///
+    /// Deterministic given `rng`'s seed. Flow ids are consecutive from
+    /// the configured base.
+    pub fn generate(&self, window: SimDuration, rng: &mut SimRng) -> Vec<FlowSpec> {
+        let mean_gap = self.mean_interarrival();
+        let mut flows = Vec::new();
+        let mut t = SimTime::ZERO + rng.exponential(mean_gap);
+        let horizon = SimTime::ZERO + window;
+        let mut next_id = self.first_flow_id;
+        while t < horizon {
+            let src = self.sources[rng.below(self.sources.len() as u64) as usize];
+            let dst = self.pick_dst(src, rng);
+            let size = Bytes::new(self.sizes.sample(rng).max(1));
+            flows.push(FlowSpec {
+                id: FlowId::new(next_id),
+                src,
+                dst,
+                size,
+                start: t,
+                class: self.class,
+                priority: self.priority,
+            });
+            next_id += 1;
+            t += rng.exponential(mean_gap);
+        }
+        flows
+    }
+
+    fn pick_dst(&self, src: NodeId, rng: &mut SimRng) -> NodeId {
+        if let Some(racks) = &self.rack_of {
+            let src_rack = racks
+                .iter()
+                .find(|(n, _)| *n == src)
+                .map(|&(_, r)| r)
+                .expect("source host missing from rack map");
+            let candidates: Vec<NodeId> = self
+                .dests
+                .iter()
+                .copied()
+                .filter(|d| {
+                    *d != src
+                        && racks
+                            .iter()
+                            .find(|(n, _)| n == d)
+                            .map(|&(_, r)| r != src_rack)
+                            .unwrap_or(true)
+                })
+                .collect();
+            assert!(!candidates.is_empty(), "no inter-rack destination for {src}");
+            candidates[rng.below(candidates.len() as u64) as usize]
+        } else {
+            // Uniform over destinations, excluding self if present.
+            loop {
+                let d = self.dests[rng.below(self.dests.len() as u64) as usize];
+                if d != src {
+                    return d;
+                }
+            }
+        }
+    }
+}
+
+impl PoissonTrafficBuilder {
+    /// Target load on the source access links (0 < load ≤ 1 typically,
+    /// values above 1 model overload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is not positive.
+    pub fn load(mut self, load: f64) -> Self {
+        assert!(load > 0.0, "load must be positive");
+        self.inner.load = load;
+        self
+    }
+
+    /// Access-link rate used in the load formula.
+    pub fn link_rate(mut self, rate: BitRate) -> Self {
+        self.inner.link_rate = rate;
+        self
+    }
+
+    /// Traffic class and priority queue for all generated flows.
+    pub fn class(mut self, class: TrafficClass, priority: Priority) -> Self {
+        self.inner.class = class;
+        self.inner.priority = priority;
+        self
+    }
+
+    /// Restricts destinations to this set (defaults to the source set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dests` is empty.
+    pub fn dests(mut self, dests: Vec<NodeId>) -> Self {
+        assert!(!dests.is_empty(), "destination set must be non-empty");
+        self.inner.dests = dests;
+        self
+    }
+
+    /// Provides a host→rack map and restricts each flow to cross racks
+    /// (the paper's "servers … send data to servers under other leaf
+    /// switches").
+    pub fn inter_rack(mut self, rack_of: Vec<(NodeId, usize)>) -> Self {
+        self.inner.rack_of = Some(rack_of);
+        self
+    }
+
+    /// First flow id to allocate (so multiple generators don't collide).
+    pub fn first_flow_id(mut self, id: u64) -> Self {
+        self.inner.first_flow_id = id;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> PoissonTraffic {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_sim::EmpiricalCdf;
+
+    fn fixed_size_cdf(bytes: u64) -> EmpiricalCdf {
+        EmpiricalCdf::new(vec![(bytes, 1.0)]).expect("valid single-knot cdf")
+    }
+
+    fn hosts(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn load_sets_arrival_rate() {
+        // 4 hosts × 25 Gbps × load 0.5 / (8 × 1 MB) = 6250 flows/s.
+        let t = PoissonTraffic::builder(hosts(4), fixed_size_cdf(1_000_000))
+            .load(0.5)
+            .link_rate(BitRate::from_gbps(25))
+            .build();
+        let gap = t.mean_interarrival().as_secs_f64();
+        assert!((gap - 1.0 / 6_250.0).abs() < 1e-9, "gap {gap}");
+    }
+
+    #[test]
+    fn generated_count_matches_load() {
+        let t = PoissonTraffic::builder(hosts(4), fixed_size_cdf(1_000_000))
+            .load(0.5)
+            .link_rate(BitRate::from_gbps(25))
+            .build();
+        let mut rng = SimRng::seed_from_u64(3);
+        let flows = t.generate(SimDuration::from_millis(100), &mut rng);
+        // Expect ~625 flows in 100 ms; Poisson sd ~25.
+        assert!((500..750).contains(&flows.len()), "{} flows", flows.len());
+    }
+
+    #[test]
+    fn flows_are_time_ordered_and_ids_consecutive() {
+        let t = PoissonTraffic::builder(hosts(4), fixed_size_cdf(10_000))
+            .first_flow_id(100)
+            .build();
+        let mut rng = SimRng::seed_from_u64(4);
+        let flows = t.generate(SimDuration::from_millis(1), &mut rng);
+        assert!(!flows.is_empty());
+        for (i, w) in flows.windows(2).enumerate() {
+            assert!(w[1].start >= w[0].start);
+            let _ = i;
+        }
+        assert_eq!(flows[0].id, FlowId::new(100));
+        assert_eq!(flows.last().unwrap().id.as_u64(), 100 + flows.len() as u64 - 1);
+    }
+
+    #[test]
+    fn no_self_flows() {
+        let t = PoissonTraffic::builder(hosts(3), fixed_size_cdf(10_000)).build();
+        let mut rng = SimRng::seed_from_u64(5);
+        for f in t.generate(SimDuration::from_millis(2), &mut rng) {
+            assert_ne!(f.src, f.dst);
+        }
+    }
+
+    #[test]
+    fn inter_rack_restriction() {
+        let hs = hosts(4);
+        let racks = vec![
+            (hs[0], 0),
+            (hs[1], 0),
+            (hs[2], 1),
+            (hs[3], 1),
+        ];
+        let t = PoissonTraffic::builder(hs.clone(), fixed_size_cdf(10_000))
+            .inter_rack(racks.clone())
+            .build();
+        let mut rng = SimRng::seed_from_u64(6);
+        for f in t.generate(SimDuration::from_millis(2), &mut rng) {
+            let rs = racks.iter().find(|(n, _)| *n == f.src).unwrap().1;
+            let rd = racks.iter().find(|(n, _)| *n == f.dst).unwrap().1;
+            assert_ne!(rs, rd, "{} -> {} stayed in rack {rs}", f.src, f.dst);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = PoissonTraffic::builder(hosts(4), fixed_size_cdf(10_000)).build();
+        let a = t.generate(SimDuration::from_millis(2), &mut SimRng::seed_from_u64(7));
+        let b = t.generate(SimDuration::from_millis(2), &mut SimRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn separate_dest_set() {
+        let srcs = hosts(2);
+        let dsts: Vec<NodeId> = (10..14).map(NodeId::new).collect();
+        let t = PoissonTraffic::builder(srcs, fixed_size_cdf(10_000))
+            .dests(dsts.clone())
+            .build();
+        let mut rng = SimRng::seed_from_u64(8);
+        for f in t.generate(SimDuration::from_millis(1), &mut rng) {
+            assert!(dsts.contains(&f.dst));
+        }
+    }
+}

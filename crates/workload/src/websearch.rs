@@ -1,0 +1,67 @@
+//! The web-search flow-size distribution.
+
+use dcn_sim::EmpiricalCdf;
+
+/// The web-search flow-size CDF used throughout DCN buffer-management
+/// studies (originally measured for the DCTCP paper; this is the knot set
+/// distributed with the HPCC/DCQCN ns-3 forks that the L2BM paper builds
+/// on). Sizes in bytes; mean ≈ 1.6 MB; max 30 MB.
+///
+/// # Example
+///
+/// ```
+/// use dcn_workload::web_search_cdf;
+/// let cdf = web_search_cdf();
+/// // Heavy-tailed: the median flow is small...
+/// assert!(cdf.quantile(0.5) <= 100_000);
+/// // ...but the top decile is multi-megabyte.
+/// assert!(cdf.quantile(0.95) >= 5_000_000);
+/// ```
+pub fn web_search_cdf() -> EmpiricalCdf {
+    EmpiricalCdf::new(vec![
+        (0, 0.0),
+        (10_000, 0.15),
+        (20_000, 0.20),
+        (30_000, 0.30),
+        (50_000, 0.40),
+        (80_000, 0.53),
+        (200_000, 0.60),
+        (1_000_000, 0.70),
+        (2_000_000, 0.80),
+        (5_000_000, 0.90),
+        (10_000_000, 0.97),
+        (30_000_000, 1.0),
+    ])
+    .expect("static knots form a valid CDF")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_sim::SimRng;
+
+    #[test]
+    fn mean_is_about_1_6_mb() {
+        let cdf = web_search_cdf();
+        let m = cdf.mean();
+        assert!((1.2e6..2.2e6).contains(&m), "mean {m}");
+    }
+
+    #[test]
+    fn samples_bounded_by_30mb() {
+        let cdf = web_search_cdf();
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(cdf.sample(&mut rng) <= 30_000_000);
+        }
+    }
+
+    #[test]
+    fn heavy_tail_shape() {
+        let cdf = web_search_cdf();
+        // Over half the flows are < 100 KB but they carry a small share
+        // of bytes compared to the > 1 MB elephants.
+        assert!(cdf.quantile(0.53) <= 80_000);
+        assert!(cdf.quantile(0.9) >= 2_000_000);
+    }
+}

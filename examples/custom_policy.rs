@@ -1,0 +1,91 @@
+//! Extending the switch with your own buffer-management policy.
+//!
+//! Implements a naive *static threshold* policy (every ingress queue may
+//! hold a fixed share of the buffer, no dynamics at all) and races it
+//! against L2BM on the same incast, showing how the `BufferPolicy` trait
+//! plugs into `SharedMemorySwitch` directly — without the fabric layer.
+//!
+//! ```text
+//! cargo run --release --example custom_policy
+//! ```
+
+use dcn_net::{FlowId, NodeId, Packet, PortId, Priority, TrafficClass};
+use dcn_sim::{BitRate, Bytes, SimDuration, SimTime};
+use dcn_switch::{BufferPolicy, MmuState, QueueIndex, SharedMemorySwitch, SwitchConfig};
+use l2bm::L2bmPolicy;
+
+/// A fixed per-queue cap: `buffer / 16`, the static partitioning L2BM's
+/// lineage (dynamic thresholds) replaced decades ago.
+#[derive(Debug)]
+struct StaticThreshold;
+
+impl BufferPolicy for StaticThreshold {
+    fn name(&self) -> &str {
+        "STATIC"
+    }
+
+    fn pfc_threshold(&self, mmu: &MmuState, _q: QueueIndex, _now: SimTime) -> Bytes {
+        mmu.shared_capacity() / 16
+    }
+}
+
+/// Drives a burst of `n` back-to-back lossless packets from 4 ingress
+/// ports into one egress port and reports pause frames + peak occupancy.
+fn drive(policy: Box<dyn BufferPolicy>, n: u64) -> (String, u64, Bytes) {
+    let name = policy.name().to_string();
+    let mut sw = SharedMemorySwitch::new(
+        NodeId::new(0),
+        SwitchConfig {
+            total_buffer: Bytes::from_kb(256),
+            ..SwitchConfig::default()
+        },
+        vec![BitRate::from_gbps(25); 5],
+        policy,
+        7,
+    );
+    let mut t = SimTime::ZERO;
+    let mut peak = Bytes::ZERO;
+    let mut in_flight = false;
+    for i in 0..n {
+        let pkt = Packet::data(
+            FlowId::new(i % 4),
+            NodeId::new(100 + (i % 4) as u32),
+            NodeId::new(200),
+            Priority::new(3),
+            TrafficClass::Lossless,
+            i * 1_000,
+            Bytes::new(1_000),
+            Bytes::new(48),
+        );
+        let r = sw.receive(t, pkt, PortId::new((i % 4) as u16), PortId::new(4));
+        in_flight |= r.tx.is_some();
+        peak = peak.max(sw.occupancy());
+        // Arrivals at 4× the drain rate: one departure per 4 arrivals.
+        if i % 4 == 3 && in_flight {
+            t += SimDuration::from_nanos(336);
+            in_flight = sw.tx_complete(t, PortId::new(4)).next.is_some();
+        } else {
+            t += SimDuration::from_nanos(84);
+        }
+    }
+    (name, sw.pfc_counters().pause_frames(), peak)
+}
+
+fn main() {
+    println!("4-into-1 burst of 2000 packets through a 256 KB switch\n");
+    println!("policy  pause_frames  peak_occupancy");
+    println!("-------------------------------------");
+    for (name, pauses, peak) in [
+        drive(Box::new(StaticThreshold), 2_000),
+        drive(Box::<L2bmPolicy>::default(), 2_000),
+    ] {
+        println!("{name:<7} {pauses:<13} {peak}");
+    }
+    println!();
+    println!(
+        "Both policies eventually pause the four senders, but STATIC cuts\n\
+         the burst off with most of the buffer still free, while L2BM sees\n\
+         the queues draining and absorbs roughly twice as many bytes\n\
+         before resorting to PFC."
+    );
+}

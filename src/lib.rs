@@ -1,0 +1,13 @@
+//! Umbrella crate for the L2BM reproduction: re-exports the public
+//! API of every sub-crate so examples and downstream users can depend
+//! on one name.
+
+pub use dcn_experiments as experiments;
+pub use dcn_fabric as fabric;
+pub use dcn_metrics as metrics;
+pub use dcn_net as net;
+pub use dcn_sim as sim;
+pub use dcn_switch as switch;
+pub use dcn_transport as transport;
+pub use dcn_workload as workload;
+pub use l2bm;

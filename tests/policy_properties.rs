@@ -1,0 +1,191 @@
+//! Property-based tests of the buffer-management policies and the
+//! paper's closed-form analysis.
+
+use dcn_net::{PortId, Priority};
+use dcn_sim::{BitRate, Bytes, SimDuration, SimTime};
+use dcn_switch::{AbmPolicy, BufferPolicy, DtPolicy, MmuState, Pool, QueueIndex, SwitchConfig};
+use l2bm::analysis::{steady_state_occupancy, steady_state_thresholds};
+use l2bm::{L2bmConfig, L2bmPolicy};
+use proptest::prelude::*;
+
+const N_PORTS: usize = 8;
+
+fn qix(port: u16, prio: u8) -> QueueIndex {
+    QueueIndex::new(PortId::new(port), Priority::new(prio))
+}
+
+/// A random but *valid* sequence of MMU operations: enqueue events with
+/// matched dequeues replayed in order.
+#[derive(Debug, Clone)]
+struct Op {
+    in_port: u16,
+    out_port: u16,
+    prio: u8,
+    size: u64,
+    headroom: bool,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        0..N_PORTS as u16,
+        0..N_PORTS as u16,
+        0..8u8,
+        64..2_000u64,
+        any::<bool>(),
+    )
+        .prop_map(|(in_port, out_port, prio, size, headroom)| Op {
+            in_port,
+            out_port,
+            prio,
+            size,
+            headroom,
+        })
+}
+
+fn apply_ops(ops: &[Op]) -> (MmuState, Vec<(QueueIndex, QueueIndex, dcn_switch::Charge)>) {
+    let cfg = SwitchConfig {
+        reserved_per_queue: Bytes::new(1_000),
+        headroom_per_queue: Bytes::from_kb(50),
+        ..SwitchConfig::default()
+    };
+    let mut m = MmuState::new(&cfg, vec![BitRate::from_gbps(25); N_PORTS]);
+    let mut charged = Vec::new();
+    for op in ops {
+        let qi = qix(op.in_port, op.prio);
+        let qo = qix(op.out_port, op.prio);
+        let pool = if op.headroom { Pool::Headroom } else { Pool::Shared };
+        let c = m.plan_charge(qi, Bytes::new(op.size), pool);
+        if c.pool == Pool::Headroom && c.pooled > m.headroom_available(qi) {
+            continue; // switch would have dropped it
+        }
+        m.charge(qi, qo, c);
+        charged.push((qi, qo, c));
+    }
+    (m, charged)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mmu_conservation_holds_through_any_schedule(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let (mut m, charged) = apply_ops(&ops);
+        m.check_conservation().expect("conservation after charges");
+        // Drain everything in FIFO order.
+        let mut t = SimTime::ZERO;
+        for (qi, qo, c) in charged {
+            t += SimDuration::from_nanos(100);
+            m.discharge(t, qi, qo, c);
+            m.check_conservation().expect("conservation during drain");
+        }
+        prop_assert_eq!(m.total_stored(), Bytes::ZERO);
+        prop_assert_eq!(m.shared_used(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn thresholds_are_bounded_by_remaining_buffer(
+        ops in prop::collection::vec(op_strategy(), 0..150),
+        alpha in 0.01f64..1.0,
+    ) {
+        let (m, _) = apply_ops(&ops);
+        let now = SimTime::from_micros(50);
+        let dt = DtPolicy::new(alpha);
+        let abm = AbmPolicy::new(alpha);
+        let l2bm = L2bmPolicy::new(L2bmConfig::default());
+        for port in 0..N_PORTS as u16 {
+            for prio in 0..8u8 {
+                let q = qix(port, prio);
+                let t_dt = dt.pfc_threshold(&m, q, now);
+                let t_abm = abm.pfc_threshold(&m, q, now);
+                let t_l2bm = l2bm.pfc_threshold(&m, q, now);
+                prop_assert!(t_dt <= m.shared_remaining());
+                prop_assert!(t_abm <= t_dt, "ABM divides DT's allotment");
+                prop_assert!(t_l2bm <= m.shared_remaining(), "w_max=1 caps at remaining");
+            }
+        }
+    }
+
+    #[test]
+    fn l2bm_weight_respects_cap_and_positivity(
+        ops in prop::collection::vec(op_strategy(), 0..100),
+        cap in 0.05f64..2.0,
+    ) {
+        let cfg = L2bmConfig { max_weight: cap, ..L2bmConfig::default() };
+        let mut policy = L2bmPolicy::new(cfg);
+        let (m, charged) = apply_ops(&ops);
+        // Feed the policy the same enqueue history.
+        let mut t = SimTime::ZERO;
+        for (qi, qo, c) in &charged {
+            t += SimDuration::from_nanos(50);
+            policy.on_enqueue(&m, t, *qi, *qo, c.total());
+        }
+        for port in 0..N_PORTS as u16 {
+            let w = policy.weight(qix(port, 3), t);
+            prop_assert!(w > 0.0, "weight must stay positive");
+            prop_assert!(w <= cap + 1e-12, "weight {w} above cap {cap}");
+        }
+    }
+
+    #[test]
+    fn steady_state_thresholds_sum_to_occupancy(
+        weights in prop::collection::vec(0.0f64..4.0, 1..32),
+    ) {
+        let b = Bytes::from_mb(4);
+        let q = steady_state_occupancy(b, &weights);
+        prop_assert!(q <= b);
+        let sum: f64 = steady_state_thresholds(b, &weights)
+            .iter()
+            .map(|t| t.as_f64())
+            .sum();
+        // Integer rounding only: one byte per queue at most.
+        prop_assert!((sum - q.as_f64()).abs() <= weights.len() as f64 + 1.0);
+    }
+
+    #[test]
+    fn steady_state_occupancy_monotone_in_weights(
+        weights in prop::collection::vec(0.01f64..2.0, 1..16),
+        extra in 0.01f64..2.0,
+    ) {
+        let b = Bytes::from_mb(4);
+        let q1 = steady_state_occupancy(b, &weights);
+        let mut more = weights.clone();
+        more.push(extra);
+        let q2 = steady_state_occupancy(b, &more);
+        prop_assert!(q2 >= q1, "adding an active queue cannot shrink occupancy");
+    }
+
+    #[test]
+    fn dt_threshold_decreases_as_buffer_fills(
+        sizes in prop::collection::vec(1_000u64..50_000, 1..40),
+    ) {
+        let cfg = SwitchConfig::default();
+        let mut m = MmuState::new(&cfg, vec![BitRate::from_gbps(25); N_PORTS]);
+        let dt = DtPolicy::new(0.5);
+        let now = SimTime::ZERO;
+        let mut last = dt.pfc_threshold(&m, qix(0, 3), now);
+        for (i, size) in sizes.iter().enumerate() {
+            let qi = qix((i % N_PORTS) as u16, 3);
+            let c = m.plan_charge(qi, Bytes::new(*size), Pool::Shared);
+            m.charge(qi, qix(((i + 1) % N_PORTS) as u16, 3), c);
+            let t = dt.pfc_threshold(&m, qix(0, 3), now);
+            prop_assert!(t <= last, "DT threshold must be non-increasing as Q grows");
+            last = t;
+        }
+    }
+}
+
+#[test]
+fn l2bm_single_active_queue_degenerates_to_dt() {
+    // Deterministic edge case of Eq. 3: C = τ, so the weight is exactly α.
+    let mut policy = L2bmPolicy::new(L2bmConfig::default());
+    let cfg = SwitchConfig::default();
+    let mut m = MmuState::new(&cfg, vec![BitRate::from_gbps(25); N_PORTS]);
+    let c = m.plan_charge(qix(0, 3), Bytes::new(100_000), Pool::Shared);
+    m.charge(qix(0, 3), qix(1, 3), c);
+    policy.on_enqueue(&m, SimTime::ZERO, qix(0, 3), qix(1, 3), Bytes::new(100_000));
+    let dt = DtPolicy::new(0.125);
+    assert_eq!(
+        policy.pfc_threshold(&m, qix(0, 3), SimTime::ZERO),
+        dt.pfc_threshold(&m, qix(0, 3), SimTime::ZERO)
+    );
+}
