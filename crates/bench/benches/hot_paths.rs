@@ -1,170 +1,185 @@
-//! Micro-benchmarks of the simulator's hot paths.
+//! Micro-benchmarks of the simulator's hot paths at realistic switch
+//! radix: 36 ports × 8 priorities with hundreds of active queues — the
+//! regime where per-packet full scans actually hurt.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use dcn_net::{ClosConfig, FlowId, NodeId, Packet, PortId, Priority, RoutingTable, Topology, TrafficClass};
+use dcn_bench::bench;
+use dcn_net::{
+    ClosConfig, FlowId, NodeId, Packet, PortId, Priority, RoutingTable, Topology, TrafficClass,
+};
 use dcn_sim::{BitRate, Bytes, EventQueue, SimTime};
 use dcn_switch::{
-    AbmPolicy, BufferPolicy, DtPolicy, MmuState, Pool, QueueIndex, SharedMemorySwitch,
-    SwitchConfig,
+    AbmPolicy, BufferPolicy, DtPolicy, MmuState, Pool, QueueIndex, SharedMemorySwitch, SwitchConfig,
 };
 use l2bm::{L2bmConfig, L2bmPolicy};
+
+const PORTS: usize = 36;
 
 fn q(port: u16, prio: u8) -> QueueIndex {
     QueueIndex::new(PortId::new(port), Priority::new(prio))
 }
 
+/// A 36-port MMU with every (port, priority) ingress queue holding
+/// traffic: 36 × 8 = 288 active queues.
 fn loaded_mmu() -> MmuState {
-    let mut m = MmuState::new(&SwitchConfig::default(), vec![BitRate::from_gbps(25); 36]);
-    // Put a little traffic in several queues so policies have state to
-    // look at.
-    for port in 0..8u16 {
-        let c = m.plan_charge(q(port, 3), Bytes::new(20_000), Pool::Shared);
-        m.charge(q(port, 3), q((port + 1) % 8, 3), c);
+    let mut m = MmuState::new(
+        &SwitchConfig::default(),
+        vec![BitRate::from_gbps(25); PORTS],
+    );
+    for port in 0..PORTS as u16 {
+        for prio in 0..Priority::COUNT as u8 {
+            let c = m.plan_charge(q(port, prio), Bytes::new(20_000), Pool::Shared);
+            m.charge(q(port, prio), q((port + 1) % PORTS as u16, prio), c);
+        }
     }
     m
 }
 
-fn bench_mmu(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mmu");
-    g.bench_function("charge_discharge_cycle", |b| {
-        let mut m = loaded_mmu();
-        let mut t = SimTime::ZERO;
-        b.iter(|| {
-            let charge = m.plan_charge(q(9, 3), Bytes::new(1_048), Pool::Shared);
-            m.charge(q(9, 3), q(1, 3), charge);
-            t += dcn_sim::SimDuration::from_nanos(336);
-            m.discharge(t, q(9, 3), q(1, 3), charge);
-            black_box(m.shared_used())
-        })
-    });
-    g.finish();
+/// L2BM policy with sojourn state for all 288 queues of `m`.
+fn loaded_l2bm(m: &mut MmuState, now: SimTime) -> L2bmPolicy {
+    let mut policy = L2bmPolicy::new(L2bmConfig::default());
+    for port in 0..PORTS as u16 {
+        for prio in 0..Priority::COUNT as u8 {
+            let qi = q(port, prio);
+            let qo = q((port + 1) % PORTS as u16, prio);
+            let charge = m.plan_charge(qi, Bytes::new(5_000), Pool::Shared);
+            m.charge(qi, qo, charge);
+            policy.on_enqueue(m, now, qi, qo, Bytes::new(5_000));
+        }
+    }
+    policy
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn bench_mmu() {
+    let mut m = loaded_mmu();
+    let mut t = SimTime::ZERO;
+    bench("mmu/charge_discharge_cycle", || {
+        let charge = m.plan_charge(q(9, 3), Bytes::new(1_048), Pool::Shared);
+        m.charge(q(9, 3), q(1, 3), charge);
+        t += dcn_sim::SimDuration::from_nanos(336);
+        m.discharge(t, q(9, 3), q(1, 3), charge);
+        black_box(m.shared_used())
+    });
+}
+
+fn bench_policies() {
     let m = loaded_mmu();
     let now = SimTime::from_micros(10);
-    let mut g = c.benchmark_group("policy_threshold");
     let dt = DtPolicy::new(0.125);
-    g.bench_function("dt", |b| {
-        b.iter(|| black_box(dt.pfc_threshold(&m, q(0, 3), now)))
+    bench("policy_threshold/dt_288q", || {
+        black_box(dt.pfc_threshold(&m, q(0, 3), now))
     });
     let abm = AbmPolicy::new(0.5);
-    g.bench_function("abm", |b| {
-        b.iter(|| black_box(abm.pfc_threshold(&m, q(0, 3), now)))
+    bench("policy_threshold/abm_288q", || {
+        black_box(abm.pfc_threshold(&m, q(0, 3), now))
     });
-    // L2BM with populated sojourn state (the realistic case).
-    let mut l2bm_policy = L2bmPolicy::new(L2bmConfig::default());
+    // L2BM with all 288 queues holding sojourn state (the realistic
+    // loaded case for the incremental Σ τ aggregate).
     let mut m2 = loaded_mmu();
-    for port in 0..8u16 {
-        let charge = m2.plan_charge(q(port, 3), Bytes::new(5_000), Pool::Shared);
-        m2.charge(q(port, 3), q((port + 1) % 8, 3), charge);
-        l2bm_policy.on_enqueue(&m2, now, q(port, 3), q((port + 1) % 8, 3), Bytes::new(5_000));
-    }
-    g.bench_function("l2bm", |b| {
-        b.iter(|| black_box(l2bm_policy.pfc_threshold(&m2, q(0, 3), now)))
+    let l2bm_policy = loaded_l2bm(&mut m2, now);
+    bench("policy_threshold/l2bm_288q", || {
+        black_box(l2bm_policy.pfc_threshold(&m2, q(0, 3), now))
     });
-    g.finish();
 }
 
-fn bench_sojourn(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sojourn");
-    g.bench_function("enqueue_dequeue_update", |b| {
-        let mut policy = L2bmPolicy::new(L2bmConfig::default());
-        let mut m = loaded_mmu();
-        let mut t = SimTime::ZERO;
-        b.iter(|| {
-            let charge = m.plan_charge(q(9, 3), Bytes::new(1_048), Pool::Shared);
-            m.charge(q(9, 3), q(1, 3), charge);
-            policy.on_enqueue(&m, t, q(9, 3), q(1, 3), Bytes::new(1_048));
-            t += dcn_sim::SimDuration::from_nanos(336);
-            m.discharge(t, q(9, 3), q(1, 3), charge);
-            policy.on_dequeue(&m, t, q(9, 3), q(1, 3), Bytes::new(1_048));
-            black_box(policy.weight(q(9, 3), t))
-        })
+/// The tentpole number: incremental vs naive `Σ τ` at 288 active
+/// queues. The incremental aggregate must be ≥ 5× faster.
+fn bench_sum_active_tau() {
+    let now = SimTime::from_micros(10);
+    let mut m = loaded_mmu();
+    let policy = loaded_l2bm(&mut m, now);
+    let sojourn = policy.sojourn();
+    let inc = bench("sojourn/sum_active_tau_288q_incremental", || {
+        black_box(sojourn.sum_active_tau(now))
     });
-    g.finish();
+    let naive = bench("sojourn/sum_active_tau_288q_naive_scan", || {
+        black_box(sojourn.sum_active_tau_naive(now))
+    });
+    let speedup = naive.ns_per_iter / inc.ns_per_iter;
+    println!("sojourn/sum_active_tau_288q speedup: {speedup:.1}x (incremental over naive scan)");
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
-    g.bench_function("schedule_pop_1k", |b| {
-        b.iter(|| {
-            let mut queue: EventQueue<u64> = EventQueue::new();
-            for i in 0..1_000u64 {
-                queue.schedule_at(SimTime::from_nanos((i * 7919) % 10_000), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, e)) = queue.pop() {
-                acc = acc.wrapping_add(e);
-            }
-            black_box(acc)
-        })
+fn bench_sojourn() {
+    let mut m = loaded_mmu();
+    let mut policy = loaded_l2bm(&mut m, SimTime::ZERO);
+    let mut t = SimTime::ZERO;
+    bench("sojourn/enqueue_dequeue_update_288q", || {
+        let charge = m.plan_charge(q(9, 3), Bytes::new(1_048), Pool::Shared);
+        m.charge(q(9, 3), q(1, 3), charge);
+        policy.on_enqueue(&m, t, q(9, 3), q(1, 3), Bytes::new(1_048));
+        t += dcn_sim::SimDuration::from_nanos(336);
+        m.discharge(t, q(9, 3), q(1, 3), charge);
+        policy.on_dequeue(&m, t, q(9, 3), q(1, 3), Bytes::new(1_048));
+        black_box(policy.weight(q(9, 3), t))
     });
-    g.finish();
 }
 
-fn bench_routing(c: &mut Criterion) {
+fn bench_event_queue() {
+    bench("event_queue/schedule_pop_1k", || {
+        let mut queue: EventQueue<u64> = EventQueue::new();
+        for i in 0..1_000u64 {
+            queue.schedule_at(SimTime::from_nanos((i * 7919) % 10_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = queue.pop() {
+            acc = acc.wrapping_add(e);
+        }
+        black_box(acc)
+    });
+}
+
+fn bench_routing() {
     let topo = Topology::clos(&ClosConfig::paper());
     let routes = RoutingTable::shortest_paths(&topo);
     let hosts: Vec<NodeId> = topo.hosts().collect();
     let tor = topo.host_uplink_switch(hosts[0]).expect("host has uplink");
-    let mut g = c.benchmark_group("routing");
-    g.bench_function("ecmp_next_port", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(routes.next_port(tor, hosts[64], FlowId::new(i)))
-        })
+    let mut i = 0u64;
+    bench("routing/ecmp_next_port", || {
+        i += 1;
+        black_box(routes.next_port(tor, hosts[64], FlowId::new(i)))
     });
-    g.bench_function("build_paper_clos_tables", |b| {
-        b.iter(|| black_box(RoutingTable::shortest_paths(&topo)))
+    bench("routing/build_paper_clos_tables", || {
+        black_box(RoutingTable::shortest_paths(&topo))
     });
-    g.finish();
 }
 
-fn bench_switch_cycle(c: &mut Criterion) {
-    let mut g = c.benchmark_group("switch");
-    g.bench_function("receive_tx_complete_cycle", |b| {
-        let mut sw = SharedMemorySwitch::new(
-            NodeId::new(0),
-            SwitchConfig::default(),
-            vec![BitRate::from_gbps(25); 36],
-            Box::new(L2bmPolicy::new(L2bmConfig::default())),
-            7,
+fn bench_switch_cycle() {
+    let mut sw = SharedMemorySwitch::new(
+        NodeId::new(0),
+        SwitchConfig::default(),
+        vec![BitRate::from_gbps(25); PORTS],
+        Box::new(L2bmPolicy::new(L2bmConfig::default())),
+        7,
+    );
+    let mut t = SimTime::ZERO;
+    let mut seq = 0u64;
+    bench("switch/receive_tx_complete_cycle", || {
+        let pkt = Packet::data(
+            FlowId::new(1),
+            NodeId::new(100),
+            NodeId::new(101),
+            Priority::new(3),
+            TrafficClass::Lossless,
+            seq,
+            Bytes::new(1_000),
+            Bytes::new(48),
         );
-        let mut t = SimTime::ZERO;
-        let mut seq = 0u64;
-        b.iter(|| {
-            let pkt = Packet::data(
-                FlowId::new(1),
-                NodeId::new(100),
-                NodeId::new(101),
-                Priority::new(3),
-                TrafficClass::Lossless,
-                seq,
-                Bytes::new(1_000),
-                Bytes::new(48),
-            );
-            seq += 1_000;
-            let r = sw.receive(t, pkt, PortId::new(0), PortId::new(1));
-            t += dcn_sim::SimDuration::from_nanos(400);
-            if r.tx.is_some() {
-                black_box(sw.tx_complete(t, PortId::new(1)));
-            }
-        })
+        seq += 1_000;
+        let r = sw.receive(t, pkt, PortId::new(0), PortId::new(1));
+        t += dcn_sim::SimDuration::from_nanos(400);
+        if r.tx.is_some() {
+            black_box(sw.tx_complete(t, PortId::new(1)));
+        }
     });
-    g.finish();
 }
 
-criterion_group!(
-    hot_paths,
-    bench_mmu,
-    bench_policies,
-    bench_sojourn,
-    bench_event_queue,
-    bench_routing,
-    bench_switch_cycle
-);
-criterion_main!(hot_paths);
+fn main() {
+    bench_mmu();
+    bench_policies();
+    bench_sum_active_tau();
+    bench_sojourn();
+    bench_event_queue();
+    bench_routing();
+    bench_switch_cycle();
+}

@@ -1,88 +1,30 @@
-//! One bench group per paper table/figure (scaled-down variants of the
-//! exact experiment code the `repro` CLI runs at full size).
+//! One bench per paper table/figure (scaled-down variants of the exact
+//! experiment code the `repro` CLI runs at full size).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use dcn_bench::bench_scale;
+use dcn_bench::{bench_n, bench_scale};
 use dcn_experiments::{
     fig10_with_fanout, fig11_with_fanouts, fig3a, fig7_with_loads, fig8, fig9, table2_with_loads,
 };
 
-fn bench_fig3(c: &mut Criterion) {
+fn main() {
     let scale = bench_scale();
-    let mut g = c.benchmark_group("fig3");
-    g.sample_size(10);
-    g.bench_function("fig3a_occupancy_tcp_vs_rdma", |b| {
-        b.iter(|| black_box(fig3a(&scale)))
+    bench_n("fig3/fig3a_occupancy_tcp_vs_rdma", 3, || {
+        black_box(fig3a(&scale))
     });
-    g.finish();
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    let scale = bench_scale();
-    let mut g = c.benchmark_group("fig7");
-    g.sample_size(10);
-    g.bench_function("hybrid_sweep_load_0.4", |b| {
-        b.iter(|| black_box(fig7_with_loads(&scale, &[0.4])))
+    bench_n("fig7/hybrid_sweep_load_0.4", 3, || {
+        black_box(fig7_with_loads(&scale, &[0.4]))
     });
-    g.finish();
-}
-
-fn bench_table2(c: &mut Criterion) {
-    let scale = bench_scale();
-    let mut g = c.benchmark_group("table2");
-    g.sample_size(10);
-    g.bench_function("pause_frames_loads_0.4_0.8", |b| {
-        b.iter(|| black_box(table2_with_loads(&scale, &[0.4, 0.8])))
+    bench_n("table2/pause_frames_loads_0.4_0.8", 3, || {
+        black_box(table2_with_loads(&scale, &[0.4, 0.8]))
     });
-    g.finish();
-}
-
-fn bench_fig8(c: &mut Criterion) {
-    let scale = bench_scale();
-    let mut g = c.benchmark_group("fig8");
-    g.sample_size(10);
-    g.bench_function("tor_occupancy_cdfs", |b| b.iter(|| black_box(fig8(&scale))));
-    g.finish();
-}
-
-fn bench_fig9(c: &mut Criterion) {
-    let scale = bench_scale();
-    let mut g = c.benchmark_group("fig9");
-    g.sample_size(10);
-    g.bench_function("fct_cdfs_high_load", |b| b.iter(|| black_box(fig9(&scale))));
-    g.finish();
-}
-
-fn bench_fig10(c: &mut Criterion) {
-    let scale = bench_scale();
-    let mut g = c.benchmark_group("fig10");
-    g.sample_size(10);
-    g.bench_function("incast_deep_dive_n3", |b| {
-        b.iter(|| black_box(fig10_with_fanout(&scale, 3)))
+    bench_n("fig8/tor_occupancy_cdfs", 3, || black_box(fig8(&scale)));
+    bench_n("fig9/fct_cdfs_high_load", 3, || black_box(fig9(&scale)));
+    bench_n("fig10/incast_deep_dive_n3", 3, || {
+        black_box(fig10_with_fanout(&scale, 3))
     });
-    g.finish();
-}
-
-fn bench_fig11(c: &mut Criterion) {
-    let scale = bench_scale();
-    let mut g = c.benchmark_group("fig11");
-    g.sample_size(10);
-    g.bench_function("incast_degree_sweep_n2_n3", |b| {
-        b.iter(|| black_box(fig11_with_fanouts(&scale, &[2, 3])))
+    bench_n("fig11/incast_degree_sweep_n2_n3", 3, || {
+        black_box(fig11_with_fanouts(&scale, &[2, 3]))
     });
-    g.finish();
 }
-
-criterion_group!(
-    figures,
-    bench_fig3,
-    bench_fig7,
-    bench_table2,
-    bench_fig8,
-    bench_fig9,
-    bench_fig10,
-    bench_fig11
-);
-criterion_main!(figures);

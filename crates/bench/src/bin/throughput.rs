@@ -1,0 +1,91 @@
+//! End-to-end events/sec benchmark: a fixed seeded incast + hybrid
+//! scenario, written to `BENCH_1.json` to seed the perf trajectory.
+//!
+//! Run with `cargo run --release -p dcn-bench --bin throughput`. The
+//! simulated work is fully deterministic (fixed seed, fixed scale), so
+//! `events` is reproducible run-to-run; only the wall time varies with
+//! the machine.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dcn_experiments::{run_hybrid, run_incast, ExperimentScale, HybridConfig, IncastConfig};
+use dcn_fabric::PolicyChoice;
+
+struct Scenario {
+    name: &'static str,
+    events: u64,
+    wall_s: f64,
+}
+
+impl Scenario {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s
+    }
+}
+
+fn main() {
+    let scale = ExperimentScale::small();
+
+    let start = Instant::now();
+    let hybrid = run_hybrid(&HybridConfig {
+        scale: scale.clone(),
+        policy: PolicyChoice::l2bm(),
+        rdma_load: 0.4,
+        tcp_load: 0.8,
+    });
+    let hybrid_scn = Scenario {
+        name: "hybrid_l2bm_rdma0.4_tcp0.8",
+        events: hybrid.results.events_processed,
+        wall_s: start.elapsed().as_secs_f64(),
+    };
+
+    let start = Instant::now();
+    let incast = run_incast(&IncastConfig::paper_defaults(
+        scale,
+        PolicyChoice::l2bm(),
+        5,
+    ));
+    let incast_scn = Scenario {
+        name: "incast_l2bm_fanout5_tcp0.8",
+        events: incast.results.events_processed,
+        wall_s: start.elapsed().as_secs_f64(),
+    };
+
+    let scenarios = [hybrid_scn, incast_scn];
+    let total_events: u64 = scenarios.iter().map(|s| s.events).sum();
+    let total_wall: f64 = scenarios.iter().map(|s| s.wall_s).sum();
+
+    let mut json = String::from("{\n  \"benchmark\": \"throughput\",\n  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        let comma = if i + 1 < scenarios.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"events_processed\": {}, \"wall_seconds\": {:.6}, \"events_per_sec\": {:.0}}}{comma}",
+            s.name,
+            s.events,
+            s.wall_s,
+            s.events_per_sec()
+        )
+        .expect("write to string");
+    }
+    writeln!(
+        json,
+        "  ],\n  \"total_events_processed\": {total_events},\n  \"total_wall_seconds\": {total_wall:.6},\n  \"events_per_sec\": {:.0}\n}}",
+        total_events as f64 / total_wall
+    )
+    .expect("write to string");
+
+    std::fs::write("BENCH_1.json", &json).expect("write BENCH_1.json");
+    println!("{json}");
+    for s in &scenarios {
+        println!(
+            "{:<30} {:>12} events {:>9.3} s {:>12.0} events/s",
+            s.name,
+            s.events,
+            s.wall_s,
+            s.events_per_sec()
+        );
+    }
+    println!("wrote BENCH_1.json");
+}

@@ -37,7 +37,9 @@ fn main() -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                let Some(v) = args.get(i + 1) else { return usage() };
+                let Some(v) = args.get(i + 1) else {
+                    return usage();
+                };
                 scale = match v.as_str() {
                     "tiny" => ExperimentScale::tiny(),
                     "small" => ExperimentScale::small(),
@@ -95,7 +97,15 @@ fn main() -> ExitCode {
 
     if which == "all" {
         for name in [
-            "fig3a", "fig3b", "fig7", "table2", "fig8", "fig9", "fig10", "fig11", "ablations",
+            "fig3a",
+            "fig3b",
+            "fig7",
+            "table2",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "ablations",
         ] {
             eprintln!("# running {name} ...");
             println!("{}", run_one(name, &scale).expect("known name"));

@@ -174,9 +174,11 @@ fn render_series(
 impl Fig7Report {
     /// Renders all four panels.
     pub fn render(&self) -> String {
-        let a = render_series("Fig 7(a): 99% FCT slowdown, RDMA flows", &self.points, |p| {
-            fmt_f64(p.rdma_p99_slowdown)
-        });
+        let a = render_series(
+            "Fig 7(a): 99% FCT slowdown, RDMA flows",
+            &self.points,
+            |p| fmt_f64(p.rdma_p99_slowdown),
+        );
         let b = render_series("Fig 7(b): 99% FCT slowdown, TCP flows", &self.points, |p| {
             fmt_f64(p.tcp_p99_slowdown)
         });
@@ -355,7 +357,10 @@ impl Fig9Report {
                 ]);
             }
         }
-        format!("Fig 9: FCT CDFs under high load (TCP load 0.8)\n{}", t.render())
+        format!(
+            "Fig 9: FCT CDFs under high load (TCP load 0.8)\n{}",
+            t.render()
+        )
     }
 }
 
@@ -403,7 +408,13 @@ impl Fig10Report {
             ]);
         }
         let mut b = Table::new(&[
-            "policy", "mean(ms)", "min(ms)", "q25(ms)", "median(ms)", "q75(ms)", "max(ms)",
+            "policy",
+            "mean(ms)",
+            "min(ms)",
+            "q25(ms)",
+            "median(ms)",
+            "q75(ms)",
+            "max(ms)",
         ]);
         for p in &self.points {
             if let Some(e) = &p.query_delay {
@@ -518,7 +529,9 @@ impl Fig11Report {
                 .map(|e| fmt_f64(e.mean * 1e3))
                 .unwrap_or_else(|| "-".into())
         });
-        let c = self.render_one("Fig 11(c): PFC pause frames", |p| p.pause_frames.to_string());
+        let c = self.render_one("Fig 11(c): PFC pause frames", |p| {
+            p.pause_frames.to_string()
+        });
         format!("{a}\n{b}\n{c}")
     }
 }

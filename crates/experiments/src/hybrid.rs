@@ -207,6 +207,6 @@ mod tests {
         };
         let p = run_hybrid(&cfg);
         assert_eq!(p.results.fct.by_class(TrafficClass::Lossy).count(), 0);
-        assert!(p.results.fct.len() > 0);
+        assert!(!p.results.fct.is_empty());
     }
 }

@@ -35,11 +35,13 @@ mod incast;
 mod report;
 mod scale;
 
-pub use ablations::{ablations, ablations_with, standard_variants, AblationReport, AblationVariant};
+pub use ablations::{
+    ablations, ablations_with, standard_variants, AblationReport, AblationVariant,
+};
 pub use figures::{
-    FIG11_FANOUTS, FIG7_LOADS, TABLE2_LOADS,
-    fig10, fig10_with_fanout, fig11, fig11_with_fanouts, fig3a, fig3b, fig7, fig7_with_loads, fig8, fig9, table2, table2_with_loads, Fig10Report, Fig11Report, Fig3aReport,
-    Fig3bReport, Fig7Report, Fig8Report, Fig9Report, Table2Report,
+    fig10, fig10_with_fanout, fig11, fig11_with_fanouts, fig3a, fig3b, fig7, fig7_with_loads, fig8,
+    fig9, table2, table2_with_loads, Fig10Report, Fig11Report, Fig3aReport, Fig3bReport,
+    Fig7Report, Fig8Report, Fig9Report, Table2Report, FIG11_FANOUTS, FIG7_LOADS, TABLE2_LOADS,
 };
 pub use hybrid::{run_hybrid, HybridConfig, HybridPoint};
 pub use incast::{run_incast, IncastConfig, IncastPoint};

@@ -62,11 +62,12 @@ impl Host {
     /// priority has a packet. Mirrors the switch's [`TxStart`] protocol.
     pub fn try_start(&mut self) -> Option<TxStart> {
         let paused = self.paused;
-        let qp = self.nic.start_next(|p| paused[p.index()])?;
+        let packet = self.nic.start_next(|p| paused[p.index()])?;
+        let serialize = self.link_rate.tx_time(packet.size);
         Some(TxStart {
             port: PortId::new(0),
-            packet: qp.packet.clone(),
-            serialize: self.link_rate.tx_time(qp.packet.size),
+            packet,
+            serialize,
         })
     }
 

@@ -7,13 +7,9 @@ use dcn_metrics::{FctRecord, OccupancySeries};
 use dcn_net::{
     FlowId, NodeId, Packet, PacketKind, PfcFrame, PortId, RoutingTable, Topology, TrafficClass,
 };
-use dcn_sim::{
-    run_while, BitRate, Bytes, EventQueue, SimDuration, SimTime, Simulation,
-};
+use dcn_sim::{run_while, BitRate, Bytes, EventQueue, SimDuration, SimTime, Simulation};
 use dcn_switch::{PfcEmit, SharedMemorySwitch, TxStart};
-use dcn_transport::{
-    DcqcnReceiver, DcqcnSender, DctcpReceiver, DctcpSender, RpTimerKind,
-};
+use dcn_transport::{DcqcnReceiver, DcqcnSender, DctcpReceiver, DctcpSender, RpTimerKind};
 use dcn_workload::FlowSpec;
 
 use crate::config::FabricConfig;
@@ -109,11 +105,8 @@ impl World {
         for node in topo.nodes() {
             match node.kind {
                 dcn_net::NodeKind::Switch => {
-                    let rates: Vec<BitRate> = node
-                        .ports
-                        .iter()
-                        .map(|&lid| topo.link(lid).rate)
-                        .collect();
+                    let rates: Vec<BitRate> =
+                        node.ports.iter().map(|&lid| topo.link(lid).rate).collect();
                     let mut sw = SharedMemorySwitch::new(
                         node.id,
                         cfg.switch.clone(),
@@ -227,8 +220,8 @@ impl World {
     }
 
     /// Ideal FCT on an empty network: pipeline fill (per-hop propagation
-    /// + first-packet serialization) plus draining the remaining bytes at
-    /// the bottleneck link.
+    /// plus first-packet serialization) plus draining the remaining bytes
+    /// at the bottleneck link.
     fn ideal_fct(&self, spec: &FlowSpec) -> SimDuration {
         let (mtu, header) = match spec.class {
             TrafficClass::Lossy => (self.cfg.dctcp.mss, self.cfg.dctcp.header),
@@ -344,7 +337,13 @@ impl World {
         );
     }
 
-    fn host_inject(&mut self, now: SimTime, host: NodeId, packet: Packet, q: &mut EventQueue<Event>) {
+    fn host_inject(
+        &mut self,
+        now: SimTime,
+        host: NodeId,
+        packet: Packet,
+        q: &mut EventQueue<Event>,
+    ) {
         let h = self.hosts[host.index()].as_mut().expect("not a host");
         h.enqueue(packet);
         let tx = h.try_start();
@@ -408,7 +407,13 @@ impl World {
         // dup-ACKs/RTO, and lossless drops are counted as config failures.
     }
 
-    fn host_receive(&mut self, now: SimTime, host: NodeId, packet: Packet, q: &mut EventQueue<Event>) {
+    fn host_receive(
+        &mut self,
+        now: SimTime,
+        host: NodeId,
+        packet: Packet,
+        q: &mut EventQueue<Event>,
+    ) {
         debug_assert_eq!(packet.dst, host, "misrouted packet");
         let Some(&ix) = self.flow_ix.get(&packet.flow) else {
             return; // stray packet from an unregistered flow
@@ -504,7 +509,13 @@ impl World {
         self.update_done(ix);
     }
 
-    fn handle_rto(&mut self, now: SimTime, flow: FlowId, generation: u64, q: &mut EventQueue<Event>) {
+    fn handle_rto(
+        &mut self,
+        now: SimTime,
+        flow: FlowId,
+        generation: u64,
+        q: &mut EventQueue<Event>,
+    ) {
         let Some(&ix) = self.flow_ix.get(&flow) else {
             return;
         };
@@ -558,10 +569,7 @@ impl World {
     fn handle_sample(&mut self, now: SimTime, q: &mut EventQueue<Event>) {
         for sw in self.switches.iter().flatten() {
             let occ = sw.occupancy();
-            self.occupancy
-                .entry(sw.id())
-                .or_default()
-                .push(now, occ);
+            self.occupancy.entry(sw.id()).or_default().push(now, occ);
         }
         if let Some(interval) = self.cfg.sample_interval {
             q.schedule_after(now, interval, Event::Sample);
@@ -745,11 +753,8 @@ mod tests {
     }
 
     fn single_switch_sim(policy: PolicyChoice, hosts: usize) -> FabricSim {
-        let topo = Topology::single_switch(
-            hosts,
-            BitRate::from_gbps(25),
-            SimDuration::from_micros(1),
-        );
+        let topo =
+            Topology::single_switch(hosts, BitRate::from_gbps(25), SimDuration::from_micros(1));
         let cfg = FabricConfig {
             policy,
             sample_interval: None,
@@ -882,11 +887,7 @@ mod tests {
 
     #[test]
     fn occupancy_sampling_produces_series() {
-        let topo = Topology::single_switch(
-            3,
-            BitRate::from_gbps(25),
-            SimDuration::from_micros(1),
-        );
+        let topo = Topology::single_switch(3, BitRate::from_gbps(25), SimDuration::from_micros(1));
         let cfg = FabricConfig {
             sample_interval: Some(SimDuration::from_micros(100)),
             ..FabricConfig::default()
@@ -905,11 +906,7 @@ mod tests {
     fn pfc_pauses_under_pressure_with_small_alpha() {
         // 8-into-1 at line rate with DT(0.125) and a small buffer: the
         // ingress queues cross their thresholds and pause frames flow.
-        let topo = Topology::single_switch(
-            9,
-            BitRate::from_gbps(25),
-            SimDuration::from_micros(1),
-        );
+        let topo = Topology::single_switch(9, BitRate::from_gbps(25), SimDuration::from_micros(1));
         let cfg = FabricConfig {
             policy: PolicyChoice::dt(),
             switch: dcn_switch::SwitchConfig {

@@ -65,7 +65,10 @@ pub fn steady_state_thresholds(total_buffer: Bytes, weights: &[f64]) -> Vec<Byte
 fn weight_sum(weights: &[f64]) -> f64 {
     let mut sum = 0.0;
     for &w in weights {
-        assert!(w >= 0.0 && !w.is_nan(), "weight must be non-negative, got {w}");
+        assert!(
+            w >= 0.0 && !w.is_nan(),
+            "weight must be non-negative, got {w}"
+        );
         sum += w;
     }
     sum

@@ -53,7 +53,10 @@ impl L2bmConfig {
             return Err(format!("alpha must be positive, got {}", self.alpha));
         }
         if !(self.max_weight > 0.0 && self.max_weight.is_finite()) {
-            return Err(format!("max_weight must be positive, got {}", self.max_weight));
+            return Err(format!(
+                "max_weight must be positive, got {}",
+                self.max_weight
+            ));
         }
         if let Normalization::Fixed(c) = self.normalization {
             if !(c > 0.0 && c.is_finite()) {
@@ -76,16 +79,22 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        let mut c = L2bmConfig::default();
-        c.alpha = 0.0;
+        let c = L2bmConfig {
+            alpha: 0.0,
+            ..L2bmConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = L2bmConfig::default();
-        c.max_weight = -1.0;
+        let c = L2bmConfig {
+            max_weight: -1.0,
+            ..L2bmConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = L2bmConfig::default();
-        c.normalization = Normalization::Fixed(0.0);
+        let c = L2bmConfig {
+            normalization: Normalization::Fixed(0.0),
+            ..L2bmConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

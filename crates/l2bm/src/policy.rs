@@ -124,7 +124,14 @@ mod tests {
         QueueIndex::new(PortId::new(port), Priority::new(prio))
     }
 
-    fn enqueue(m: &mut MmuState, p: &mut L2bmPolicy, now: SimTime, qi: QueueIndex, qo: QueueIndex, bytes: u64) {
+    fn enqueue(
+        m: &mut MmuState,
+        p: &mut L2bmPolicy,
+        now: SimTime,
+        qi: QueueIndex,
+        qo: QueueIndex,
+        bytes: u64,
+    ) {
         let c = m.plan_charge(qi, Bytes::new(bytes), Pool::Shared);
         m.charge(qi, qo, c);
         p.on_enqueue(m, now, qi, qo, Bytes::new(bytes));
@@ -177,8 +184,10 @@ mod tests {
 
     #[test]
     fn weight_is_capped() {
-        let mut cfg = L2bmConfig::default();
-        cfg.max_weight = 0.4;
+        let cfg = L2bmConfig {
+            max_weight: 0.4,
+            ..L2bmConfig::default()
+        };
         let mut p = L2bmPolicy::new(cfg);
         let mut m = mmu();
         // Huge backlog on one queue makes the other's C/τ explode; the
@@ -191,8 +200,10 @@ mod tests {
 
     #[test]
     fn fixed_normalization() {
-        let mut cfg = L2bmConfig::default();
-        cfg.normalization = Normalization::Fixed(1e-3);
+        let cfg = L2bmConfig {
+            normalization: Normalization::Fixed(1e-3),
+            ..L2bmConfig::default()
+        };
         let mut p = L2bmPolicy::new(cfg);
         let mut m = mmu();
         enqueue(&mut m, &mut p, SimTime::ZERO, q(0, 3), q(1, 3), 125_000);

@@ -20,11 +20,29 @@
 //! of the same bookkeeping (settle the decay term first, then remove the
 //! departing packet, whose remaining estimate has already decayed to
 //! ≈ 0), and clamp `t_total ≥ 0` against estimator error.
+//!
+//! # Hot-path complexity
+//!
+//! `pfc_threshold` runs per packet, so the normalization constant
+//! `C = Σ τ` must not be recomputed by scanning every queue. Each
+//! queue's unclamped contribution is linear in time — value
+//! `t_total/N`, slope `active/N` — so the module keeps the aggregate
+//! `Σ τ` and `Σ active/N` and advances them lazily by elapsed time.
+//! Clamping at zero is handled by an expiry min-heap keyed on each
+//! record's zero-crossing instant (`t_prev + t_total/active`); entries
+//! are invalidated by a per-record generation counter instead of heap
+//! deletion. [`SojournModule::sum_active_tau`] is then O(log k)
+//! amortized in the number of records that expired since the last call
+//! — O(1) when nothing crossed zero — instead of O(#queues). The
+//! aggregate lives in a `RefCell` because threshold reads take `&self`.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
-use dcn_switch::{MmuState, QueueIndex};
+use dcn_net::Priority;
 use dcn_sim::{SimDuration, SimTime};
+use dcn_switch::{MmuState, QueueIndex};
 
 /// Per-ingress-queue sojourn record.
 #[derive(Debug, Clone, Copy, Default)]
@@ -49,6 +67,125 @@ impl Record {
         }
         self.t_prev = now;
     }
+
+    /// The record's *unclamped* contribution to `Σ τ` at `t`:
+    /// `(value, decay slope per second)`. Only meaningful while the
+    /// record is counted in the aggregate (i.e. before its zero
+    /// crossing).
+    fn linear_contribution(&self, t: SimTime) -> (f64, f64) {
+        let n = self.n as f64;
+        let active = self.n.saturating_sub(self.paused_n) as f64;
+        let dt = t.saturating_since(self.t_prev).as_secs_f64();
+        ((self.total - active * dt) / n, active / n)
+    }
+}
+
+/// Aggregate-tracking metadata for one record.
+#[derive(Debug, Clone, Copy, Default)]
+struct RecMeta {
+    /// Bumped whenever the record leaves the aggregate; stale expiry-heap
+    /// entries carry an old generation and are skipped on pop.
+    gen: u64,
+    /// Whether the record is currently included in `sum`/`decay`.
+    counted: bool,
+}
+
+/// The lazily-advanced aggregate `C = Σ τ` and its bookkeeping.
+#[derive(Debug, Default)]
+struct AggState {
+    /// `Σ τ_i` over counted records, valid at `t`.
+    sum: f64,
+    /// `Σ active_i/n_i` over counted records — d(sum)/dt.
+    decay: f64,
+    /// Instant at which `sum` is valid.
+    t: SimTime,
+    /// Number of counted records (for snapping float drift to zero).
+    live: usize,
+    /// Per-record aggregate metadata, indexed like `records`.
+    meta: Vec<RecMeta>,
+    /// Zero-crossing events `(t_zero ns, record, generation)`, lazily
+    /// invalidated via the generation counter.
+    expiry: BinaryHeap<Reverse<(u64, usize, u64)>>,
+}
+
+impl AggState {
+    fn ensure(&mut self, len: usize) {
+        if self.meta.len() < len {
+            self.meta.resize(len, RecMeta::default());
+        }
+    }
+
+    /// Advances `sum` to `now`, retiring every record whose unclamped
+    /// contribution crossed zero on the way.
+    fn advance(&mut self, records: &[Record], now: SimTime) {
+        if now <= self.t {
+            return;
+        }
+        while let Some(&Reverse((tz_ns, i, gen))) = self.expiry.peek() {
+            if tz_ns > now.as_nanos() {
+                break;
+            }
+            self.expiry.pop();
+            let m = self.meta[i];
+            if m.gen != gen || !m.counted {
+                continue;
+            }
+            let tz = SimTime::from_nanos(tz_ns);
+            let dt = tz.saturating_since(self.t).as_secs_f64();
+            self.sum -= self.decay * dt;
+            self.t = self.t.max(tz);
+            self.retire(&records[i], i);
+        }
+        let dt = now.saturating_since(self.t).as_secs_f64();
+        self.sum -= self.decay * dt;
+        self.t = now;
+    }
+
+    /// Removes a counted record's contribution at the current `t`.
+    fn retire(&mut self, rec: &Record, i: usize) {
+        let m = &mut self.meta[i];
+        m.gen += 1;
+        if !m.counted {
+            return;
+        }
+        m.counted = false;
+        let (value, slope) = rec.linear_contribution(self.t);
+        self.sum -= value;
+        self.decay -= slope;
+        self.live -= 1;
+        if self.live == 0 {
+            // No records counted: the true sum is exactly zero; snap away
+            // any accumulated float drift.
+            self.sum = 0.0;
+            self.decay = 0.0;
+        }
+    }
+
+    /// (Re-)enters a just-settled record (`rec.t_prev == self.t`) into
+    /// the aggregate.
+    fn enroll(&mut self, rec: &Record, i: usize) {
+        if rec.n == 0 || rec.total <= 0.0 {
+            // Empty or fully-decayed records contribute exactly zero
+            // until the next enqueue; keep them out of the aggregate.
+            return;
+        }
+        let m = &mut self.meta[i];
+        m.counted = true;
+        self.live += 1;
+        self.sum += rec.total / rec.n as f64;
+        let active = rec.n.saturating_sub(rec.paused_n);
+        if active > 0 {
+            self.decay += active as f64 / rec.n as f64;
+            // Ceil so the heap never fires before the true crossing; the
+            // ≤ 1 ns overshoot is absorbed by `retire`'s exact subtraction.
+            let tz_s = rec.total / active as f64;
+            let tz_ns = rec
+                .t_prev
+                .as_nanos()
+                .saturating_add((tz_s * 1e9).ceil() as u64);
+            self.expiry.push(Reverse((tz_ns, i, m.gen)));
+        }
+    }
 }
 
 /// The residence-time recorder for every ingress queue of one switch.
@@ -57,39 +194,55 @@ impl Record {
 /// [`SojournModule::on_dequeue`] / [`SojournModule::on_pause_changed`]
 /// and read [`SojournModule::tau`] (one queue) or
 /// [`SojournModule::sum_active_tau`] (the normalization constant `C`).
+///
+/// `now` must be non-decreasing across calls — including the read-only
+/// [`SojournModule::sum_active_tau`], which advances the incremental
+/// aggregate — as is naturally the case inside a discrete-event
+/// simulation.
 #[derive(Debug, Default)]
 pub struct SojournModule {
     records: Vec<Record>,
-    /// Packets per (egress queue flat, ingress queue flat) — needed to
-    /// freeze the right ingress records when an egress queue pauses.
-    by_egress: HashMap<usize, HashMap<usize, u64>>,
+    /// Packets per (egress queue, ingress queue), densely indexed by
+    /// `QueueIndex::flat` on both axes — needed to freeze the right
+    /// ingress records when an egress queue pauses.
+    by_egress: Vec<Vec<u32>>,
     /// Our own view of egress pause state (kept so settling uses the
     /// state that held *during* the elapsed interval).
     egress_paused: Vec<bool>,
+    /// The incremental `Σ τ` aggregate; interior mutability because
+    /// threshold reads (`sum_active_tau`) take `&self`.
+    agg: RefCell<AggState>,
 }
 
 impl SojournModule {
-    /// An empty module; per-queue state is allocated on first use.
+    /// An empty module; per-queue state is sized from the MMU on first
+    /// enqueue.
     pub fn new() -> Self {
         SojournModule::default()
-    }
-
-    fn record_mut(&mut self, q: QueueIndex) -> &mut Record {
-        let i = q.flat();
-        if self.records.len() <= i {
-            self.records.resize(i + 1, Record::default());
-        }
-        &mut self.records[i]
     }
 
     fn egress_paused(&self, flat: usize) -> bool {
         self.egress_paused.get(flat).copied().unwrap_or(false)
     }
 
+    /// Sizes `records` (and aggregate metadata) to cover flat index `i`.
+    fn ensure_record(&mut self, i: usize) {
+        if self.records.len() <= i {
+            self.records.resize(i + 1, Record::default());
+        }
+        self.agg.get_mut().ensure(self.records.len());
+    }
+
     /// Records a packet entering via `q_in`, queued at `q_out`. Call
     /// after the MMU charge, so `mmu.egress_bytes(q_out)` includes the
     /// packet.
-    pub fn on_enqueue(&mut self, mmu: &MmuState, now: SimTime, q_in: QueueIndex, q_out: QueueIndex) {
+    pub fn on_enqueue(
+        &mut self,
+        mmu: &MmuState,
+        now: SimTime,
+        q_in: QueueIndex,
+        q_out: QueueIndex,
+    ) {
         // Estimated residence: output queue depth over its pause-free
         // drain share (pause time must not count — §III-D).
         let mu = mmu.egress_drain_rate_ignoring_pause(q_out);
@@ -101,26 +254,45 @@ impl SojournModule {
             wait.as_secs_f64()
         };
 
+        // Size everything for the full radix up front so the steady-state
+        // path never reallocates.
+        let nq = mmu.port_count() * Priority::COUNT;
+        let i = q_in.flat();
+        self.ensure_record((nq - 1).max(i));
+
         let out_paused = self.egress_paused(q_out.flat());
-        let rec = self.record_mut(q_in);
+        let state = self.agg.get_mut();
+        state.advance(&self.records, now);
+        let rec = &mut self.records[i];
+        state.retire(rec, i);
         rec.settle(now);
         rec.total += wait_s;
         rec.n += 1;
         if out_paused {
             rec.paused_n += 1;
         }
-        *self
-            .by_egress
-            .entry(q_out.flat())
-            .or_default()
-            .entry(q_in.flat())
-            .or_insert(0) += 1;
+        state.enroll(rec, i);
+
+        let of = q_out.flat();
+        if self.by_egress.len() <= of {
+            self.by_egress.resize_with(of + 1, Vec::new);
+        }
+        let inner = &mut self.by_egress[of];
+        if inner.len() < nq.max(i + 1) {
+            inner.resize(nq.max(i + 1), 0);
+        }
+        inner[i] += 1;
     }
 
     /// Records a packet leaving `q_in` through `q_out`.
     pub fn on_dequeue(&mut self, now: SimTime, q_in: QueueIndex, q_out: QueueIndex) {
         let out_paused = self.egress_paused(q_out.flat());
-        let rec = self.record_mut(q_in);
+        let i = q_in.flat();
+        self.ensure_record(i);
+        let state = self.agg.get_mut();
+        state.advance(&self.records, now);
+        let rec = &mut self.records[i];
+        state.retire(rec, i);
         rec.settle(now);
         rec.n = rec.n.saturating_sub(1);
         if out_paused {
@@ -130,15 +302,10 @@ impl SojournModule {
             rec.total = 0.0;
             rec.paused_n = 0;
         }
-        if let Some(m) = self.by_egress.get_mut(&q_out.flat()) {
-            if let Some(c) = m.get_mut(&q_in.flat()) {
+        state.enroll(rec, i);
+        if let Some(inner) = self.by_egress.get_mut(q_out.flat()) {
+            if let Some(c) = inner.get_mut(i) {
                 *c = c.saturating_sub(1);
-                if *c == 0 {
-                    m.remove(&q_in.flat());
-                }
-            }
-            if m.is_empty() {
-                self.by_egress.remove(&q_out.flat());
             }
         }
     }
@@ -154,22 +321,27 @@ impl SojournModule {
         if self.egress_paused[flat] == paused {
             return;
         }
-        if let Some(m) = self.by_egress.get(&flat) {
-            let affected: Vec<(usize, u64)> = m.iter().map(|(&q, &c)| (q, c)).collect();
-            for (q_in_flat, count) in affected {
-                if self.records.len() <= q_in_flat {
-                    self.records.resize(q_in_flat + 1, Record::default());
-                }
-                let rec = &mut self.records[q_in_flat];
-                rec.settle(now);
-                if paused {
-                    rec.paused_n += count;
-                } else {
-                    rec.paused_n = rec.paused_n.saturating_sub(count);
-                }
-            }
-        }
         self.egress_paused[flat] = paused;
+        let Some(counts) = self.by_egress.get(flat) else {
+            return;
+        };
+        let state = self.agg.get_mut();
+        state.ensure(self.records.len());
+        state.advance(&self.records, now);
+        for (i, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let rec = &mut self.records[i];
+            state.retire(rec, i);
+            rec.settle(now);
+            if paused {
+                rec.paused_n += u64::from(count);
+            } else {
+                rec.paused_n = rec.paused_n.saturating_sub(u64::from(count));
+            }
+            state.enroll(rec, i);
+        }
     }
 
     /// The average sojourn time `τ` of ingress queue `q` at `now`
@@ -193,8 +365,18 @@ impl SojournModule {
     }
 
     /// `Σ τ` over all queues currently holding packets — the paper's
-    /// normalization constant `C`.
+    /// normalization constant `C`. O(1) amortized: reads the incremental
+    /// aggregate instead of scanning every queue.
     pub fn sum_active_tau(&self, now: SimTime) -> f64 {
+        let mut state = self.agg.borrow_mut();
+        state.advance(&self.records, now);
+        state.sum.max(0.0)
+    }
+
+    /// Reference implementation of [`SojournModule::sum_active_tau`] by
+    /// full scan. Kept for differential testing of the incremental
+    /// aggregate — not for the admission path.
+    pub fn sum_active_tau_naive(&self, now: SimTime) -> f64 {
         (0..self.records.len())
             .filter(|&i| self.records[i].n > 0)
             .map(|i| {
@@ -223,13 +405,27 @@ mod tests {
     }
 
     /// Charges the MMU and informs the module, like the switch does.
-    fn enqueue(m: &mut MmuState, s: &mut SojournModule, now: SimTime, qi: QueueIndex, qo: QueueIndex, bytes: u64) {
+    fn enqueue(
+        m: &mut MmuState,
+        s: &mut SojournModule,
+        now: SimTime,
+        qi: QueueIndex,
+        qo: QueueIndex,
+        bytes: u64,
+    ) {
         let c = m.plan_charge(qi, Bytes::new(bytes), Pool::Shared);
         m.charge(qi, qo, c);
         s.on_enqueue(m, now, qi, qo);
     }
 
-    fn dequeue(m: &mut MmuState, s: &mut SojournModule, now: SimTime, qi: QueueIndex, qo: QueueIndex, bytes: u64) {
+    fn dequeue(
+        m: &mut MmuState,
+        s: &mut SojournModule,
+        now: SimTime,
+        qi: QueueIndex,
+        qo: QueueIndex,
+        bytes: u64,
+    ) {
         let c = m.plan_charge(qi, Bytes::ZERO, Pool::Shared);
         let _ = c;
         let charge = dcn_switch::Charge {
@@ -291,7 +487,14 @@ mod tests {
         let mut s = SojournModule::new();
         enqueue(&mut m, &mut s, SimTime::ZERO, q(0, 3), q(1, 3), 1_048);
         assert_eq!(s.packet_count(q(0, 3)), 1);
-        dequeue(&mut m, &mut s, SimTime::from_micros(1), q(0, 3), q(1, 3), 1_048);
+        dequeue(
+            &mut m,
+            &mut s,
+            SimTime::from_micros(1),
+            q(0, 3),
+            q(1, 3),
+            1_048,
+        );
         assert_eq!(s.packet_count(q(0, 3)), 0);
         assert_eq!(s.tau(q(0, 3), SimTime::from_micros(1)), 0.0);
     }
@@ -306,7 +509,10 @@ mod tests {
         m.set_egress_paused(q(1, 3), true);
         s.on_pause_changed(SimTime::ZERO, q(1, 3), true);
         let frozen = s.tau(q(0, 3), SimTime::from_micros(30));
-        assert!((frozen - before).abs() < 1e-9, "frozen {frozen} vs {before}");
+        assert!(
+            (frozen - before).abs() < 1e-9,
+            "frozen {frozen} vs {before}"
+        );
         // Resume: decay continues.
         m.set_egress_paused(q(1, 3), false);
         s.on_pause_changed(SimTime::from_micros(30), q(1, 3), false);
@@ -347,5 +553,59 @@ mod tests {
         s.on_pause_changed(SimTime::from_micros(3), q(1, 3), false);
         // No packets involved — just must not panic or corrupt state.
         assert_eq!(s.sum_active_tau(SimTime::from_micros(4)), 0.0);
+    }
+
+    #[test]
+    fn incremental_sum_matches_naive_after_decay_expiry() {
+        let mut m = mmu();
+        let mut s = SojournModule::new();
+        // Two queues with different zero-crossing times.
+        enqueue(&mut m, &mut s, SimTime::ZERO, q(0, 3), q(1, 3), 12_500); // ≈ 4 µs
+        enqueue(&mut m, &mut s, SimTime::ZERO, q(2, 3), q(3, 3), 125_000); // ≈ 40 µs
+        for us in [0u64, 2, 4, 6, 20, 39, 41, 100] {
+            let t = SimTime::from_micros(us);
+            let inc = s.sum_active_tau(t);
+            let naive = s.sum_active_tau_naive(t);
+            assert!(
+                (inc - naive).abs() < 1e-9,
+                "at {us}µs: inc {inc} naive {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_sum_matches_naive_across_pause_cycle() {
+        let mut m = mmu();
+        let mut s = SojournModule::new();
+        enqueue(&mut m, &mut s, SimTime::ZERO, q(0, 3), q(1, 3), 125_000);
+        enqueue(
+            &mut m,
+            &mut s,
+            SimTime::from_micros(1),
+            q(2, 3),
+            q(1, 3),
+            12_500,
+        );
+        s.on_pause_changed(SimTime::from_micros(2), q(1, 3), true);
+        let t = SimTime::from_micros(10);
+        assert!((s.sum_active_tau(t) - s.sum_active_tau_naive(t)).abs() < 1e-9);
+        s.on_pause_changed(SimTime::from_micros(12), q(1, 3), false);
+        dequeue(
+            &mut m,
+            &mut s,
+            SimTime::from_micros(14),
+            q(0, 3),
+            q(1, 3),
+            125_000,
+        );
+        for us in [14u64, 15, 30, 60, 200] {
+            let t = SimTime::from_micros(us);
+            let inc = s.sum_active_tau(t);
+            let naive = s.sum_active_tau_naive(t);
+            assert!(
+                (inc - naive).abs() < 1e-9,
+                "at {us}µs: inc {inc} naive {naive}"
+            );
+        }
     }
 }

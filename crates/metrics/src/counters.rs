@@ -126,7 +126,7 @@ impl OccupancySeries {
     /// Panics in debug builds if `at` precedes the last sample.
     pub fn push(&mut self, at: SimTime, occupancy: Bytes) {
         debug_assert!(
-            self.samples.last().map_or(true, |&(t, _)| at >= t),
+            self.samples.last().is_none_or(|&(t, _)| at >= t),
             "occupancy samples out of order"
         );
         self.samples.push((at, occupancy));

@@ -176,7 +176,9 @@ mod tests {
         let set: FctSet = (1..=100)
             .map(|i| rec(i, TrafficClass::Lossless, 10 * i, 10))
             .collect();
-        let p99 = set.slowdown_percentile(TrafficClass::Lossless, 0.99).unwrap();
+        let p99 = set
+            .slowdown_percentile(TrafficClass::Lossless, 0.99)
+            .unwrap();
         assert!((p99 - 99.01).abs() < 1e-6);
         assert!(set.slowdown_percentile(TrafficClass::Lossy, 0.99).is_none());
         let mean = set.mean_slowdown(TrafficClass::Lossless).unwrap();
@@ -197,8 +199,12 @@ mod tests {
 
     #[test]
     fn merge_concatenates() {
-        let mut a: FctSet = vec![rec(1, TrafficClass::Lossy, 20, 10)].into_iter().collect();
-        let b: FctSet = vec![rec(2, TrafficClass::Lossy, 30, 10)].into_iter().collect();
+        let mut a: FctSet = vec![rec(1, TrafficClass::Lossy, 20, 10)]
+            .into_iter()
+            .collect();
+        let b: FctSet = vec![rec(2, TrafficClass::Lossy, 30, 10)]
+            .into_iter()
+            .collect();
         a.merge(b);
         assert_eq!(a.len(), 2);
     }

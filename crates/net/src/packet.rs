@@ -81,6 +81,7 @@ pub struct Packet {
 
 impl Packet {
     /// Builds a data packet of `payload` flow bytes plus `header` overhead.
+    #[allow(clippy::too_many_arguments)]
     pub fn data(
         flow: FlowId,
         src: NodeId,

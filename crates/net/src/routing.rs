@@ -70,7 +70,7 @@ impl RoutingTable {
         RoutingTable {
             ports,
             host_rank,
-            salt: 0x5EED_0F_EC_A7,
+            salt: 0x005E_ED0F_ECA7,
         }
     }
 
@@ -182,7 +182,11 @@ mod tests {
         let distinct: std::collections::HashSet<PortId> = (0..256)
             .filter_map(|i| r.next_port(tor0, hosts[32], FlowId::new(i)))
             .collect();
-        assert!(distinct.len() >= 3, "got {} distinct uplinks", distinct.len());
+        assert!(
+            distinct.len() >= 3,
+            "got {} distinct uplinks",
+            distinct.len()
+        );
     }
 
     #[test]

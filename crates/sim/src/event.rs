@@ -106,7 +106,11 @@ impl<E> EventQueue<E> {
     /// Scheduling in the past is a model bug; this is checked in debug
     /// builds and clamped to `now` in release builds.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduling in the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling in the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         self.heap.push(Scheduled {
             at,

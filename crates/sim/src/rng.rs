@@ -1,14 +1,22 @@
 //! Seeded randomness and the distributions the workload generators need.
 //!
-//! Everything is driven by [`SimRng`], a thin wrapper over a seeded
-//! `StdRng`, so that a run is fully reproducible from its seed. Exponential
-//! sampling (Poisson inter-arrivals) and empirical-CDF sampling (flow
-//! sizes) are implemented here rather than pulling in `rand_distr`.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! Everything is driven by [`SimRng`], a self-contained xoshiro256++
+//! generator (public-domain algorithm by Blackman & Vigna) seeded through
+//! SplitMix64, so that a run is fully reproducible from its seed with no
+//! external crates. Exponential sampling (Poisson inter-arrivals) and
+//! empirical-CDF sampling (flow sizes) are implemented here rather than
+//! pulling in `rand_distr`.
 
 use crate::time::SimDuration;
+
+/// SplitMix64 step: the recommended seeder for xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A deterministic, seedable random number generator for simulations.
 ///
@@ -21,28 +29,49 @@ use crate::time::SimDuration;
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
 #[derive(Debug, Clone)]
-pub struct SimRng(StdRng);
+pub struct SimRng {
+    s: [u64; 4],
+}
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng(StdRng::seed_from_u64(seed))
+        let mut sm = seed;
+        SimRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
     }
 
     /// Derives an independent child generator (e.g. one per traffic
     /// source) so that adding sources doesn't perturb others' streams.
     pub fn fork(&mut self, stream: u64) -> SimRng {
-        SimRng::seed_from_u64(self.0.random::<u64>() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        SimRng::seed_from_u64(self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// The next raw 64-bit value.
+    /// The next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.0.next_u64()
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
-    /// A uniform float in `[0, 1)`.
+    /// A uniform float in `[0, 1)` (53 random mantissa bits).
     pub fn uniform_f64(&mut self) -> f64 {
-        self.0.random::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform integer in `[0, n)`.
@@ -52,7 +81,15 @@ impl SimRng {
     /// Panics if `n` is zero.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is meaningless");
-        self.0.random_range(0..n)
+        // Lemire's multiply-shift with rejection for exact uniformity.
+        loop {
+            let x = self.next_u64();
+            let m = x as u128 * n as u128;
+            let low = m as u64;
+            if low >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// A uniform index in `[0, n)`, excluding `skip` (used for "send to a
@@ -157,10 +194,14 @@ impl EmpiricalCdf {
         let first_p = knots[0].1;
         let last_p = knots[knots.len() - 1].1;
         if !(0.0..=1.0).contains(&first_p) {
-            return Err(InvalidCdfError(format!("first probability {first_p} out of range")));
+            return Err(InvalidCdfError(format!(
+                "first probability {first_p} out of range"
+            )));
         }
         if (last_p - 1.0).abs() > 1e-9 {
-            return Err(InvalidCdfError(format!("last probability must be 1.0, got {last_p}")));
+            return Err(InvalidCdfError(format!(
+                "last probability must be 1.0, got {last_p}"
+            )));
         }
         let mut cdf = EmpiricalCdf { knots, mean: 0.0 };
         cdf.mean = cdf.compute_mean();
@@ -289,7 +330,11 @@ mod tests {
             total += v;
         }
         let emp = total as f64 / n as f64;
-        assert!((emp - cdf.mean()).abs() < 10.0, "empirical mean {emp} vs {}", cdf.mean());
+        assert!(
+            (emp - cdf.mean()).abs() < 10.0,
+            "empirical mean {emp} vs {}",
+            cdf.mean()
+        );
     }
 
     #[test]

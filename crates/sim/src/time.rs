@@ -267,7 +267,10 @@ mod tests {
     #[test]
     fn from_secs_f64_rounds() {
         assert_eq!(SimDuration::from_secs_f64(1e-9), SimDuration::from_nanos(1));
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]

@@ -39,7 +39,8 @@ impl EcnConfig {
                 1.0
             }
         } else {
-            self.pmax * (q.as_f64() - self.kmin.as_f64()) / (self.kmax.as_f64() - self.kmin.as_f64())
+            self.pmax * (q.as_f64() - self.kmin.as_f64())
+                / (self.kmax.as_f64() - self.kmin.as_f64())
         }
     }
 }
@@ -134,20 +135,26 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = SwitchConfig::default();
-        c.xon_fraction = 1.5;
-        assert!(c.validate().is_err());
-
-        let mut c = SwitchConfig::default();
-        c.ecn_lossy = EcnConfig {
-            kmin: Bytes::from_kb(10),
-            kmax: Bytes::from_kb(5),
-            pmax: 0.5,
+        let c = SwitchConfig {
+            xon_fraction: 1.5,
+            ..SwitchConfig::default()
         };
         assert!(c.validate().is_err());
 
-        let mut c = SwitchConfig::default();
-        c.total_buffer = Bytes::ZERO;
+        let c = SwitchConfig {
+            ecn_lossy: EcnConfig {
+                kmin: Bytes::from_kb(10),
+                kmax: Bytes::from_kb(5),
+                pmax: 0.5,
+            },
+            ..SwitchConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = SwitchConfig {
+            total_buffer: Bytes::ZERO,
+            ..SwitchConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

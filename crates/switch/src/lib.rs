@@ -61,7 +61,7 @@ mod switch;
 pub use config::{EcnConfig, SwitchConfig};
 pub use mmu::{Charge, MmuState, Pool, QueueIndex};
 pub use policy::{AbmPolicy, BufferPolicy, DtPolicy};
-pub use queue::{EgressPort, QueuedPacket};
+pub use queue::{EgressPort, InFlight, QueuedPacket};
 pub use switch::{
     DropReason, PfcEmit, ReceiveOutcome, ReceiveResult, SharedMemorySwitch, TxCompleteResult,
     TxStart,

@@ -125,6 +125,13 @@ pub struct MmuState {
     shared_used: Bytes,
     headroom_used: Bytes,
     reserved_used: Bytes,
+
+    /// Ingress queues of each priority whose occupancy is ≥ 1 MTU,
+    /// maintained incrementally by `charge`/`discharge` so ABM's
+    /// per-packet threshold never scans the port list.
+    congested_ingress: [usize; Priority::COUNT],
+    /// Ingress queues with non-zero occupancy, maintained incrementally.
+    active_ingress: usize,
 }
 
 impl MmuState {
@@ -154,6 +161,8 @@ impl MmuState {
             shared_used: Bytes::ZERO,
             headroom_used: Bytes::ZERO,
             reserved_used: Bytes::ZERO,
+            congested_ingress: [0; Priority::COUNT],
+            active_ingress: 0,
         }
     }
 
@@ -295,7 +304,23 @@ impl MmuState {
 
     /// Number of ingress queues of `priority` whose occupancy is at
     /// least one MTU — ABM's "congested queues of this priority" count.
+    ///
+    /// O(1): the count is maintained incrementally by
+    /// [`MmuState::charge`] / [`MmuState::discharge`].
     pub fn congested_ingress_count(&self, priority: Priority) -> usize {
+        self.congested_ingress[priority.index()]
+    }
+
+    /// Number of ingress queues with non-zero occupancy. O(1): maintained
+    /// incrementally by [`MmuState::charge`] / [`MmuState::discharge`].
+    pub fn active_ingress_count(&self) -> usize {
+        self.active_ingress
+    }
+
+    /// Reference implementation of [`MmuState::congested_ingress_count`]
+    /// by full scan. Kept for differential testing of the incremental
+    /// counters — not for the admission path.
+    pub fn congested_ingress_count_naive(&self, priority: Priority) -> usize {
         (0..self.n_ports)
             .filter(|&p| {
                 let q = QueueIndex::new(PortId::new(p as u16), priority);
@@ -304,12 +329,30 @@ impl MmuState {
             .count()
     }
 
-    /// Iterates over all ingress queues with non-zero occupancy.
+    /// Iterates over all ingress queues with non-zero occupancy (full
+    /// scan — for reporting and tests, not the admission path; use
+    /// [`MmuState::active_ingress_count`] for the count).
     pub fn active_ingress_queues(&self) -> impl Iterator<Item = QueueIndex> + '_ {
-        (0..self.n_ports).flat_map(move |p| {
-            Priority::all().map(move |prio| QueueIndex::new(PortId::new(p as u16), prio))
-        })
-        .filter(|&q| self.ingress_total(q) > Bytes::ZERO)
+        (0..self.n_ports)
+            .flat_map(move |p| {
+                Priority::all().map(move |prio| QueueIndex::new(PortId::new(p as u16), prio))
+            })
+            .filter(|&q| self.ingress_total(q) > Bytes::ZERO)
+    }
+
+    /// Adjusts the incremental congested/active counters for ingress
+    /// queue `q` whose total went from `before` to `after`.
+    fn ingress_total_changed(&mut self, q: QueueIndex, before: Bytes, after: Bytes) {
+        if before < self.mtu && after >= self.mtu {
+            self.congested_ingress[q.priority.index()] += 1;
+        } else if before >= self.mtu && after < self.mtu {
+            self.congested_ingress[q.priority.index()] -= 1;
+        }
+        if before == Bytes::ZERO && after > Bytes::ZERO {
+            self.active_ingress += 1;
+        } else if before > Bytes::ZERO && after == Bytes::ZERO {
+            self.active_ingress -= 1;
+        }
     }
 
     // ---- mutation -----------------------------------------------------
@@ -329,6 +372,7 @@ impl MmuState {
     /// queued at egress `q_out`.
     pub fn charge(&mut self, q_in: QueueIndex, q_out: QueueIndex, c: Charge) {
         let i = q_in.flat();
+        let before = self.ingress_total(q_in);
         self.in_reserved[i] += c.reserved;
         self.reserved_used += c.reserved;
         match c.pool {
@@ -341,6 +385,7 @@ impl MmuState {
                 self.headroom_used += c.pooled;
             }
         }
+        self.ingress_total_changed(q_in, before, self.ingress_total(q_in));
         let o = q_out.flat();
         if self.out_bytes[o] == Bytes::ZERO && c.total() > Bytes::ZERO {
             self.out_active[q_out.port.index()] += 1;
@@ -352,6 +397,7 @@ impl MmuState {
     /// the ingress drain estimator.
     pub fn discharge(&mut self, now: SimTime, q_in: QueueIndex, q_out: QueueIndex, c: Charge) {
         let i = q_in.flat();
+        let before = self.ingress_total(q_in);
         self.in_reserved[i] -= c.reserved;
         self.reserved_used -= c.reserved;
         match c.pool {
@@ -364,6 +410,7 @@ impl MmuState {
                 self.headroom_used -= c.pooled;
             }
         }
+        self.ingress_total_changed(q_in, before, self.ingress_total(q_in));
         let o = q_out.flat();
         self.out_bytes[o] -= c.total();
         if self.out_bytes[o] == Bytes::ZERO && c.total() > Bytes::ZERO {
@@ -402,7 +449,26 @@ impl MmuState {
         }
         let total_in = sum_sh + sum_hr + sum_rs;
         if total_in != sum_out {
-            return Err(format!("ingress total {total_in} != egress total {sum_out}"));
+            return Err(format!(
+                "ingress total {total_in} != egress total {sum_out}"
+            ));
+        }
+        for prio in Priority::all() {
+            let naive = self.congested_ingress_count_naive(prio);
+            let inc = self.congested_ingress[prio.index()];
+            if naive != inc {
+                return Err(format!(
+                    "congested[{}] incremental {inc} != naive {naive}",
+                    prio.index()
+                ));
+            }
+        }
+        let naive_active = self.active_ingress_queues().count();
+        if naive_active != self.active_ingress {
+            return Err(format!(
+                "active ingress incremental {} != naive {naive_active}",
+                self.active_ingress
+            ));
         }
         Ok(())
     }
@@ -413,9 +479,11 @@ mod tests {
     use super::*;
 
     fn mmu() -> MmuState {
-        let mut cfg = SwitchConfig::default();
-        cfg.reserved_per_queue = Bytes::new(2_000);
-        cfg.headroom_per_queue = Bytes::new(10_000);
+        let cfg = SwitchConfig {
+            reserved_per_queue: Bytes::new(2_000),
+            headroom_per_queue: Bytes::new(10_000),
+            ..SwitchConfig::default()
+        };
         MmuState::new(&cfg, vec![BitRate::from_gbps(25); 4])
     }
 
@@ -477,7 +545,10 @@ mod tests {
         let c2 = m.plan_charge(q(1, 1), Bytes::new(3_000), Pool::Shared);
         m.charge(q(1, 1), qo1, c2);
         // Two active priorities share the port under round-robin.
-        assert_eq!(m.egress_drain_rate(qo3).as_bps(), BitRate::from_gbps(25).as_bps() / 2);
+        assert_eq!(
+            m.egress_drain_rate(qo3).as_bps(),
+            BitRate::from_gbps(25).as_bps() / 2
+        );
     }
 
     #[test]

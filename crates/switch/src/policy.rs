@@ -207,18 +207,27 @@ mod tests {
         let mut m = mmu();
         let dt = DtPolicy::new(0.125);
         // Empty switch: T = 0.125 × 4 MB = 500 KB.
-        assert_eq!(dt.pfc_threshold(&m, q(0, 3), SimTime::ZERO), Bytes::new(500_000));
+        assert_eq!(
+            dt.pfc_threshold(&m, q(0, 3), SimTime::ZERO),
+            Bytes::new(500_000)
+        );
         // Fill 2 MB: T halves.
         let c = m.plan_charge(q(1, 3), Bytes::from_mb(2), Pool::Shared);
         m.charge(q(1, 3), q(2, 3), c);
-        assert_eq!(dt.pfc_threshold(&m, q(0, 3), SimTime::ZERO), Bytes::new(250_000));
+        assert_eq!(
+            dt.pfc_threshold(&m, q(0, 3), SimTime::ZERO),
+            Bytes::new(250_000)
+        );
     }
 
     #[test]
     fn dt_threshold_is_queue_independent() {
         let m = mmu();
         let dt = DtPolicy::new(0.5);
-        assert_eq!(dt.pfc_threshold(&m, q(0, 1), SimTime::ZERO), dt.pfc_threshold(&m, q(3, 7), SimTime::ZERO));
+        assert_eq!(
+            dt.pfc_threshold(&m, q(0, 1), SimTime::ZERO),
+            dt.pfc_threshold(&m, q(3, 7), SimTime::ZERO)
+        );
     }
 
     #[test]
@@ -252,7 +261,10 @@ mod tests {
         let abm = AbmPolicy::new(0.5);
         // Fresh queue: optimistic drain 1.0 => same as DT(0.5).
         let dt = DtPolicy::new(0.5);
-        assert_eq!(abm.pfc_threshold(&m, q(0, 3), SimTime::ZERO), dt.pfc_threshold(&m, q(0, 3), SimTime::ZERO));
+        assert_eq!(
+            abm.pfc_threshold(&m, q(0, 3), SimTime::ZERO),
+            dt.pfc_threshold(&m, q(0, 3), SimTime::ZERO)
+        );
     }
 
     #[test]

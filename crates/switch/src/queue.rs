@@ -8,7 +8,8 @@
 
 use std::collections::VecDeque;
 
-use dcn_net::{Packet, PortId, Priority};
+use dcn_net::{FlowId, Packet, PortId, Priority};
+use dcn_sim::Bytes;
 
 use crate::mmu::Charge;
 
@@ -25,13 +26,32 @@ pub struct QueuedPacket {
     pub charge: Charge,
 }
 
+/// Bookkeeping for the packet being serialized. The packet itself is
+/// *moved* to the event loop when transmission starts (no per-transmit
+/// clone); only what the departure path needs is retained here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InFlight {
+    /// The flow the packet belongs to.
+    pub flow: FlowId,
+    /// The packet's sequence number within its flow.
+    pub seq: u64,
+    /// The packet's priority (names both queues with the ports).
+    pub priority: Priority,
+    /// The packet's total size on the wire.
+    pub size: Bytes,
+    /// The ingress port it arrived on.
+    pub in_port: PortId,
+    /// How its bytes were charged at admission.
+    pub charge: Charge,
+}
+
 /// One egress port: eight priority FIFOs, a round-robin pointer, and at
 /// most one packet in flight on the wire.
 #[derive(Debug, Default)]
 pub struct EgressPort {
     queues: [VecDeque<QueuedPacket>; Priority::COUNT],
     rr_next: usize,
-    in_flight: Option<QueuedPacket>,
+    in_flight: Option<InFlight>,
 }
 
 impl EgressPort {
@@ -63,11 +83,13 @@ impl EgressPort {
 
     /// Starts transmitting the next eligible packet, if the port is idle
     /// and some non-paused priority has one. Round-robin resumes after
-    /// the last served priority. Returns the packet now in flight.
+    /// the last served priority. Returns the packet, *moved* out of its
+    /// queue for delivery to the link peer; the discharge bookkeeping
+    /// stays behind as the port's [`InFlight`] record.
     ///
     /// `paused(prio)` reports whether a downstream XOFF blocks a
     /// priority.
-    pub fn start_next(&mut self, paused: impl Fn(Priority) -> bool) -> Option<&QueuedPacket> {
+    pub fn start_next(&mut self, paused: impl Fn(Priority) -> bool) -> Option<Packet> {
         if self.in_flight.is_some() {
             return None;
         }
@@ -79,24 +101,31 @@ impl EgressPort {
             }
             let qp = self.queues[ix].pop_front().expect("checked non-empty");
             self.rr_next = (ix + 1) % Priority::COUNT;
-            self.in_flight = Some(qp);
-            return self.in_flight.as_ref();
+            self.in_flight = Some(InFlight {
+                flow: qp.packet.flow,
+                seq: qp.packet.seq,
+                priority: qp.packet.priority,
+                size: qp.packet.size,
+                in_port: qp.in_port,
+                charge: qp.charge,
+            });
+            return Some(qp.packet);
         }
         None
     }
 
     /// Completes the in-flight transmission, returning the departed
-    /// packet for MMU discharge.
+    /// packet's bookkeeping for MMU discharge.
     ///
     /// # Panics
     ///
     /// Panics if nothing was in flight — a scheduling bug.
-    pub fn finish_tx(&mut self) -> QueuedPacket {
+    pub fn finish_tx(&mut self) -> InFlight {
         self.in_flight.take().expect("tx_complete with idle port")
     }
 
-    /// The packet currently being serialized, if any.
-    pub fn in_flight(&self) -> Option<&QueuedPacket> {
+    /// Bookkeeping of the packet currently being serialized, if any.
+    pub fn in_flight(&self) -> Option<&InFlight> {
         self.in_flight.as_ref()
     }
 }
@@ -134,10 +163,10 @@ mod tests {
         let mut p = EgressPort::new();
         p.enqueue(qp(3, 1));
         p.enqueue(qp(3, 2));
-        let first = p.start_next(|_| false).unwrap().packet.seq;
+        let first = p.start_next(|_| false).unwrap().seq;
         assert_eq!(first, 1);
         p.finish_tx();
-        let second = p.start_next(|_| false).unwrap().packet.seq;
+        let second = p.start_next(|_| false).unwrap().seq;
         assert_eq!(second, 2);
     }
 
@@ -150,7 +179,7 @@ mod tests {
         p.enqueue(qp(3, 31));
         let mut served = Vec::new();
         while let Some(q) = p.start_next(|_| false) {
-            served.push(q.packet.seq);
+            served.push(q.seq);
             p.finish_tx();
         }
         assert_eq!(served, vec![10, 30, 11, 31]);
@@ -161,11 +190,7 @@ mod tests {
         let mut p = EgressPort::new();
         p.enqueue(qp(1, 10));
         p.enqueue(qp(3, 30));
-        let got = p
-            .start_next(|prio| prio == Priority::new(1))
-            .unwrap()
-            .packet
-            .seq;
+        let got = p.start_next(|prio| prio == Priority::new(1)).unwrap().seq;
         assert_eq!(got, 30);
         p.finish_tx();
         // Everything eligible is paused: nothing starts.
@@ -182,7 +207,7 @@ mod tests {
         assert!(p.start_next(|_| false).is_none(), "already busy");
         assert!(!p.is_idle());
         let done = p.finish_tx();
-        assert_eq!(done.packet.seq, 1);
+        assert_eq!(done.seq, 1);
         assert!(p.is_idle());
     }
 

@@ -8,7 +8,7 @@ use dcn_metrics::{DropCounters, PfcCounters};
 use crate::config::SwitchConfig;
 use crate::mmu::{MmuState, Pool, QueueIndex};
 use crate::policy::BufferPolicy;
-use crate::queue::{EgressPort, QueuedPacket};
+use crate::queue::{EgressPort, InFlight, QueuedPacket};
 
 /// Why a packet was rejected at admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +38,7 @@ pub struct PfcEmit {
 pub struct TxStart {
     /// The transmitting egress port.
     pub port: PortId,
-    /// A copy of the packet for delivery to the link peer.
+    /// The packet, moved out of its queue for delivery to the link peer.
     pub packet: Packet,
     /// Serialization time at the port's link rate.
     pub serialize: SimDuration,
@@ -77,9 +77,9 @@ impl ReceiveResult {
 /// Result of completing a transmission.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TxCompleteResult {
-    /// The packet that just left the switch (already delivered — or in
-    /// flight to — the peer; returned for tracing).
-    pub departed: Packet,
+    /// Bookkeeping of the packet that just left the switch (the packet
+    /// itself was moved to the peer when serialization started).
+    pub departed: InFlight,
     /// The next transmission on this port, if one is eligible.
     pub next: Option<TxStart>,
     /// An XON to send upstream, if the departure cleared the hysteresis.
@@ -286,11 +286,10 @@ impl SharedMemorySwitch {
     /// Panics if `port` has nothing in flight.
     pub fn tx_complete(&mut self, now: SimTime, port: PortId) -> TxCompleteResult {
         let qp = self.ports[port.index()].finish_tx();
-        let q_in = QueueIndex::new(qp.in_port, qp.packet.priority);
-        let q_out = QueueIndex::new(port, qp.packet.priority);
+        let q_in = QueueIndex::new(qp.in_port, qp.priority);
+        let q_out = QueueIndex::new(port, qp.priority);
         self.mmu.discharge(now, q_in, q_out, qp.charge);
-        self.policy
-            .on_dequeue(&self.mmu, now, q_in, q_out, qp.packet.size);
+        self.policy.on_dequeue(&self.mmu, now, q_in, q_out, qp.size);
 
         // --- PFC XON check ----------------------------------------------
         let mut pfc = None;
@@ -303,17 +302,17 @@ impl SharedMemorySwitch {
                 && self.mmu.ingress_shared(q_in) <= t.scale(self.cfg.xon_fraction)
             {
                 self.pause_sent[q_in.flat()] = false;
-                self.pfc_counters.record_resume(qp.packet.priority);
+                self.pfc_counters.record_resume(qp.priority);
                 pfc = Some(PfcEmit {
                     port: qp.in_port,
-                    frame: PfcFrame::resume(qp.packet.priority),
+                    frame: PfcFrame::resume(qp.priority),
                 });
             }
         }
 
         let next = self.try_start(port);
         TxCompleteResult {
-            departed: qp.packet,
+            departed: qp,
             next,
             pfc,
         }
@@ -339,12 +338,12 @@ impl SharedMemorySwitch {
     fn try_start(&mut self, port: PortId) -> Option<TxStart> {
         let mmu = &self.mmu;
         let eport = &mut self.ports[port.index()];
-        let qp = eport.start_next(|prio| mmu.egress_paused(QueueIndex::new(port, prio)))?;
-        let rate = mmu.link_rate(port);
+        let packet = eport.start_next(|prio| mmu.egress_paused(QueueIndex::new(port, prio)))?;
+        let serialize = mmu.link_rate(port).tx_time(packet.size);
         Some(TxStart {
             port,
-            packet: qp.packet.clone(),
-            serialize: rate.tx_time(qp.packet.size),
+            packet,
+            serialize,
         })
     }
 
@@ -408,7 +407,12 @@ mod tests {
     #[test]
     fn admit_and_transmit_one_packet() {
         let mut sw = small_switch(0.5, Bytes::from_mb(4));
-        let r = sw.receive(SimTime::ZERO, lossless_pkt(0), PortId::new(0), PortId::new(1));
+        let r = sw.receive(
+            SimTime::ZERO,
+            lossless_pkt(0),
+            PortId::new(0),
+            PortId::new(1),
+        );
         assert!(r.admitted());
         assert!(r.pfc.is_none());
         let tx = r.tx.expect("idle port starts immediately");
@@ -427,9 +431,19 @@ mod tests {
     #[test]
     fn second_packet_waits_for_first() {
         let mut sw = small_switch(0.5, Bytes::from_mb(4));
-        let r1 = sw.receive(SimTime::ZERO, lossless_pkt(0), PortId::new(0), PortId::new(1));
+        let r1 = sw.receive(
+            SimTime::ZERO,
+            lossless_pkt(0),
+            PortId::new(0),
+            PortId::new(1),
+        );
         assert!(r1.tx.is_some());
-        let r2 = sw.receive(SimTime::ZERO, lossless_pkt(1), PortId::new(0), PortId::new(1));
+        let r2 = sw.receive(
+            SimTime::ZERO,
+            lossless_pkt(1),
+            PortId::new(0),
+            PortId::new(1),
+        );
         assert!(r2.admitted());
         assert!(r2.tx.is_none(), "port busy");
         let done = sw.tx_complete(SimTime::from_nanos(336), PortId::new(1));
@@ -443,13 +457,19 @@ mod tests {
         let mut sw = small_switch(0.125, Bytes::new(10_000));
         let mut paused_at = None;
         for i in 0..8 {
-            let r = sw.receive(SimTime::ZERO, lossless_pkt(i), PortId::new(0), PortId::new(1));
+            let r = sw.receive(
+                SimTime::ZERO,
+                lossless_pkt(i),
+                PortId::new(0),
+                PortId::new(1),
+            );
             assert!(r.admitted(), "lossless must not drop while headroom lasts");
-            if r.pfc.is_some() && paused_at.is_none() {
-                let e = r.pfc.unwrap();
-                assert!(e.frame.pause);
-                assert_eq!(e.port, PortId::new(0));
-                paused_at = Some(i);
+            if let Some(e) = r.pfc {
+                if paused_at.is_none() {
+                    assert!(e.frame.pause);
+                    assert_eq!(e.port, PortId::new(0));
+                    paused_at = Some(i);
+                }
             }
         }
         assert!(paused_at.is_some(), "threshold crossing must emit XOFF");
@@ -475,7 +495,12 @@ mod tests {
         );
         let mut dropped = 0;
         for i in 0..6 {
-            let r = sw.receive(SimTime::ZERO, lossless_pkt(i), PortId::new(0), PortId::new(1));
+            let r = sw.receive(
+                SimTime::ZERO,
+                lossless_pkt(i),
+                PortId::new(0),
+                PortId::new(1),
+            );
             if !r.admitted() {
                 assert_eq!(
                     r.outcome,
@@ -509,7 +534,12 @@ mod tests {
         let mut sw = small_switch(0.125, Bytes::new(10_000));
         // Fill until paused.
         for i in 0..8 {
-            sw.receive(SimTime::ZERO, lossless_pkt(i), PortId::new(0), PortId::new(1));
+            sw.receive(
+                SimTime::ZERO,
+                lossless_pkt(i),
+                PortId::new(0),
+                PortId::new(1),
+            );
         }
         assert!(sw.is_pause_sent(QueueIndex::new(PortId::new(0), Priority::new(3))));
         // Drain everything; XON must appear before the queue is empty or
@@ -536,8 +566,18 @@ mod tests {
     fn downstream_pause_stops_and_resume_restarts() {
         let mut sw = small_switch(0.5, Bytes::from_mb(4));
         // Two packets queued; first in flight.
-        sw.receive(SimTime::ZERO, lossless_pkt(0), PortId::new(0), PortId::new(1));
-        sw.receive(SimTime::ZERO, lossless_pkt(1), PortId::new(0), PortId::new(1));
+        sw.receive(
+            SimTime::ZERO,
+            lossless_pkt(0),
+            PortId::new(0),
+            PortId::new(1),
+        );
+        sw.receive(
+            SimTime::ZERO,
+            lossless_pkt(1),
+            PortId::new(0),
+            PortId::new(1),
+        );
         // Downstream pauses priority 3 on port 1.
         let none = sw.handle_pfc(
             SimTime::from_nanos(100),
@@ -613,7 +653,11 @@ mod tests {
         let mut in_flight_ports: Vec<PortId> = Vec::new();
         for i in 0..50 {
             let out = PortId::new((i % 3 + 1) as u16);
-            let pkt = if i % 2 == 0 { lossless_pkt(i) } else { lossy_pkt(i) };
+            let pkt = if i % 2 == 0 {
+                lossless_pkt(i)
+            } else {
+                lossy_pkt(i)
+            };
             let r = sw.receive(t, pkt, PortId::new(0), out);
             if r.tx.is_some() {
                 in_flight_ports.push(out);

@@ -247,13 +247,12 @@ impl DcqcnSender {
         let avg = BitRate::from_bps((self.rc.as_bps() + self.rt.as_bps()) / 2);
         // Snap to line rate once within 1 Mbps so recovery terminates
         // (the integer average otherwise approaches it asymptotically).
-        self.rc = if self.line_rate.as_bps() - avg.as_bps().min(self.line_rate.as_bps())
-            <= 1_000_000
-        {
-            self.line_rate
-        } else {
-            avg
-        };
+        self.rc =
+            if self.line_rate.as_bps() - avg.as_bps().min(self.line_rate.as_bps()) <= 1_000_000 {
+                self.line_rate
+            } else {
+                avg
+            };
     }
 }
 
@@ -412,8 +411,10 @@ mod tests {
 
     #[test]
     fn additive_then_hyper_increase_engage() {
-        let mut cfg = DcqcnConfig::default();
-        cfg.f = 2;
+        let cfg = DcqcnConfig {
+            f: 2,
+            ..DcqcnConfig::default()
+        };
         let mut s = DcqcnSender::new(
             cfg,
             FlowId::new(1),
@@ -444,13 +445,21 @@ mod tests {
             Priority::new(3),
             Bytes::new(10_000),
         );
-        assert!(r.on_data(SimTime::from_micros(0), Bytes::new(1_000), true).is_some());
+        assert!(r
+            .on_data(SimTime::from_micros(0), Bytes::new(1_000), true)
+            .is_some());
         // 10 µs later: suppressed.
-        assert!(r.on_data(SimTime::from_micros(10), Bytes::new(1_000), true).is_none());
+        assert!(r
+            .on_data(SimTime::from_micros(10), Bytes::new(1_000), true)
+            .is_none());
         // 60 µs after the first: allowed again.
-        assert!(r.on_data(SimTime::from_micros(60), Bytes::new(1_000), true).is_some());
+        assert!(r
+            .on_data(SimTime::from_micros(60), Bytes::new(1_000), true)
+            .is_some());
         // Unmarked packets never trigger CNPs.
-        assert!(r.on_data(SimTime::from_micros(200), Bytes::new(1_000), false).is_none());
+        assert!(r
+            .on_data(SimTime::from_micros(200), Bytes::new(1_000), false)
+            .is_none());
     }
 
     #[test]

@@ -167,7 +167,9 @@ impl DctcpSender {
     pub fn take_ready(&mut self, _now: SimTime) -> Vec<Packet> {
         let mut out = Vec::new();
         let limit = (self.snd_una as f64 + self.cwnd) as u64;
-        while self.snd_nxt < self.size && self.snd_nxt + self.cfg.mss.min(self.size - self.snd_nxt) <= limit {
+        while self.snd_nxt < self.size
+            && self.snd_nxt + self.cfg.mss.min(self.size - self.snd_nxt) <= limit
+        {
             let pkt = self.segment(self.snd_nxt);
             self.snd_nxt += pkt.payload.as_u64();
             out.push(pkt);
@@ -400,7 +402,12 @@ mod tests {
             s.on_ack(t, p.seq + p.payload.as_u64(), false);
             t += SimDuration::from_nanos(100);
         }
-        assert!((s.cwnd() - 2.0 * w0).abs() < 1.0, "cwnd {} vs {}", s.cwnd(), 2.0 * w0);
+        assert!(
+            (s.cwnd() - 2.0 * w0).abs() < 1.0,
+            "cwnd {} vs {}",
+            s.cwnd(),
+            2.0 * w0
+        );
     }
 
     #[test]
@@ -430,17 +437,15 @@ mod tests {
         let mut s = sender(10_000_000);
         let mut t = SimTime::from_micros(1);
         let mut inflight = s.take_ready(SimTime::ZERO);
-        let mut ack_all = |s: &mut DctcpSender,
-                           inflight: &mut Vec<Packet>,
-                           t: &mut SimTime,
-                           marked: bool| {
-            let pkts = std::mem::take(inflight);
-            for p in pkts {
-                let a = s.on_ack(*t, p.seq + p.payload.as_u64(), marked);
-                inflight.extend(a.packets);
-                *t += SimDuration::from_nanos(100);
-            }
-        };
+        let ack_all =
+            |s: &mut DctcpSender, inflight: &mut Vec<Packet>, t: &mut SimTime, marked: bool| {
+                let pkts = std::mem::take(inflight);
+                for p in pkts {
+                    let a = s.on_ack(*t, p.seq + p.payload.as_u64(), marked);
+                    inflight.extend(a.packets);
+                    *t += SimDuration::from_nanos(100);
+                }
+            };
         // Marked phase keeps α high.
         for _ in 0..3 {
             ack_all(&mut s, &mut inflight, &mut t, true);

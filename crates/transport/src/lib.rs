@@ -41,8 +41,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod dctcp;
 mod dcqcn;
+mod dctcp;
 
-pub use dctcp::{AckAction, DctcpConfig, DctcpReceiver, DctcpSender};
 pub use dcqcn::{DcqcnConfig, DcqcnReceiver, DcqcnSender, RpTimerKind};
+pub use dctcp::{AckAction, DctcpConfig, DctcpReceiver, DctcpSender};

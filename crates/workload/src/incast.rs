@@ -122,7 +122,11 @@ impl IncastWorkload {
                 .iter()
                 .enumerate()
                 .map(|(k, &ix)| {
-                    let size = if k == 0 { per_flow + remainder } else { per_flow };
+                    let size = if k == 0 {
+                        per_flow + remainder
+                    } else {
+                        per_flow
+                    };
                     let spec = FlowSpec {
                         id: FlowId::new(next_flow),
                         src: self.hosts[ix],
@@ -199,7 +203,9 @@ mod tests {
     #[test]
     fn flow_ids_unique_and_consecutive() {
         let mut rng = SimRng::seed_from_u64(3);
-        let queries = workload().first_flow_id(1_000).generate(SimDuration::from_millis(20), &mut rng);
+        let queries = workload()
+            .first_flow_id(1_000)
+            .generate(SimDuration::from_millis(20), &mut rng);
         let ids: Vec<u64> = queries
             .iter()
             .flat_map(|q| q.flows.iter().map(|f| f.id.as_u64()))
@@ -211,7 +217,12 @@ mod tests {
 
     #[test]
     fn remainder_goes_to_first_responder() {
-        let w = IncastWorkload::new(hosts(8), 3, Bytes::new(1_000_003), SimDuration::from_millis(1));
+        let w = IncastWorkload::new(
+            hosts(8),
+            3,
+            Bytes::new(1_000_003),
+            SimDuration::from_millis(1),
+        );
         let mut rng = SimRng::seed_from_u64(4);
         let queries = w.generate(SimDuration::from_millis(10), &mut rng);
         let q = &queries[0];

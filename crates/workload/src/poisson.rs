@@ -129,7 +129,10 @@ impl PoissonTraffic {
                             .unwrap_or(true)
                 })
                 .collect();
-            assert!(!candidates.is_empty(), "no inter-rack destination for {src}");
+            assert!(
+                !candidates.is_empty(),
+                "no inter-rack destination for {src}"
+            );
             candidates[rng.below(candidates.len() as u64) as usize]
         } else {
             // Uniform over destinations, excluding self if present.
@@ -249,7 +252,10 @@ mod tests {
             let _ = i;
         }
         assert_eq!(flows[0].id, FlowId::new(100));
-        assert_eq!(flows.last().unwrap().id.as_u64(), 100 + flows.len() as u64 - 1);
+        assert_eq!(
+            flows.last().unwrap().id.as_u64(),
+            100 + flows.len() as u64 - 1
+        );
     }
 
     #[test]
@@ -264,12 +270,7 @@ mod tests {
     #[test]
     fn inter_rack_restriction() {
         let hs = hosts(4);
-        let racks = vec![
-            (hs[0], 0),
-            (hs[1], 0),
-            (hs[2], 1),
-            (hs[3], 1),
-        ];
+        let racks = vec![(hs[0], 0), (hs[1], 0), (hs[2], 1), (hs[3], 1)];
         let t = PoissonTraffic::builder(hs.clone(), fixed_size_cdf(10_000))
             .inter_rack(racks.clone())
             .build();

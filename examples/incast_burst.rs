@@ -6,9 +6,7 @@
 //! cargo run --release --example incast_burst
 //! ```
 
-use dcn_experiments::{
-    fmt_f64, paper_policies, run_incast, ExperimentScale, IncastConfig, Table,
-};
+use dcn_experiments::{fmt_f64, paper_policies, run_incast, ExperimentScale, IncastConfig, Table};
 
 fn main() {
     let scale = ExperimentScale::small();

@@ -51,7 +51,12 @@ fn hybrid_run_completes_without_lossless_drops_under_all_policies() {
         sim.add_flows(mixed_workload(11));
         let done = sim.run_until_done(SimTime::from_secs(2));
         let r = sim.results();
-        assert!(done, "{}: {} flows unfinished", policy.label(), r.unfinished_flows);
+        assert!(
+            done,
+            "{}: {} flows unfinished",
+            policy.label(),
+            r.unfinished_flows
+        );
         assert_eq!(
             r.drops.lossless_packets,
             0,
@@ -171,7 +176,11 @@ fn pfc_backpressure_reaches_hosts_under_pressure() {
     assert!(sim.run_until_done(SimTime::from_secs(2)));
     let r = sim.results();
     assert!(r.pause_frames() > 0, "pressure must trigger PFC");
-    assert_eq!(r.pfc.resume_frames(), r.pause_frames(), "every XOFF gets an XON");
+    assert_eq!(
+        r.pfc.resume_frames(),
+        r.pause_frames(),
+        "every XOFF gets an XON"
+    );
     assert_eq!(r.drops.lossless_packets, 0);
 }
 

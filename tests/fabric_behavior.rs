@@ -4,9 +4,9 @@
 
 use dcn_fabric::{FabricConfig, FabricSim, PolicyChoice};
 use dcn_net::{ClosConfig, FlowId, NodeId, Priority, Topology, TrafficClass};
-use dcn_sim::{BitRate, Bytes, SimDuration, SimTime};
+use dcn_sim::{BitRate, Bytes, SimDuration, SimRng, SimTime};
 use dcn_switch::{EcnConfig, SwitchConfig};
-use dcn_workload::FlowSpec;
+use dcn_workload::{web_search_cdf, FlowSpec, PoissonTraffic};
 
 fn flow(id: u64, src: u32, dst: u32, size: u64, class: TrafficClass) -> FlowSpec {
     FlowSpec {
@@ -93,7 +93,12 @@ fn dctcp_backs_off_under_aggressive_marking() {
     assert_eq!(r.fct.len(), 2);
     // Sharing a 25G link: each flow takes at least ~2x its solo time.
     for rec in r.fct.records() {
-        assert!(rec.slowdown() > 1.5, "flow {} slowdown {}", rec.flow, rec.slowdown());
+        assert!(
+            rec.slowdown() > 1.5,
+            "flow {} slowdown {}",
+            rec.flow,
+            rec.slowdown()
+        );
     }
 }
 
@@ -182,7 +187,78 @@ fn lossy_and_lossless_classes_are_isolated_by_priority_queues() {
         .expect("mouse completed");
     // Round-robin halves its bandwidth at worst; far from the ~100x it
     // would suffer in a shared FIFO behind 5 MB.
-    assert!(mouse.slowdown() < 5.0, "mouse slowdown {}", mouse.slowdown());
+    assert!(
+        mouse.slowdown() < 5.0,
+        "mouse slowdown {}",
+        mouse.slowdown()
+    );
+}
+
+/// One fixed-seed hybrid run on a small Clos under L2BM, reduced to a
+/// digest of `RunResults`. The golden values below were captured before
+/// the O(1) admission-path optimizations (incremental Σ τ, incremental
+/// congested-queue counts, move-based transmit) and must not shift: the
+/// fast paths are exact rewrites, not approximations.
+fn hybrid_golden_digest() -> (usize, u64, u64, u64, u64, usize) {
+    let topo = Topology::clos(&ClosConfig::small(4));
+    let hosts: Vec<NodeId> = topo.hosts().collect();
+    let (rdma_hosts, tcp_hosts): (Vec<NodeId>, Vec<NodeId>) =
+        hosts.iter().partition(|h| h.index() % 2 == 0);
+    let mut rng = SimRng::seed_from_u64(42);
+    let window = SimDuration::from_millis(2);
+
+    let rdma = PoissonTraffic::builder(rdma_hosts.clone(), web_search_cdf())
+        .load(0.4)
+        .link_rate(BitRate::from_gbps(25))
+        .class(TrafficClass::Lossless, Priority::new(3))
+        .dests(rdma_hosts)
+        .build();
+    let tcp = PoissonTraffic::builder(tcp_hosts.clone(), web_search_cdf())
+        .load(0.8)
+        .link_rate(BitRate::from_gbps(25))
+        .class(TrafficClass::Lossy, Priority::new(1))
+        .dests(tcp_hosts)
+        .first_flow_id(1 << 40)
+        .build();
+
+    let cfg = FabricConfig {
+        policy: PolicyChoice::l2bm(),
+        seed: 42,
+        // Small enough that the lossless class has to pause under this
+        // load, so the digest covers the PFC machinery too.
+        switch: SwitchConfig {
+            total_buffer: Bytes::from_kb(96),
+            ..SwitchConfig::default()
+        },
+        sample_interval: None,
+        ..FabricConfig::default()
+    };
+    let mut sim = FabricSim::new(topo, cfg);
+    sim.add_flows(rdma.generate(window, &mut rng.fork(1)));
+    sim.add_flows(tcp.generate(window, &mut rng.fork(2)));
+    sim.run_until_done(SimTime::ZERO + window + SimDuration::from_millis(20));
+
+    let r = sim.results();
+    let fct_nanos: u64 = r.fct.records().iter().map(|rec| rec.fct().as_nanos()).sum();
+    (
+        r.fct.len(),
+        fct_nanos,
+        r.pause_frames(),
+        r.drops.lossless_packets + r.drops.lossy_packets,
+        r.events_processed,
+        r.unfinished_flows,
+    )
+}
+
+#[test]
+fn fixed_seed_run_matches_golden_results() {
+    let digest = hybrid_golden_digest();
+    assert_eq!(
+        digest,
+        (17, 38_185_641, 10, 217, 412_733, 0),
+        "fixed-seed RunResults digest changed: (completed flows, Σ fct ns, \
+         pause frames, drops, events processed, unfinished flows)"
+    );
 }
 
 #[test]

@@ -1,22 +1,25 @@
 //! Property-based tests of the buffer-management policies and the
-//! paper's closed-form analysis.
+//! paper's closed-form analysis, driven by seeded random op sequences
+//! (the build is offline, so the generator is [`SimRng`] rather than
+//! proptest). Each property replays many independent random cases; a
+//! failure message carries the case seed for replay.
 
 use dcn_net::{PortId, Priority};
-use dcn_sim::{BitRate, Bytes, SimDuration, SimTime};
+use dcn_sim::{BitRate, Bytes, SimDuration, SimRng, SimTime};
 use dcn_switch::{AbmPolicy, BufferPolicy, DtPolicy, MmuState, Pool, QueueIndex, SwitchConfig};
 use l2bm::analysis::{steady_state_occupancy, steady_state_thresholds};
-use l2bm::{L2bmConfig, L2bmPolicy};
-use proptest::prelude::*;
+use l2bm::{L2bmConfig, L2bmPolicy, SojournModule};
 
 const N_PORTS: usize = 8;
+const CASES: u64 = 64;
 
 fn qix(port: u16, prio: u8) -> QueueIndex {
     QueueIndex::new(PortId::new(port), Priority::new(prio))
 }
 
-/// A random but *valid* sequence of MMU operations: enqueue events with
-/// matched dequeues replayed in order.
-#[derive(Debug, Clone)]
+/// A random but *valid* MMU operation: an enqueue whose matched dequeue
+/// is replayed later in order.
+#[derive(Debug, Clone, Copy)]
 struct Op {
     in_port: u16,
     out_port: u16,
@@ -25,21 +28,17 @@ struct Op {
     headroom: bool,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    (
-        0..N_PORTS as u16,
-        0..N_PORTS as u16,
-        0..8u8,
-        64..2_000u64,
-        any::<bool>(),
-    )
-        .prop_map(|(in_port, out_port, prio, size, headroom)| Op {
-            in_port,
-            out_port,
-            prio,
-            size,
-            headroom,
+fn random_ops(rng: &mut SimRng, max_len: u64) -> Vec<Op> {
+    let len = rng.below(max_len) + 1;
+    (0..len)
+        .map(|_| Op {
+            in_port: rng.below(N_PORTS as u64) as u16,
+            out_port: rng.below(N_PORTS as u64) as u16,
+            prio: rng.below(8) as u8,
+            size: 64 + rng.below(1_936),
+            headroom: rng.below(2) == 1,
         })
+        .collect()
 }
 
 fn apply_ops(ops: &[Op]) -> (MmuState, Vec<(QueueIndex, QueueIndex, dcn_switch::Charge)>) {
@@ -53,7 +52,11 @@ fn apply_ops(ops: &[Op]) -> (MmuState, Vec<(QueueIndex, QueueIndex, dcn_switch::
     for op in ops {
         let qi = qix(op.in_port, op.prio);
         let qo = qix(op.out_port, op.prio);
-        let pool = if op.headroom { Pool::Headroom } else { Pool::Shared };
+        let pool = if op.headroom {
+            Pool::Headroom
+        } else {
+            Pool::Shared
+        };
         let c = m.plan_charge(qi, Bytes::new(op.size), pool);
         if c.pool == Pool::Headroom && c.pooled > m.headroom_available(qi) {
             continue; // switch would have dropped it
@@ -64,29 +67,160 @@ fn apply_ops(ops: &[Op]) -> (MmuState, Vec<(QueueIndex, QueueIndex, dcn_switch::
     (m, charged)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn mmu_conservation_holds_through_any_schedule(ops in prop::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn mmu_conservation_holds_through_any_schedule() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x1000 + case);
+        let ops = random_ops(&mut rng, 200);
         let (mut m, charged) = apply_ops(&ops);
-        m.check_conservation().expect("conservation after charges");
+        m.check_conservation()
+            .unwrap_or_else(|e| panic!("case {case}: conservation after charges: {e}"));
         // Drain everything in FIFO order.
         let mut t = SimTime::ZERO;
         for (qi, qo, c) in charged {
             t += SimDuration::from_nanos(100);
             m.discharge(t, qi, qo, c);
-            m.check_conservation().expect("conservation during drain");
+            m.check_conservation()
+                .unwrap_or_else(|e| panic!("case {case}: conservation during drain: {e}"));
         }
-        prop_assert_eq!(m.total_stored(), Bytes::ZERO);
-        prop_assert_eq!(m.shared_used(), Bytes::ZERO);
+        assert_eq!(m.total_stored(), Bytes::ZERO, "case {case}");
+        assert_eq!(m.shared_used(), Bytes::ZERO, "case {case}");
     }
+}
 
-    #[test]
-    fn thresholds_are_bounded_by_remaining_buffer(
-        ops in prop::collection::vec(op_strategy(), 0..150),
-        alpha in 0.01f64..1.0,
-    ) {
+#[test]
+fn congested_ingress_counts_match_naive_recomputation() {
+    // The incremental per-priority congested counts and the active-queue
+    // count must equal a full scan after every charge and discharge.
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x2000 + case);
+        let ops = random_ops(&mut rng, 150);
+        let cfg = SwitchConfig {
+            reserved_per_queue: Bytes::new(1_000),
+            headroom_per_queue: Bytes::from_kb(50),
+            ..SwitchConfig::default()
+        };
+        let mut m = MmuState::new(&cfg, vec![BitRate::from_gbps(25); N_PORTS]);
+        let mut charged = Vec::new();
+        let mut t = SimTime::ZERO;
+        let check = |m: &MmuState, what: &str| {
+            for prio in Priority::all() {
+                assert_eq!(
+                    m.congested_ingress_count(prio),
+                    m.congested_ingress_count_naive(prio),
+                    "case {case} {what}: congested count diverged at {prio:?}"
+                );
+            }
+            assert_eq!(
+                m.active_ingress_count(),
+                m.active_ingress_queues().count(),
+                "case {case} {what}: active count diverged"
+            );
+        };
+        for op in &ops {
+            let qi = qix(op.in_port, op.prio);
+            let qo = qix(op.out_port, op.prio);
+            let pool = if op.headroom {
+                Pool::Headroom
+            } else {
+                Pool::Shared
+            };
+            let c = m.plan_charge(qi, Bytes::new(op.size), pool);
+            if c.pool == Pool::Headroom && c.pooled > m.headroom_available(qi) {
+                continue;
+            }
+            m.charge(qi, qo, c);
+            charged.push((qi, qo, c));
+            check(&m, "after charge");
+            // Randomly interleave some dequeues.
+            if rng.below(3) == 0 && !charged.is_empty() {
+                let (qi, qo, c) = charged.remove(0);
+                t += SimDuration::from_nanos(100);
+                m.discharge(t, qi, qo, c);
+                check(&m, "after discharge");
+            }
+        }
+        for (qi, qo, c) in charged {
+            t += SimDuration::from_nanos(100);
+            m.discharge(t, qi, qo, c);
+            check(&m, "during drain");
+        }
+    }
+}
+
+#[test]
+fn incremental_sum_active_tau_matches_naive_recomputation() {
+    // Arbitrary interleavings of enqueue / dequeue / pause / resume with
+    // time advancing between steps: the incrementally-maintained C must
+    // track the full rescan within float tolerance, including across
+    // records decaying to zero between events.
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x3000 + case);
+        let cfg = SwitchConfig {
+            reserved_per_queue: Bytes::new(1_000),
+            headroom_per_queue: Bytes::from_kb(50),
+            ..SwitchConfig::default()
+        };
+        let mut m = MmuState::new(&cfg, vec![BitRate::from_gbps(25); N_PORTS]);
+        let mut sojourn = SojournModule::new();
+        let mut queued: Vec<(QueueIndex, QueueIndex, dcn_switch::Charge)> = Vec::new();
+        let mut t = SimTime::ZERO;
+        let steps = 100 + rng.below(100);
+        for step in 0..steps {
+            // Advance time by 0–20 µs so some records fully decay.
+            t += SimDuration::from_nanos(rng.below(20_000));
+            match rng.below(4) {
+                0 | 1 => {
+                    let op = random_ops(&mut rng, 1)[0];
+                    let qi = qix(op.in_port, op.prio);
+                    let qo = qix(op.out_port, op.prio);
+                    let c = m.plan_charge(qi, Bytes::new(op.size), Pool::Shared);
+                    m.charge(qi, qo, c);
+                    sojourn.on_enqueue(&m, t, qi, qo);
+                    queued.push((qi, qo, c));
+                }
+                2 => {
+                    if !queued.is_empty() {
+                        let ix = rng.below(queued.len() as u64) as usize;
+                        let (qi, qo, c) = queued.remove(ix);
+                        m.discharge(t, qi, qo, c);
+                        sojourn.on_dequeue(t, qi, qo);
+                    }
+                }
+                _ => {
+                    let qo = qix(rng.below(N_PORTS as u64) as u16, rng.below(8) as u8);
+                    let paused = rng.below(2) == 1;
+                    if m.set_egress_paused(qo, paused) {
+                        sojourn.on_pause_changed(t, qo, paused);
+                    }
+                }
+            }
+            let inc = sojourn.sum_active_tau(t);
+            let naive = sojourn.sum_active_tau_naive(t);
+            assert!(
+                (inc - naive).abs() < 1e-9,
+                "case {case} step {step}: incremental {inc} vs naive {naive}"
+            );
+            // Also probe a later instant with no intervening mutation
+            // (simulation time is monotone, so the clock moves there).
+            let t2 = t + SimDuration::from_nanos(rng.below(30_000));
+            let inc2 = sojourn.sum_active_tau(t2);
+            let naive2 = sojourn.sum_active_tau_naive(t2);
+            assert!(
+                (inc2 - naive2).abs() < 1e-9,
+                "case {case} step {step} (probe): incremental {inc2} vs naive {naive2}"
+            );
+            t = t2;
+        }
+    }
+}
+
+#[test]
+fn thresholds_are_bounded_by_remaining_buffer() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x4000 + case);
+        let ops = random_ops(&mut rng, 150);
+        let alpha = 0.01 + rng.uniform_f64() * 0.98;
         let (m, _) = apply_ops(&ops);
         let now = SimTime::from_micros(50);
         let dt = DtPolicy::new(alpha);
@@ -98,19 +232,27 @@ proptest! {
                 let t_dt = dt.pfc_threshold(&m, q, now);
                 let t_abm = abm.pfc_threshold(&m, q, now);
                 let t_l2bm = l2bm.pfc_threshold(&m, q, now);
-                prop_assert!(t_dt <= m.shared_remaining());
-                prop_assert!(t_abm <= t_dt, "ABM divides DT's allotment");
-                prop_assert!(t_l2bm <= m.shared_remaining(), "w_max=1 caps at remaining");
+                assert!(t_dt <= m.shared_remaining(), "case {case}");
+                assert!(t_abm <= t_dt, "case {case}: ABM divides DT's allotment");
+                assert!(
+                    t_l2bm <= m.shared_remaining(),
+                    "case {case}: w_max=1 caps at remaining"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn l2bm_weight_respects_cap_and_positivity(
-        ops in prop::collection::vec(op_strategy(), 0..100),
-        cap in 0.05f64..2.0,
-    ) {
-        let cfg = L2bmConfig { max_weight: cap, ..L2bmConfig::default() };
+#[test]
+fn l2bm_weight_respects_cap_and_positivity() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x5000 + case);
+        let ops = random_ops(&mut rng, 100);
+        let cap = 0.05 + rng.uniform_f64() * 1.95;
+        let cfg = L2bmConfig {
+            max_weight: cap,
+            ..L2bmConfig::default()
+        };
         let mut policy = L2bmPolicy::new(cfg);
         let (m, charged) = apply_ops(&ops);
         // Feed the policy the same enqueue history.
@@ -121,43 +263,58 @@ proptest! {
         }
         for port in 0..N_PORTS as u16 {
             let w = policy.weight(qix(port, 3), t);
-            prop_assert!(w > 0.0, "weight must stay positive");
-            prop_assert!(w <= cap + 1e-12, "weight {w} above cap {cap}");
+            assert!(w > 0.0, "case {case}: weight must stay positive");
+            assert!(w <= cap + 1e-12, "case {case}: weight {w} above cap {cap}");
         }
     }
+}
 
-    #[test]
-    fn steady_state_thresholds_sum_to_occupancy(
-        weights in prop::collection::vec(0.0f64..4.0, 1..32),
-    ) {
+#[test]
+fn steady_state_thresholds_sum_to_occupancy() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x6000 + case);
+        let n = rng.below(31) + 1;
+        let weights: Vec<f64> = (0..n).map(|_| rng.uniform_f64() * 4.0).collect();
         let b = Bytes::from_mb(4);
         let q = steady_state_occupancy(b, &weights);
-        prop_assert!(q <= b);
+        assert!(q <= b, "case {case}");
         let sum: f64 = steady_state_thresholds(b, &weights)
             .iter()
             .map(|t| t.as_f64())
             .sum();
         // Integer rounding only: one byte per queue at most.
-        prop_assert!((sum - q.as_f64()).abs() <= weights.len() as f64 + 1.0);
+        assert!(
+            (sum - q.as_f64()).abs() <= weights.len() as f64 + 1.0,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn steady_state_occupancy_monotone_in_weights(
-        weights in prop::collection::vec(0.01f64..2.0, 1..16),
-        extra in 0.01f64..2.0,
-    ) {
+#[test]
+fn steady_state_occupancy_monotone_in_weights() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x7000 + case);
+        let n = rng.below(15) + 1;
+        let weights: Vec<f64> = (0..n).map(|_| 0.01 + rng.uniform_f64() * 1.99).collect();
+        let extra = 0.01 + rng.uniform_f64() * 1.99;
         let b = Bytes::from_mb(4);
         let q1 = steady_state_occupancy(b, &weights);
         let mut more = weights.clone();
         more.push(extra);
         let q2 = steady_state_occupancy(b, &more);
-        prop_assert!(q2 >= q1, "adding an active queue cannot shrink occupancy");
+        assert!(
+            q2 >= q1,
+            "case {case}: adding an active queue cannot shrink occupancy"
+        );
     }
+}
 
-    #[test]
-    fn dt_threshold_decreases_as_buffer_fills(
-        sizes in prop::collection::vec(1_000u64..50_000, 1..40),
-    ) {
+#[test]
+fn dt_threshold_decreases_as_buffer_fills() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x8000 + case);
+        let n = rng.below(39) + 1;
+        let sizes: Vec<u64> = (0..n).map(|_| 1_000 + rng.below(49_000)).collect();
         let cfg = SwitchConfig::default();
         let mut m = MmuState::new(&cfg, vec![BitRate::from_gbps(25); N_PORTS]);
         let dt = DtPolicy::new(0.5);
@@ -168,7 +325,10 @@ proptest! {
             let c = m.plan_charge(qi, Bytes::new(*size), Pool::Shared);
             m.charge(qi, qix(((i + 1) % N_PORTS) as u16, 3), c);
             let t = dt.pfc_threshold(&m, qix(0, 3), now);
-            prop_assert!(t <= last, "DT threshold must be non-increasing as Q grows");
+            assert!(
+                t <= last,
+                "case {case}: DT threshold must be non-increasing as Q grows"
+            );
             last = t;
         }
     }
