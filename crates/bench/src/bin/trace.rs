@@ -1,0 +1,184 @@
+//! Flight-recorder dump tool: replays a fixed-seed hybrid scenario with
+//! the recorder enabled and writes every lifecycle event as JSON Lines
+//! for offline analysis, plus a causal summary of the slowest TCP flow.
+//!
+//! Usage:
+//!   cargo run --release -p dcn-bench --bin trace              # dump TRACE_1.jsonl
+//!   cargo run --release -p dcn-bench --bin trace -- --out t.jsonl
+//!   cargo run --release -p dcn-bench --bin trace -- --check   # CI smoke mode
+//!
+//! `--check` runs the scenario twice and fails (exit 1) unless the trace
+//! is non-empty, both runs record identical event counts (determinism),
+//! and the recorder's drop/pause totals reconcile exactly with the
+//! switches' `DropCounters`/`PfcCounters`.
+
+use std::process::ExitCode;
+
+use dcn_fabric::{FabricConfig, FabricSim, PolicyChoice, RunResults};
+use dcn_net::{ClosConfig, Priority, Topology, TrafficClass};
+use dcn_sim::{BitRate, Bytes, SimDuration, SimRng, SimTime, TraceConfig, TraceTotals};
+use dcn_switch::SwitchConfig;
+use dcn_workload::{web_search_cdf, PoissonTraffic};
+
+struct TraceRun {
+    results: RunResults,
+    totals: TraceTotals,
+    recorded: usize,
+    evicted: u64,
+    jsonl: String,
+    slowest_tcp_summary: String,
+}
+
+/// One fixed-seed hybrid run on a small Clos under L2BM with a buffer
+/// small enough to exercise drops, recovery and PFC — the same shape as
+/// the repo's golden-digest scenario.
+fn run_traced() -> TraceRun {
+    let topo = Topology::clos(&ClosConfig::small(4));
+    let hosts: Vec<_> = topo.hosts().collect();
+    let (rdma_hosts, tcp_hosts): (Vec<_>, Vec<_>) = hosts.iter().partition(|h| h.index() % 2 == 0);
+    let mut rng = SimRng::seed_from_u64(42);
+    let window = SimDuration::from_millis(2);
+
+    let rdma = PoissonTraffic::builder(rdma_hosts.clone(), web_search_cdf())
+        .load(0.4)
+        .link_rate(BitRate::from_gbps(25))
+        .class(TrafficClass::Lossless, Priority::new(3))
+        .dests(rdma_hosts)
+        .build();
+    let tcp = PoissonTraffic::builder(tcp_hosts.clone(), web_search_cdf())
+        .load(0.8)
+        .link_rate(BitRate::from_gbps(25))
+        .class(TrafficClass::Lossy, Priority::new(1))
+        .dests(tcp_hosts)
+        .first_flow_id(1 << 40)
+        .build();
+
+    let cfg = FabricConfig {
+        policy: PolicyChoice::l2bm(),
+        seed: 42,
+        switch: SwitchConfig {
+            total_buffer: Bytes::from_kb(96),
+            ..SwitchConfig::default()
+        },
+        sample_interval: None,
+        trace: TraceConfig::enabled(),
+        ..FabricConfig::default()
+    };
+    let mut sim = FabricSim::new(topo, cfg);
+    sim.add_flows(rdma.generate(window, &mut rng.fork(1)));
+    sim.add_flows(tcp.generate(window, &mut rng.fork(2)));
+    sim.run_until_done(SimTime::ZERO + window + SimDuration::from_millis(60));
+
+    let results = sim.results();
+    let slowest_tcp = results
+        .fct
+        .records()
+        .iter()
+        .filter(|r| r.class == TrafficClass::Lossy)
+        .max_by(|a, b| a.slowdown().total_cmp(&b.slowdown()))
+        .map(|r| r.flow.as_u64());
+    let (totals, recorded, evicted, jsonl, slowest_tcp_summary) = sim
+        .trace()
+        .with(|rec| {
+            (
+                rec.totals(),
+                rec.len(),
+                rec.evicted(),
+                rec.to_jsonl(),
+                slowest_tcp
+                    .map(|f| rec.summarize_flow(f))
+                    .unwrap_or_else(|| "no completed TCP flows\n".into()),
+            )
+        })
+        .expect("recorder enabled");
+    TraceRun {
+        results,
+        totals,
+        recorded,
+        evicted,
+        jsonl,
+        slowest_tcp_summary,
+    }
+}
+
+fn reconcile(run: &TraceRun) -> Result<(), String> {
+    if run.recorded == 0 {
+        return Err("trace is empty".into());
+    }
+    let counted = run.results.drops.lossy_packets + run.results.drops.lossless_packets;
+    if run.totals.drops() != counted {
+        return Err(format!(
+            "trace drops {} != DropCounters {}",
+            run.totals.drops(),
+            counted
+        ));
+    }
+    if run.totals.pfc_pauses != run.results.pause_frames() {
+        return Err(format!(
+            "trace pauses {} != PfcCounters {}",
+            run.totals.pfc_pauses,
+            run.results.pause_frames()
+        ));
+    }
+    if run.totals.rdma_stranded != 0 {
+        return Err(format!(
+            "{} stranded DCQCN sender(s) recorded",
+            run.totals.rdma_stranded
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("TRACE_1.jsonl");
+
+    let run = run_traced();
+    println!(
+        "recorded {} events ({} evicted): {} drops ({} ingress, {} egress, {} headroom), \
+         {} pauses, {} resumes, {} RTO fires",
+        run.recorded,
+        run.evicted,
+        run.totals.drops(),
+        run.totals.drops_ingress,
+        run.totals.drops_egress,
+        run.totals.drops_headroom,
+        run.totals.pfc_pauses,
+        run.totals.pfc_resumes,
+        run.totals.rto_fires,
+    );
+
+    if check {
+        if let Err(e) = reconcile(&run) {
+            eprintln!("trace check FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+        // Determinism: a second run must record the same event stream.
+        let again = run_traced();
+        if again.recorded != run.recorded || again.totals != run.totals {
+            eprintln!(
+                "trace check FAILED: non-deterministic trace ({} vs {} events)",
+                again.recorded, run.recorded
+            );
+            return ExitCode::FAILURE;
+        }
+        if again.jsonl != run.jsonl {
+            eprintln!("trace check FAILED: JSONL dumps differ between identical runs");
+            return ExitCode::FAILURE;
+        }
+        println!("trace check OK: non-empty, deterministic, reconciles with counters");
+        return ExitCode::SUCCESS;
+    }
+
+    std::fs::write(out, &run.jsonl).expect("write trace dump");
+    println!("wrote {} ({} lines)", out, run.jsonl.lines().count());
+    println!("--- slowest TCP flow ---");
+    print!("{}", run.slowest_tcp_summary);
+    ExitCode::SUCCESS
+}

@@ -1,7 +1,7 @@
 //! Fabric-level configuration: which buffer-management policy runs on
 //! the switches, plus transport tunables.
 
-use dcn_sim::SimDuration;
+use dcn_sim::{SimDuration, TraceConfig};
 use dcn_switch::{AbmPolicy, BufferPolicy, DtPolicy, SwitchConfig};
 use dcn_transport::{DcqcnConfig, DctcpConfig};
 use l2bm::{L2bmConfig, L2bmPolicy};
@@ -76,6 +76,10 @@ pub struct FabricConfig {
     pub sample_interval: Option<SimDuration>,
     /// Seed for the switches' probabilistic ECN marking.
     pub seed: u64,
+    /// Flight-recorder configuration. Disabled by default; when enabled
+    /// one shared recorder collects lifecycle events from every switch
+    /// and transport in the fabric.
+    pub trace: TraceConfig,
 }
 
 impl Default for FabricConfig {
@@ -87,6 +91,7 @@ impl Default for FabricConfig {
             dcqcn: DcqcnConfig::default(),
             sample_interval: Some(SimDuration::from_millis(1)),
             seed: 1,
+            trace: TraceConfig::default(),
         }
     }
 }

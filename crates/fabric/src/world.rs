@@ -7,9 +7,14 @@ use dcn_metrics::{FctRecord, OccupancySeries};
 use dcn_net::{
     FlowId, NodeId, Packet, PacketKind, PfcFrame, PortId, RoutingTable, Topology, TrafficClass,
 };
-use dcn_sim::{run_while, BitRate, Bytes, EventQueue, SimDuration, SimTime, Simulation};
+use dcn_sim::{
+    run_while, BitRate, Bytes, EventQueue, SimDuration, SimTime, Simulation, TraceEvent,
+    TraceHandle,
+};
 use dcn_switch::{PfcEmit, SharedMemorySwitch, TxStart};
-use dcn_transport::{DcqcnReceiver, DcqcnSender, DctcpReceiver, DctcpSender, RpTimerKind};
+use dcn_transport::{
+    DcqcnReceiver, DcqcnSender, DctcpReceiver, DctcpSender, RpTimerKind, TcpEvent,
+};
 use dcn_workload::FlowSpec;
 
 use crate::config::FabricConfig;
@@ -94,12 +99,14 @@ pub struct World {
     occupancy: HashMap<NodeId, OccupancySeries>,
     done_flows: usize,
     counted_done: Vec<bool>,
+    trace: TraceHandle,
 }
 
 impl World {
     fn new(topo: Topology, cfg: FabricConfig) -> World {
         let routes = RoutingTable::shortest_paths(&topo);
         let n = topo.node_count();
+        let trace = TraceHandle::from_config(&cfg.trace);
         let mut switches: Vec<Option<SharedMemorySwitch>> = (0..n).map(|_| None).collect();
         let mut hosts: Vec<Option<Host>> = (0..n).map(|_| None).collect();
         for node in topo.nodes() {
@@ -114,6 +121,7 @@ impl World {
                         cfg.policy.build(),
                         cfg.seed,
                     );
+                    sw.set_trace(trace.clone());
                     // Size each port's headroom from its link: in-flight
                     // bytes over a pause round trip (2 × BDP) plus slack
                     // for the packets serializing at both ends when the
@@ -145,6 +153,7 @@ impl World {
             occupancy: HashMap::new(),
             done_flows: 0,
             counted_done: Vec::new(),
+            trace,
         }
     }
 
@@ -166,6 +175,12 @@ impl World {
     /// A switch by node id, if that node is a switch.
     pub fn switch(&self, id: NodeId) -> Option<&SharedMemorySwitch> {
         self.switches.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// The shared flight-recorder handle (disabled unless
+    /// [`FabricConfig::trace`] enabled it).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     fn register_flow(&mut self, spec: FlowSpec) -> usize {
@@ -435,6 +450,38 @@ impl World {
                 },
             ) => {
                 let action = sender.on_ack(now, cumulative_ack, ecn_echo);
+                let t_flow = packet.flow.as_u64();
+                if let Some(tr) = action.transition {
+                    let ev = match tr {
+                        TcpEvent::EnterRecovery { recover_seq } => TraceEvent::TcpEnterRecovery {
+                            flow: t_flow,
+                            recover_seq,
+                        },
+                        TcpEvent::PartialAckRetransmit { snd_una } => {
+                            TraceEvent::TcpPartialAckRetransmit {
+                                flow: t_flow,
+                                snd_una,
+                            }
+                        }
+                        TcpEvent::ExitRecovery => TraceEvent::TcpExitRecovery { flow: t_flow },
+                    };
+                    self.trace.record_with(now, || ev);
+                }
+                if self.trace.is_enabled() {
+                    let cwnd = sender.cwnd() as u64;
+                    let ssthresh = if sender.ssthresh() == f64::MAX {
+                        u64::MAX
+                    } else {
+                        sender.ssthresh() as u64
+                    };
+                    let in_recovery = sender.in_recovery();
+                    self.trace.record_with(now, || TraceEvent::TcpCwnd {
+                        flow: t_flow,
+                        cwnd,
+                        ssthresh,
+                        in_recovery,
+                    });
+                }
                 outs.extend(action.packets);
                 if action.rearm_timer {
                     rearm_rto = Some((sender.timer_generation(), sender.rto()));
@@ -455,6 +502,12 @@ impl World {
                         sender.timer_generation(RpTimerKind::Rate),
                     ));
                 }
+                let t_flow = packet.flow.as_u64();
+                let rate_bps = sender.rate().as_bps();
+                self.trace.record_with(now, || TraceEvent::RdmaRate {
+                    flow: t_flow,
+                    rate_bps,
+                });
             }
             // Cross-protocol packets (e.g. an ACK for an RDMA flow)
             // indicate a wiring bug.
@@ -505,6 +558,27 @@ impl World {
             let gap = sender.gap_for(p.size);
             q.schedule_after(now, gap, Event::RdmaPace { flow });
             self.host_inject(now, spec.src, p, q);
+        } else {
+            // Dropping the pacing chain is only legal once every payload
+            // byte has been emitted (retransmission is not modelled for
+            // the lossless class; CNPs only modulate the rate). A sender
+            // with bytes still unsent and no future RdmaPace scheduled
+            // would be silently stranded — flag it loudly so a future
+            // sender change can't stall lossless flows undetected.
+            let stranded = sender.has_more();
+            debug_assert!(
+                !stranded,
+                "DCQCN sender of flow {flow} stranded at snd_nxt={} with no pacing event",
+                sender.snd_nxt(),
+            );
+            if stranded {
+                let t_flow = flow.as_u64();
+                let snd_nxt = sender.snd_nxt();
+                self.trace.record_with(now, || TraceEvent::RdmaStranded {
+                    flow: t_flow,
+                    snd_nxt,
+                });
+            }
         }
         self.update_done(ix);
     }
@@ -525,8 +599,17 @@ impl World {
         };
         let action = sender.on_timeout(now, generation);
         if action.rearm_timer {
+            // rearm_timer is only set when the timeout was not stale, so
+            // this records exactly the RTOs that actually fired.
             let generation = sender.timer_generation();
             let rto = sender.rto();
+            let t_flow = flow.as_u64();
+            let backoff = sender.backoff();
+            self.trace.record_with(now, || TraceEvent::RtoFire {
+                flow: t_flow,
+                backoff,
+                next_rto_ns: rto.as_nanos(),
+            });
             q.schedule_after(now, rto, Event::Rto { flow, generation });
         }
         for p in action.packets {
@@ -694,6 +777,12 @@ impl FabricSim {
     /// The world (for inspection).
     pub fn world(&self) -> &World {
         &self.world
+    }
+
+    /// The shared flight-recorder handle (disabled unless
+    /// [`FabricConfig::trace`] enabled it).
+    pub fn trace(&self) -> &TraceHandle {
+        self.world.trace()
     }
 
     /// Current simulated time.
@@ -900,6 +989,119 @@ mod tests {
         let series = r.occupancy.values().next().expect("one switch sampled");
         assert!(series.len() >= 10);
         assert!(series.peak() > Bytes::ZERO, "incast must queue something");
+    }
+
+    #[test]
+    fn trace_reconciles_with_counters_and_does_not_change_behavior() {
+        use dcn_sim::TraceConfig;
+        let run = |traced: bool| {
+            let topo =
+                Topology::single_switch(9, BitRate::from_gbps(25), SimDuration::from_micros(1));
+            let cfg = FabricConfig {
+                policy: PolicyChoice::l2bm(),
+                switch: dcn_switch::SwitchConfig {
+                    total_buffer: Bytes::from_kb(96),
+                    ..Default::default()
+                },
+                sample_interval: None,
+                trace: if traced {
+                    TraceConfig::enabled()
+                } else {
+                    TraceConfig::default()
+                },
+                ..FabricConfig::default()
+            };
+            let mut sim = FabricSim::new(topo, cfg);
+            for i in 0..8 {
+                let class = if i % 2 == 0 {
+                    TrafficClass::Lossless
+                } else {
+                    TrafficClass::Lossy
+                };
+                sim.add_flow(spec(i, i as u32, 8, 300_000, class, 0));
+            }
+            assert!(sim.run_until_done(SimTime::from_millis(500)));
+            sim
+        };
+
+        let traced = run(true);
+        let r = traced.results();
+        let totals = traced.trace().with(|rec| rec.totals()).expect("enabled");
+        assert_eq!(
+            totals.drops(),
+            r.drops.lossy_packets + r.drops.lossless_packets,
+            "trace drop causes must sum to RunResults drop counters"
+        );
+        assert_eq!(totals.pfc_pauses, r.pause_frames());
+        assert_eq!(totals.rdma_stranded, 0);
+
+        // Tracing must be observation-only: identical digest untraced.
+        let plain = run(false);
+        assert!(plain.trace().with(|_| ()).is_none(), "recorder absent");
+        let rp = plain.results();
+        let digest = |r: &RunResults| {
+            (
+                r.fct
+                    .records()
+                    .iter()
+                    .map(|x| (x.flow, x.finish))
+                    .collect::<Vec<_>>(),
+                r.pause_frames(),
+                r.drops.lossy_packets,
+                r.events_processed,
+            )
+        };
+        assert_eq!(digest(&r), digest(&rp));
+    }
+
+    #[test]
+    fn multi_loss_tcp_incast_recovers_without_timeouts_dominating() {
+        // Regression companion to the NewReno fix, at fabric level: a
+        // lossy incast over a small buffer must repair most windows via
+        // fast recovery (partial-ACK retransmits), not serial RTOs.
+        use dcn_sim::{TraceConfig, TraceEvent};
+        let topo = Topology::single_switch(9, BitRate::from_gbps(25), SimDuration::from_micros(1));
+        let cfg = FabricConfig {
+            policy: PolicyChoice::l2bm(),
+            switch: dcn_switch::SwitchConfig {
+                total_buffer: Bytes::from_kb(64),
+                ..Default::default()
+            },
+            sample_interval: None,
+            trace: TraceConfig::enabled(),
+            ..FabricConfig::default()
+        };
+        let mut sim = FabricSim::new(topo, cfg);
+        for i in 0..8 {
+            sim.add_flow(spec(i, i as u32, 8, 250_000, TrafficClass::Lossy, 0));
+        }
+        assert!(sim.run_until_done(SimTime::from_millis(500)));
+        let r = sim.results();
+        assert!(r.drops.lossy_packets > 0, "scenario must actually drop");
+        let (partial_rtx, rto_fires) = sim
+            .trace()
+            .with(|rec| {
+                let mut p = 0u64;
+                let mut t = 0u64;
+                for record in rec.records() {
+                    match record.event {
+                        TraceEvent::TcpPartialAckRetransmit { .. } => p += 1,
+                        TraceEvent::RtoFire { .. } => t += 1,
+                        _ => {}
+                    }
+                }
+                (p, t)
+            })
+            .expect("enabled");
+        assert!(
+            partial_rtx > 0,
+            "multi-loss windows must exercise NewReno partial-ACK retransmits"
+        );
+        assert!(
+            partial_rtx >= rto_fires,
+            "fast recovery should repair at least as many holes as RTOs do \
+             (partial rtx {partial_rtx}, rto fires {rto_fires})"
+        );
     }
 
     #[test]

@@ -43,9 +43,14 @@
 mod event;
 mod rng;
 mod time;
+mod trace;
 mod units;
 
 pub use event::{run_until, run_while, EventQueue, Simulation};
 pub use rng::{EmpiricalCdf, SimRng};
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    summarize_flow, FlightRecorder, TraceConfig, TraceDropCause, TraceEvent, TraceHandle,
+    TraceRecord, TraceTotals,
+};
 pub use units::{BitRate, Bytes};

@@ -1,7 +1,9 @@
 //! The shared-memory switch: admission, PFC, ECN and scheduling.
 
 use dcn_net::{NodeId, Packet, PfcFrame, PortId, TrafficClass};
-use dcn_sim::{BitRate, Bytes, SimDuration, SimRng, SimTime};
+use dcn_sim::{
+    BitRate, Bytes, SimDuration, SimRng, SimTime, TraceDropCause, TraceEvent, TraceHandle,
+};
 
 use dcn_metrics::{DropCounters, PfcCounters};
 
@@ -101,6 +103,7 @@ pub struct SharedMemorySwitch {
     pfc_counters: PfcCounters,
     drop_counters: DropCounters,
     rng: SimRng,
+    trace: TraceHandle,
 }
 
 impl SharedMemorySwitch {
@@ -132,7 +135,14 @@ impl SharedMemorySwitch {
             pfc_counters: PfcCounters::new(),
             drop_counters: DropCounters::new(),
             rng: SimRng::seed_from_u64(seed ^ (id.index() as u64).wrapping_mul(0xA5A5_5A5A)),
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attaches a flight recorder. The default handle is disabled, in
+    /// which case every record site is a single untaken branch.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// This switch's node id.
@@ -184,6 +194,26 @@ impl SharedMemorySwitch {
         let q_out = QueueIndex::new(out_port, packet.priority);
         let size = packet.size;
         let threshold = self.policy.pfc_threshold(&self.mmu, q_in, now);
+        // Copy the identifiers the trace closures need up front, so the
+        // closures capture only `Copy` locals and never borrow `self` or
+        // the packet (which is mutated and ultimately moved below).
+        let t_node = self.id.index() as u32;
+        let t_in = in_port.index() as u16;
+        let t_out = out_port.index() as u16;
+        let t_prio = packet.priority.index() as u8;
+        let t_flow = packet.flow.as_u64();
+        let t_seq = packet.seq;
+        let t_lossless = packet.class.is_lossless();
+        let trace_drop = move |cause: TraceDropCause| TraceEvent::Drop {
+            node: t_node,
+            in_port: t_in,
+            prio: t_prio,
+            flow: t_flow,
+            seq: t_seq,
+            size: size.as_u64(),
+            lossless: t_lossless,
+            cause,
+        };
 
         // --- admission ------------------------------------------------
         let plan = self.mmu.plan_charge(q_in, size, Pool::Shared);
@@ -199,6 +229,8 @@ impl SharedMemorySwitch {
                     self.mmu.plan_charge(q_in, size, Pool::Headroom)
                 } else {
                     self.drop_counters.record_lossless(size);
+                    self.trace
+                        .record_with(now, || trace_drop(TraceDropCause::HeadroomExhausted));
                     return ReceiveResult {
                         outcome: ReceiveOutcome::Dropped(DropReason::HeadroomExhausted),
                         pfc: None,
@@ -209,6 +241,8 @@ impl SharedMemorySwitch {
             TrafficClass::Lossy => {
                 if !fits_shared {
                     self.drop_counters.record_lossy(size);
+                    self.trace
+                        .record_with(now, || trace_drop(TraceDropCause::AdmissionDeniedIngress));
                     return ReceiveResult {
                         outcome: ReceiveOutcome::Dropped(DropReason::IngressLossy),
                         pfc: None,
@@ -221,6 +255,8 @@ impl SharedMemorySwitch {
                     .scale(self.cfg.egress_alpha_lossy);
                 if self.mmu.egress_bytes(q_out) + size > t_out {
                     self.drop_counters.record_lossy(size);
+                    self.trace
+                        .record_with(now, || trace_drop(TraceDropCause::AdmissionDeniedEgress));
                     return ReceiveResult {
                         outcome: ReceiveOutcome::Dropped(DropReason::EgressLossy),
                         pfc: None,
@@ -245,6 +281,17 @@ impl SharedMemorySwitch {
         } else {
             false
         };
+        if ecn_marked {
+            let depth = self.mmu.egress_bytes(q_out).as_u64();
+            self.trace.record_with(now, || TraceEvent::EcnMark {
+                node: t_node,
+                port: t_out,
+                prio: t_prio,
+                flow: t_flow,
+                seq: t_seq,
+                queue_depth: depth,
+            });
+        }
 
         self.policy.on_enqueue(&self.mmu, now, q_in, q_out, size);
 
@@ -256,6 +303,11 @@ impl SharedMemorySwitch {
             if over {
                 self.pause_sent[q_in.flat()] = true;
                 self.pfc_counters.record_pause(packet.priority);
+                self.trace.record_with(now, || TraceEvent::PfcPause {
+                    node: t_node,
+                    port: t_in,
+                    prio: t_prio,
+                });
                 pfc = Some(PfcEmit {
                     port: in_port,
                     frame: PfcFrame::pause(packet.priority),
@@ -264,6 +316,15 @@ impl SharedMemorySwitch {
         }
 
         // --- enqueue & maybe start transmitting -------------------------
+        self.trace.record_with(now, || TraceEvent::Enqueue {
+            node: t_node,
+            in_port: t_in,
+            out_port: t_out,
+            prio: t_prio,
+            flow: t_flow,
+            seq: t_seq,
+            size: size.as_u64(),
+        });
         self.ports[out_port.index()].enqueue(QueuedPacket {
             packet,
             in_port,
@@ -290,6 +351,15 @@ impl SharedMemorySwitch {
         let q_out = QueueIndex::new(port, qp.priority);
         self.mmu.discharge(now, q_in, q_out, qp.charge);
         self.policy.on_dequeue(&self.mmu, now, q_in, q_out, qp.size);
+        let t_node = self.id.index() as u32;
+        self.trace.record_with(now, || TraceEvent::Dequeue {
+            node: t_node,
+            port: port.index() as u16,
+            prio: qp.priority.index() as u8,
+            flow: qp.flow.as_u64(),
+            seq: qp.seq,
+            size: qp.size.as_u64(),
+        });
 
         // --- PFC XON check ----------------------------------------------
         let mut pfc = None;
@@ -303,6 +373,11 @@ impl SharedMemorySwitch {
             {
                 self.pause_sent[q_in.flat()] = false;
                 self.pfc_counters.record_resume(qp.priority);
+                self.trace.record_with(now, || TraceEvent::PfcResume {
+                    node: t_node,
+                    port: qp.in_port.index() as u16,
+                    prio: qp.priority.index() as u8,
+                });
                 pfc = Some(PfcEmit {
                     port: qp.in_port,
                     frame: PfcFrame::resume(qp.priority),
@@ -644,6 +719,60 @@ mod tests {
         }
         // Queue depths: 1048, 2096, 3144, ... -> packets 2..5 marked.
         assert_eq!(marked, 4);
+    }
+
+    #[test]
+    fn trace_records_causes_that_reconcile_with_counters() {
+        use dcn_sim::{TraceConfig, TraceHandle};
+        let mut sw = small_switch(0.125, Bytes::new(10_000));
+        let trace = TraceHandle::from_config(&TraceConfig::enabled());
+        sw.set_trace(trace.clone());
+        // Overflow with lossy traffic (drops), then with lossless
+        // (pause + headroom), then drain (resume + dequeues).
+        for i in 0..10 {
+            sw.receive(SimTime::ZERO, lossy_pkt(i), PortId::new(0), PortId::new(1));
+        }
+        for i in 0..8 {
+            sw.receive(
+                SimTime::ZERO,
+                lossless_pkt(i),
+                PortId::new(2),
+                PortId::new(1),
+            );
+        }
+        let mut t = SimTime::from_nanos(336);
+        loop {
+            let done = sw.tx_complete(t, PortId::new(1));
+            t += SimDuration::from_nanos(336);
+            if done.next.is_none() {
+                break;
+            }
+        }
+        let totals = trace.with(|r| r.totals()).unwrap();
+        assert_eq!(
+            totals.drops(),
+            sw.drop_counters().lossy_packets + sw.drop_counters().lossless_packets,
+            "trace drop causes must sum to the drop counters"
+        );
+        assert_eq!(totals.pfc_pauses, sw.pfc_counters().pause_frames());
+        assert_eq!(totals.pfc_resumes, sw.pfc_counters().resume_frames());
+        // Everything admitted was both enqueued and dequeued.
+        let (enq, deq) = trace
+            .with(|r| {
+                let mut enq = 0u64;
+                let mut deq = 0u64;
+                for rec in r.records() {
+                    match rec.event {
+                        dcn_sim::TraceEvent::Enqueue { .. } => enq += 1,
+                        dcn_sim::TraceEvent::Dequeue { .. } => deq += 1,
+                        _ => {}
+                    }
+                }
+                (enq, deq)
+            })
+            .unwrap();
+        assert!(enq > 0);
+        assert_eq!(enq, deq, "switch drained: every enqueue has a dequeue");
     }
 
     #[test]

@@ -148,6 +148,11 @@ impl DcqcnSender {
         self.snd_nxt < self.size
     }
 
+    /// The next unsent byte offset (for diagnostics).
+    pub fn snd_nxt(&self) -> u64 {
+        self.snd_nxt
+    }
+
     /// Generation stamp for timer events of `kind`.
     pub fn timer_generation(&self, kind: RpTimerKind) -> u64 {
         match kind {

@@ -16,8 +16,11 @@ pub struct DctcpConfig {
     pub init_cwnd_segments: u64,
     /// EWMA gain `g` of the marked-fraction estimator.
     pub g: f64,
-    /// Retransmission timeout (fixed; DCN-tuned minimum).
+    /// Base retransmission timeout (DCN-tuned minimum). Doubled on
+    /// each consecutive timeout up to [`DctcpConfig::max_rto`].
     pub rto: SimDuration,
+    /// Upper bound on the backed-off RTO.
+    pub max_rto: SimDuration,
 }
 
 impl Default for DctcpConfig {
@@ -28,8 +31,30 @@ impl Default for DctcpConfig {
             init_cwnd_segments: 10,
             g: 1.0 / 16.0,
             rto: SimDuration::from_millis(2),
+            max_rto: SimDuration::from_millis(64),
         }
     }
+}
+
+/// A loss-recovery state transition that happened while processing an
+/// ACK, reported so the caller can log or trace it. At most one
+/// transition can happen per ACK, so it travels as an `Option` and the
+/// common no-transition ACK stays allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpEvent {
+    /// Third duplicate ACK: entered fast recovery.
+    EnterRecovery {
+        /// `snd_nxt` at entry; recovery ends once this is acked.
+        recover_seq: u64,
+    },
+    /// Partial ACK inside recovery: the hole at the new `snd_una` was
+    /// retransmitted (NewReno).
+    PartialAckRetransmit {
+        /// The retransmitted hole.
+        snd_una: u64,
+    },
+    /// Cumulative ACK covered `recover_seq`: left fast recovery.
+    ExitRecovery,
 }
 
 /// What the sender wants done after processing an ACK.
@@ -42,6 +67,8 @@ pub struct AckAction {
     pub rearm_timer: bool,
     /// All data acknowledged — the flow is complete at the sender.
     pub completed: bool,
+    /// Recovery-state transition taken by this ACK, if any.
+    pub transition: Option<TcpEvent>,
 }
 
 /// Sender-side DCTCP state machine for one flow.
@@ -70,6 +97,7 @@ pub struct DctcpSender {
     dup_acks: u32,
     in_recovery: bool,
     recover_seq: u64,
+    backoff: u32,
 
     timer_gen: u64,
     completed: bool,
@@ -112,6 +140,7 @@ impl DctcpSender {
             dup_acks: 0,
             in_recovery: false,
             recover_seq: 0,
+            backoff: 0,
             timer_gen: 0,
             completed: false,
         }
@@ -143,9 +172,29 @@ impl DctcpSender {
         self.timer_gen
     }
 
-    /// The configured RTO.
+    /// Slow-start threshold in bytes (`f64::MAX` until the first cut).
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    /// Whether the sender is in NewReno fast recovery.
+    pub fn in_recovery(&self) -> bool {
+        self.in_recovery
+    }
+
+    /// Consecutive timeouts since the last forward progress.
+    pub fn backoff(&self) -> u32 {
+        self.backoff
+    }
+
+    /// The RTO to arm next: the base RTO doubled once per consecutive
+    /// timeout, capped at [`DctcpConfig::max_rto`].
     pub fn rto(&self) -> SimDuration {
-        self.cfg.rto
+        let shift = self.backoff.min(32);
+        self.cfg
+            .rto
+            .saturating_mul(1u64 << shift)
+            .min(self.cfg.max_rto)
     }
 
     fn segment(&self, seq: u64) -> Packet {
@@ -191,14 +240,29 @@ impl DctcpSender {
             let newly = cumulative_ack - self.snd_una;
             self.snd_una = cumulative_ack;
             self.dup_acks = 0;
+            self.backoff = 0;
             self.acked_bytes += newly;
             if ecn_echo {
                 self.marked_bytes += newly;
             }
 
-            if self.in_recovery && cumulative_ack >= self.recover_seq {
-                self.in_recovery = false;
-                self.cwnd = self.ssthresh.max(self.cfg.mss as f64);
+            if self.in_recovery {
+                if cumulative_ack >= self.recover_seq {
+                    // Full ACK: the whole outstanding window at entry is
+                    // repaired — leave recovery at the halved window.
+                    self.in_recovery = false;
+                    self.cwnd = self.ssthresh.max(self.cfg.mss as f64);
+                    action.transition = Some(TcpEvent::ExitRecovery);
+                } else {
+                    // Partial ACK (NewReno): the ACK advanced but did not
+                    // cover the recovery point, so the next hole starts at
+                    // the new snd_una — retransmit it immediately instead
+                    // of stalling until the RTO.
+                    action.packets.push(self.segment(self.snd_una));
+                    action.transition = Some(TcpEvent::PartialAckRetransmit {
+                        snd_una: self.snd_una,
+                    });
+                }
             }
 
             // The ECE of this ACK belongs to the window it closes, so
@@ -236,7 +300,14 @@ impl DctcpSender {
             }
             self.timer_gen += 1;
             action.rearm_timer = true;
-            action.packets = self.take_ready(now);
+            if action.packets.is_empty() {
+                // Common case (no partial-ACK retransmit queued): move
+                // the ready batch in without an extra alloc + copy.
+                action.packets = self.take_ready(now);
+            } else {
+                let ready = self.take_ready(now);
+                action.packets.extend(ready);
+            }
         } else {
             // Duplicate ACK.
             self.dup_acks += 1;
@@ -246,6 +317,9 @@ impl DctcpSender {
                 self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.cfg.mss as f64);
                 self.cwnd = self.ssthresh;
                 action.packets.push(self.segment(self.snd_una));
+                action.transition = Some(TcpEvent::EnterRecovery {
+                    recover_seq: self.recover_seq,
+                });
                 self.timer_gen += 1;
                 action.rearm_timer = true;
             }
@@ -266,6 +340,9 @@ impl DctcpSender {
         self.in_recovery = false;
         self.dup_acks = 0;
         self.snd_nxt = self.snd_una;
+        // Consecutive timeouts with no forward progress back the RTO
+        // off exponentially (Karn); reset on the next new ACK.
+        self.backoff = self.backoff.saturating_add(1);
         self.timer_gen += 1;
         action.packets = self.take_ready(now);
         action.rearm_timer = true;
@@ -488,6 +565,107 @@ mod tests {
         // Stale generation ignored.
         let stale = s.on_timeout(SimTime::from_millis(4), generation);
         assert!(stale.packets.is_empty());
+    }
+
+    #[test]
+    fn partial_ack_retransmits_hole_immediately() {
+        // Two holes in one window: the third dup-ACK retransmits the
+        // first; the partial ACK that repairs it must retransmit the
+        // second instead of falling through silently.
+        let mut s = sender(100_000);
+        let _ = s.take_ready(SimTime::ZERO); // segs 0..10_000
+        let t = SimTime::from_micros(10);
+        s.on_ack(t, 0, false);
+        s.on_ack(t, 0, false);
+        let third = s.on_ack(t, 0, false);
+        assert_eq!(third.packets[0].seq, 0);
+        assert!(matches!(
+            third.transition,
+            Some(TcpEvent::EnterRecovery {
+                recover_seq: 10_000
+            })
+        ));
+        assert!(s.in_recovery());
+        // Retransmitted seg 0 repairs up to the second hole at 5000.
+        let partial = s.on_ack(t, 5_000, false);
+        assert!(s.in_recovery(), "partial ACK must not exit recovery");
+        assert_eq!(partial.packets.len(), 1, "{:?}", partial.packets);
+        assert_eq!(partial.packets[0].seq, 5_000, "retransmit new snd_una");
+        assert!(matches!(
+            partial.transition,
+            Some(TcpEvent::PartialAckRetransmit { snd_una: 5_000 })
+        ));
+        assert!(partial.rearm_timer, "progress re-arms the timer");
+        // The full ACK exits recovery.
+        let full = s.on_ack(t, 10_000, false);
+        assert!(!s.in_recovery());
+        assert!(matches!(full.transition, Some(TcpEvent::ExitRecovery)));
+    }
+
+    #[test]
+    fn multi_loss_window_completes_via_fast_recovery_without_rto() {
+        // End-to-end against the real receiver: drop two segments of
+        // the initial window and replay the ACK clock. The flow must
+        // complete without on_timeout ever being called — the stall
+        // this regression test pins down previously needed an RTO.
+        let mut s = sender(10_000);
+        let mut r = DctcpReceiver::new(
+            FlowId::new(1),
+            NodeId::new(1),
+            NodeId::new(0),
+            Priority::new(1),
+            Bytes::new(10_000),
+        );
+        let mut inflight = s.take_ready(SimTime::ZERO);
+        assert_eq!(inflight.len(), 10);
+        // Lose seq 0 and seq 5000 on the first pass.
+        inflight.retain(|p| p.seq != 0 && p.seq != 5_000);
+        let mut t = SimTime::from_micros(10);
+        let mut rounds = 0;
+        while !s.is_completed() {
+            rounds += 1;
+            assert!(rounds < 10, "flow failed to complete via fast recovery");
+            let delivered = std::mem::take(&mut inflight);
+            assert!(!delivered.is_empty(), "stalled with nothing in flight");
+            for p in delivered {
+                let ack = r.on_data(t, p.seq, p.payload, false);
+                let cum = match ack.kind {
+                    dcn_net::PacketKind::Ack { cumulative_ack, .. } => cumulative_ack,
+                    _ => unreachable!(),
+                };
+                let a = s.on_ack(t, cum, false);
+                inflight.extend(a.packets);
+                t += SimDuration::from_nanos(100);
+            }
+        }
+        assert_eq!(r.received(), 10_000);
+        assert_eq!(s.backoff(), 0, "no timeout was needed");
+    }
+
+    #[test]
+    fn consecutive_timeouts_back_off_exponentially() {
+        let mut s = sender(100_000);
+        let _ = s.take_ready(SimTime::ZERO);
+        assert_eq!(s.rto(), SimDuration::from_millis(2), "base RTO");
+        let mut t = SimTime::from_millis(3);
+        let mut expected_ms = 2u64;
+        for i in 1..=7u32 {
+            let a = s.on_timeout(t, s.timer_generation());
+            assert!(a.rearm_timer);
+            assert_eq!(s.backoff(), i);
+            expected_ms = (expected_ms * 2).min(64);
+            assert_eq!(
+                s.rto(),
+                SimDuration::from_millis(expected_ms),
+                "doubled and capped at 64ms after timeout #{i}"
+            );
+            t += s.rto();
+        }
+        // Forward progress resets the backoff.
+        let a = s.on_ack(t, 1_000, false);
+        assert!(a.rearm_timer);
+        assert_eq!(s.backoff(), 0);
+        assert_eq!(s.rto(), SimDuration::from_millis(2));
     }
 
     #[test]

@@ -45,4 +45,4 @@ mod dcqcn;
 mod dctcp;
 
 pub use dcqcn::{DcqcnConfig, DcqcnReceiver, DcqcnSender, RpTimerKind};
-pub use dctcp::{AckAction, DctcpConfig, DctcpReceiver, DctcpSender};
+pub use dctcp::{AckAction, DctcpConfig, DctcpReceiver, DctcpSender, TcpEvent};

@@ -1,0 +1,98 @@
+//! Flight-recorder worked example: replay the Fig 7 hybrid scenario
+//! (L2BM, TCP load 0.8, small scale) with tracing enabled and explain
+//! the slowest TCP flows. Ignored by default — it is a diagnostic
+//! harness, not an assertion suite:
+//!
+//! ```text
+//! cargo test --release --test diag_fig7 -- --ignored --nocapture
+//! ```
+//!
+//! This is the run that pinned down the two residual tail causes after
+//! the NewReno fixes: (a) the p99 flow is usually a tiny flow with a
+//! *clean* trace whose slowdown is source-host NIC backlog, which no
+//! buffer policy can see, and (b) the remaining RTOs are caused by the
+//! receiver's 60 B dup-ACK bursts being dropped at a congested ingress,
+//! so the sender never collects three duplicate ACKs.
+
+use dcn_fabric::{FabricConfig, FabricSim, PolicyChoice};
+use dcn_net::{ClosConfig, NodeId, Priority, Topology, TrafficClass};
+use dcn_sim::{Bytes, SimDuration, SimRng, SimTime, TraceConfig};
+use dcn_switch::SwitchConfig;
+use dcn_workload::{web_search_cdf, PoissonTraffic};
+
+#[test]
+#[ignore = "diagnostic harness: run with --ignored --nocapture to read the report"]
+fn explain_fig7_l2bm_load08_tail() {
+    // Mirrors ExperimentScale::small() + run_hybrid with tcp_load 0.8.
+    let clos = ClosConfig::small(8);
+    let topo = Topology::clos(&clos);
+    let hosts: Vec<NodeId> = topo.hosts().collect();
+    let (rdma_hosts, tcp_hosts): (Vec<NodeId>, Vec<NodeId>) =
+        hosts.iter().partition(|h| h.index() % 8 < 4);
+    let mut rng = SimRng::seed_from_u64(42);
+    let window = SimDuration::from_millis(5);
+
+    let rdma = PoissonTraffic::builder(rdma_hosts.clone(), web_search_cdf())
+        .load(0.4)
+        .link_rate(clos.host_rate)
+        .class(TrafficClass::Lossless, Priority::new(3))
+        .dests(rdma_hosts)
+        .build();
+    let tcp = PoissonTraffic::builder(tcp_hosts.clone(), web_search_cdf())
+        .load(0.8)
+        .link_rate(clos.host_rate)
+        .class(TrafficClass::Lossy, Priority::new(1))
+        .dests(tcp_hosts)
+        .first_flow_id(1 << 40)
+        .build();
+
+    let cfg = FabricConfig {
+        policy: PolicyChoice::l2bm(),
+        seed: 42,
+        switch: SwitchConfig {
+            total_buffer: Bytes::from_kb(500),
+            ..SwitchConfig::default()
+        },
+        sample_interval: None,
+        trace: TraceConfig {
+            capacity: 1 << 22,
+            ..TraceConfig::enabled()
+        },
+        ..FabricConfig::default()
+    };
+    let mut sim = FabricSim::new(topo, cfg);
+    sim.add_flows(rdma.generate(window, &mut rng.fork(1)));
+    sim.add_flows(tcp.generate(window, &mut rng.fork(2)));
+    sim.run_until_done(SimTime::ZERO + window + SimDuration::from_millis(200));
+
+    let results = sim.results();
+    let mut tcp_recs: Vec<_> = results
+        .fct
+        .records()
+        .iter()
+        .filter(|r| r.class == TrafficClass::Lossy)
+        .collect();
+    tcp_recs.sort_by(|a, b| b.slowdown().total_cmp(&a.slowdown()));
+    println!("{} TCP flows completed; slowest first:", tcp_recs.len());
+    for r in tcp_recs.iter().take(8) {
+        println!(
+            "  flow {} slowdown {:.1} fct {} ns",
+            r.flow,
+            r.slowdown(),
+            r.fct().as_nanos()
+        );
+    }
+    sim.trace()
+        .with(|rec| {
+            for r in tcp_recs.iter().take(5) {
+                print!("{}", rec.summarize_flow(r.flow.as_u64()));
+            }
+            println!(
+                "totals: {:?} ({} events recorded, {} evicted)",
+                rec.totals(),
+                rec.len(),
+                rec.evicted()
+            );
+        })
+        .expect("recorder enabled");
+}
