@@ -1,0 +1,143 @@
+//! Parallel-sweep speedup benchmark: runs the Fig. 7 sweep at several
+//! `--jobs` values, proves the rendered report is byte-identical across
+//! thread counts, and writes the speedup trajectory to `BENCH_2.json`.
+//!
+//! Usage:
+//!   cargo run --release -p dcn-bench --bin sweep                 # small scale
+//!   cargo run --release -p dcn-bench --bin sweep -- --scale paper
+//!   cargo run --release -p dcn-bench --bin sweep -- --check      # CI mode
+//!
+//! `--check` uses the tiny scale (seconds, not minutes) and exits
+//! non-zero unless every thread count reproduced the serial report and
+//! per-cell digests exactly.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dcn_experiments::{fig7_with, ExperimentScale, SweepOptions};
+
+const JOB_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct JobsRun {
+    jobs: usize,
+    wall_s: f64,
+    render: String,
+    digests: Vec<u64>,
+}
+
+fn run_at(scale: &ExperimentScale, jobs: usize, seeds: u64) -> JobsRun {
+    let start = Instant::now();
+    let report = fig7_with(scale, &[], &SweepOptions::new(jobs, seeds));
+    let wall_s = start.elapsed().as_secs_f64();
+    JobsRun {
+        jobs,
+        wall_s,
+        render: report.render(),
+        digests: report.points.iter().map(|p| p.results.digest()).collect(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let scale_name = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or(if check { "tiny" } else { "small" });
+    let scale = match scale_name {
+        "tiny" => ExperimentScale::tiny(),
+        "small" => ExperimentScale::small(),
+        "paper" => ExperimentScale::paper(),
+        other => {
+            eprintln!("unknown scale '{other}' (tiny|small|paper)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seeds = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(1);
+
+    let cores = dcn_sim::default_jobs();
+    eprintln!(
+        "# fig7 sweep, scale {scale_name} ({} hosts), seeds {seeds}, {} core(s) available",
+        scale.host_count(),
+        cores
+    );
+
+    let mut runs: Vec<JobsRun> = Vec::new();
+    for jobs in JOB_COUNTS {
+        let r = run_at(&scale, jobs, seeds);
+        eprintln!("# --jobs {:<2} {:>8.3} s", r.jobs, r.wall_s);
+        runs.push(r);
+    }
+
+    // Determinism contract: every thread count reproduces the serial
+    // report and per-cell digests byte-for-byte.
+    let base = &runs[0];
+    let mut identical = true;
+    for r in &runs[1..] {
+        if r.render != base.render || r.digests != base.digests {
+            identical = false;
+            eprintln!(
+                "DETERMINISM VIOLATION: --jobs {} differs from --jobs {}",
+                r.jobs, base.jobs
+            );
+        }
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"parallel_sweep\",\n");
+    writeln!(json, "  \"experiment\": \"fig7\",").expect("write to string");
+    writeln!(json, "  \"scale\": \"{scale_name}\",").expect("write to string");
+    writeln!(json, "  \"hosts\": {},", scale.host_count()).expect("write to string");
+    writeln!(json, "  \"seeds_per_cell\": {seeds},").expect("write to string");
+    writeln!(json, "  \"cells\": {},", base.digests.len()).expect("write to string");
+    writeln!(json, "  \"cores_available\": {cores},").expect("write to string");
+    writeln!(json, "  \"reports_identical_across_jobs\": {identical},").expect("write to string");
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"jobs\": {}, \"wall_seconds\": {:.6}, \"speedup_vs_jobs1\": {:.3}}}{comma}",
+            r.jobs,
+            r.wall_s,
+            base.wall_s / r.wall_s
+        )
+        .expect("write to string");
+    }
+    json.push_str("  ],\n");
+    writeln!(
+        json,
+        "  \"note\": \"speedup is bounded by cores_available; on a single-core host the \
+         trajectory stays ~1.0x while the determinism contract is still exercised\"\n}}"
+    )
+    .expect("write to string");
+
+    if check {
+        if !identical {
+            eprintln!("sweep check FAILED: reports differ across --jobs values");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "sweep check OK: fig7 x{} cells byte-identical across --jobs {:?}",
+            base.digests.len(),
+            JOB_COUNTS
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
+    println!("{json}");
+    println!("wrote BENCH_2.json");
+    if identical {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

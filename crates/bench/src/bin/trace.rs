@@ -9,8 +9,10 @@
 //!
 //! `--check` runs the scenario twice and fails (exit 1) unless the trace
 //! is non-empty, both runs record identical event counts (determinism),
-//! and the recorder's drop/pause totals reconcile exactly with the
-//! switches' `DropCounters`/`PfcCounters`.
+//! the recorder's drop/pause totals reconcile exactly with the
+//! switches' `DropCounters`/`PfcCounters`, and a tiny Fig. 7 sweep
+//! produces identical per-cell `RunResults` digests at `--jobs 1` and
+//! `--jobs 8` (the parallel engine's scheduling-independence contract).
 
 use std::process::ExitCode;
 
@@ -172,7 +174,33 @@ fn main() -> ExitCode {
             eprintln!("trace check FAILED: JSONL dumps differ between identical runs");
             return ExitCode::FAILURE;
         }
-        println!("trace check OK: non-empty, deterministic, reconciles with counters");
+        // Parallel-engine regression: the same sweep must digest
+        // identically at any thread count.
+        use dcn_experiments::{fig7_with, ExperimentScale, SweepOptions};
+        let digests = |jobs: usize| -> Vec<u64> {
+            fig7_with(
+                &ExperimentScale::tiny(),
+                &[0.4],
+                &SweepOptions::new(jobs, 1),
+            )
+            .points
+            .iter()
+            .map(|p| p.results.digest())
+            .collect()
+        };
+        let serial = digests(1);
+        let parallel = digests(8);
+        if serial != parallel {
+            eprintln!(
+                "trace check FAILED: fig7 digests differ between --jobs 1 and --jobs 8 \
+                 ({serial:?} vs {parallel:?})"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "trace check OK: non-empty, deterministic, reconciles with counters, \
+             and fig7 digests match across --jobs 1/8"
+        );
         return ExitCode::SUCCESS;
     }
 

@@ -15,9 +15,10 @@
 use dcn_fabric::PolicyChoice;
 use l2bm::{L2bmConfig, Normalization};
 
-use crate::hybrid::{run_hybrid, HybridConfig, HybridPoint};
+use crate::hybrid::{HybridConfig, HybridPoint};
 use crate::report::{fmt_bytes, fmt_f64, Table};
 use crate::scale::ExperimentScale;
+use crate::sweep::{run_hybrid_cells, SweepOptions};
 
 /// One ablation variant: a labelled policy configuration.
 #[derive(Debug, Clone)]
@@ -117,17 +118,29 @@ pub fn ablations_with(
     variants: &[AblationVariant],
     tcp_load: f64,
 ) -> AblationReport {
+    ablations_opts(scale, variants, tcp_load, &SweepOptions::default())
+}
+
+/// Runs a custom ablation sweep through the parallel engine.
+pub fn ablations_opts(
+    scale: &ExperimentScale,
+    variants: &[AblationVariant],
+    tcp_load: f64,
+    opts: &SweepOptions,
+) -> AblationReport {
+    let cells: Vec<HybridConfig> = variants
+        .iter()
+        .map(|v| HybridConfig {
+            scale: scale.clone(),
+            policy: v.policy,
+            rdma_load: 0.4,
+            tcp_load,
+        })
+        .collect();
     let points = variants
         .iter()
-        .map(|v| {
-            let p = run_hybrid(&HybridConfig {
-                scale: scale.clone(),
-                policy: v.policy,
-                rdma_load: 0.4,
-                tcp_load,
-            });
-            (v.name.clone(), p)
-        })
+        .map(|v| v.name.clone())
+        .zip(run_hybrid_cells(&cells, opts))
         .collect();
     AblationReport { points, tcp_load }
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--scale tiny|small|paper] [--seed N] [--window-ms N]
+//!                    [--jobs N] [--seeds N]
 //!
 //! experiments: fig3a fig3b fig7 table2 fig8 fig9 fig10 fig11 all
 //! ```
@@ -9,19 +10,26 @@
 //! Scaled-down runs (`--scale small`, the default) finish in about a
 //! minute per figure and preserve the qualitative ordering; `--scale
 //! paper` uses the full 128-server fabric of the paper's §IV setup.
+//!
+//! `--jobs N` fans the independent sweep cells across N worker threads
+//! (`--jobs 0` = all available cores); the output is bit-identical at
+//! any thread count. `--seeds N` replicates every cell over N seeds and
+//! reports `mean ± 95% CI` per table cell.
 
 use std::env;
 use std::process::ExitCode;
 
 use dcn_experiments::{
-    ablations, fig10, fig11, fig3a, fig3b, fig7, fig8, fig9, table2, ExperimentScale,
+    ablations_opts, fig10_with, fig11_with, fig3a_with, fig3b_with, fig7_with, fig8_with,
+    fig9_with, standard_variants, table2_with, ExperimentScale, SweepOptions, FIG11_FANOUTS,
+    TABLE2_LOADS,
 };
 use dcn_sim::SimDuration;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|ablations|all> \
-         [--scale tiny|small|paper] [--seed N] [--window-ms N]"
+         [--scale tiny|small|paper] [--seed N] [--window-ms N] [--jobs N] [--seeds N]"
     );
     ExitCode::FAILURE
 }
@@ -33,9 +41,24 @@ fn main() -> ExitCode {
     };
 
     let mut scale = ExperimentScale::small();
+    let mut opts = SweepOptions::default();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--jobs" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                opts.jobs = if v == 0 { dcn_sim::default_jobs() } else { v };
+                i += 2;
+            }
+            "--seeds" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                opts.seeds = v.max(1);
+                i += 2;
+            }
             "--scale" => {
                 let Some(v) = args.get(i + 1) else {
                     return usage();
@@ -73,23 +96,25 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "# scale: {} hosts, window {}, seed {}",
+        "# scale: {} hosts, window {}, seed {}, jobs {}, seeds {}",
         scale.host_count(),
         scale.window,
-        scale.seed
+        scale.seed,
+        opts.jobs,
+        opts.effective_seeds()
     );
 
     let run_one = |name: &str, scale: &ExperimentScale| -> Option<String> {
         let out = match name {
-            "fig3a" => fig3a(scale).render(),
-            "fig3b" => fig3b(scale).render(),
-            "fig7" => fig7(scale).render(),
-            "table2" => table2(scale).render(),
-            "fig8" => fig8(scale).render(),
-            "fig9" => fig9(scale).render(),
-            "fig10" => fig10(scale).render(),
-            "fig11" => fig11(scale).render(),
-            "ablations" => ablations(scale).render(),
+            "fig3a" => fig3a_with(scale, &opts).render(),
+            "fig3b" => fig3b_with(scale, &opts).render(),
+            "fig7" => fig7_with(scale, &[], &opts).render(),
+            "table2" => table2_with(scale, &TABLE2_LOADS, &opts).render(),
+            "fig8" => fig8_with(scale, &opts).render(),
+            "fig9" => fig9_with(scale, &opts).render(),
+            "fig10" => fig10_with(scale, 5, &opts).render(),
+            "fig11" => fig11_with(scale, &FIG11_FANOUTS, &opts).render(),
+            "ablations" => ablations_opts(scale, &standard_variants(), 0.8, &opts).render(),
             _ => return None,
         };
         Some(out)

@@ -4,11 +4,12 @@ use dcn_fabric::PolicyChoice;
 use dcn_metrics::OccupancySeries;
 use dcn_net::{NodeId, Topology, TrafficClass};
 
-use crate::hybrid::{run_hybrid, HybridConfig, HybridPoint};
-use crate::incast::{run_incast, IncastConfig, IncastPoint};
+use crate::hybrid::{HybridConfig, HybridPoint};
+use crate::incast::{IncastConfig, IncastPoint};
 use crate::paper_policies;
 use crate::report::{fmt_bytes, fmt_f64, Table};
 use crate::scale::ExperimentScale;
+use crate::sweep::{fmt_stat, run_hybrid_cells, run_incast_cells, SweepOptions};
 
 /// The TCP loads the paper sweeps in Fig. 7 (x-axis 0.1 → 0.8).
 pub const FIG7_LOADS: [f64; 4] = [0.2, 0.4, 0.6, 0.8];
@@ -66,21 +67,31 @@ fn first_tor_series(point: &HybridPoint, topo_first_switch: NodeId) -> Occupancy
 
 /// Runs Fig. 3(a): one TCP-only and one RDMA-only run at the same load.
 pub fn fig3a(scale: &ExperimentScale) -> Fig3aReport {
+    fig3a_with(scale, &SweepOptions::default())
+}
+
+/// Runs Fig. 3(a) through the parallel sweep engine.
+pub fn fig3a_with(scale: &ExperimentScale, opts: &SweepOptions) -> Fig3aReport {
     let load = 0.6;
     let topo = Topology::clos(&scale.clos);
     let first = topo.switches().next().expect("clos has switches");
-    let tcp_point = run_hybrid(&HybridConfig {
-        scale: scale.clone(),
-        policy: PolicyChoice::dt(),
-        rdma_load: 0.0,
-        tcp_load: load,
-    });
-    let rdma_point = run_hybrid(&HybridConfig {
-        scale: scale.clone(),
-        policy: PolicyChoice::dt(),
-        rdma_load: load,
-        tcp_load: 0.0,
-    });
+    let cells = vec![
+        HybridConfig {
+            scale: scale.clone(),
+            policy: PolicyChoice::dt(),
+            rdma_load: 0.0,
+            tcp_load: load,
+        },
+        HybridConfig {
+            scale: scale.clone(),
+            policy: PolicyChoice::dt(),
+            rdma_load: load,
+            tcp_load: 0.0,
+        },
+    ];
+    let mut points = run_hybrid_cells(&cells, opts);
+    let rdma_point = points.pop().expect("two cells");
+    let tcp_point = points.pop().expect("two cells");
     Fig3aReport {
         tcp: first_tor_series(&tcp_point, first),
         rdma: first_tor_series(&rdma_point, first),
@@ -106,25 +117,37 @@ impl Fig3bReport {
         render_series(
             "Fig 3(b): 99% FCT slowdown of RDMA flows (motivation: DT/DT2/ABM)",
             &self.points,
-            |p| fmt_f64(p.rdma_p99_slowdown),
+            |p| {
+                fmt_stat(
+                    p.stats.as_ref().and_then(|s| s.rdma_p99_slowdown.as_ref()),
+                    fmt_f64(p.rdma_p99_slowdown),
+                )
+            },
         )
     }
 }
 
 /// Runs Fig. 3(b).
 pub fn fig3b(scale: &ExperimentScale) -> Fig3bReport {
-    let mut points = Vec::new();
+    fig3b_with(scale, &SweepOptions::default())
+}
+
+/// Runs Fig. 3(b) through the parallel sweep engine.
+pub fn fig3b_with(scale: &ExperimentScale, opts: &SweepOptions) -> Fig3bReport {
+    let mut cells = Vec::new();
     for policy in [PolicyChoice::dt(), PolicyChoice::dt2(), PolicyChoice::abm()] {
         for &load in &FIG7_LOADS {
-            points.push(run_hybrid(&HybridConfig {
+            cells.push(HybridConfig {
                 scale: scale.clone(),
                 policy,
                 rdma_load: 0.4,
                 tcp_load: load,
-            }));
+            });
         }
     }
-    Fig3bReport { points }
+    Fig3bReport {
+        points: run_hybrid_cells(&cells, opts),
+    }
 }
 
 // --------------------------------------------------------------------
@@ -177,43 +200,71 @@ impl Fig7Report {
         let a = render_series(
             "Fig 7(a): 99% FCT slowdown, RDMA flows",
             &self.points,
-            |p| fmt_f64(p.rdma_p99_slowdown),
+            |p| {
+                fmt_stat(
+                    p.stats.as_ref().and_then(|s| s.rdma_p99_slowdown.as_ref()),
+                    fmt_f64(p.rdma_p99_slowdown),
+                )
+            },
         );
         let b = render_series("Fig 7(b): 99% FCT slowdown, TCP flows", &self.points, |p| {
-            fmt_f64(p.tcp_p99_slowdown)
+            fmt_stat(
+                p.stats.as_ref().and_then(|s| s.tcp_p99_slowdown.as_ref()),
+                fmt_f64(p.tcp_p99_slowdown),
+            )
         });
         let c = render_series(
             "Fig 7(c): ToR buffer occupancy (p99 of 1 ms samples)",
             &self.points,
-            |p| fmt_bytes(p.tor_occupancy_p99),
+            |p| match p.stats.as_ref().and_then(|s| s.tor_occupancy_p99.as_ref()) {
+                Some(s) if s.n > 1 => {
+                    format!("{}±{}", fmt_bytes(s.mean), fmt_bytes(s.ci95_half))
+                }
+                _ => fmt_bytes(p.tor_occupancy_p99),
+            },
         );
         let d = render_series("Fig 7(d): PFC pause frames", &self.points, |p| {
-            p.pause_frames.to_string()
+            fmt_stat(
+                p.stats.as_ref().and_then(|s| s.pause_frames.as_ref()),
+                p.pause_frames.to_string(),
+            )
         });
         format!("{a}\n{b}\n{c}\n{d}")
     }
 }
 
+/// The Fig. 7 cell grid: all four policies × the given TCP loads.
+fn fig7_cells(scale: &ExperimentScale, loads: &[f64]) -> Vec<HybridConfig> {
+    let mut cells = Vec::new();
+    for policy in paper_policies() {
+        for &load in loads {
+            cells.push(HybridConfig {
+                scale: scale.clone(),
+                policy,
+                rdma_load: 0.4,
+                tcp_load: load,
+            });
+        }
+    }
+    cells
+}
+
 /// Runs the Fig. 7 sweep with the given loads (defaults to
 /// [`FIG7_LOADS`] when `loads` is empty).
 pub fn fig7_with_loads(scale: &ExperimentScale, loads: &[f64]) -> Fig7Report {
+    fig7_with(scale, loads, &SweepOptions::default())
+}
+
+/// Runs the Fig. 7 sweep through the parallel engine.
+pub fn fig7_with(scale: &ExperimentScale, loads: &[f64], opts: &SweepOptions) -> Fig7Report {
     let loads: Vec<f64> = if loads.is_empty() {
         FIG7_LOADS.to_vec()
     } else {
         loads.to_vec()
     };
-    let mut points = Vec::new();
-    for policy in paper_policies() {
-        for &load in &loads {
-            points.push(run_hybrid(&HybridConfig {
-                scale: scale.clone(),
-                policy,
-                rdma_load: 0.4,
-                tcp_load: load,
-            }));
-        }
+    Fig7Report {
+        points: run_hybrid_cells(&fig7_cells(scale, &loads), opts),
     }
-    Fig7Report { points }
 }
 
 /// Runs Fig. 7 with the paper's load sweep.
@@ -232,7 +283,10 @@ impl Table2Report {
     /// Renders the table in the paper's layout.
     pub fn render(&self) -> String {
         render_series("Table II: number of PFC pause frames", &self.points, |p| {
-            p.pause_frames.to_string()
+            fmt_stat(
+                p.stats.as_ref().and_then(|s| s.pause_frames.as_ref()),
+                p.pause_frames.to_string(),
+            )
         })
     }
 
@@ -253,18 +307,14 @@ pub fn table2(scale: &ExperimentScale) -> Table2Report {
 /// Runs Table II restricted to the given load columns (reduced variants
 /// for benches/tests).
 pub fn table2_with_loads(scale: &ExperimentScale, loads: &[f64]) -> Table2Report {
-    let mut points = Vec::new();
-    for policy in paper_policies() {
-        for &load in loads {
-            points.push(run_hybrid(&HybridConfig {
-                scale: scale.clone(),
-                policy,
-                rdma_load: 0.4,
-                tcp_load: load,
-            }));
-        }
+    table2_with(scale, loads, &SweepOptions::default())
+}
+
+/// Runs Table II through the parallel engine.
+pub fn table2_with(scale: &ExperimentScale, loads: &[f64], opts: &SweepOptions) -> Table2Report {
+    Table2Report {
+        points: run_hybrid_cells(&fig7_cells(scale, loads), opts),
     }
-    Table2Report { points }
 }
 
 // --------------------------------------------------------------------
@@ -302,16 +352,16 @@ impl Fig8Report {
 
 /// Runs Fig. 8.
 pub fn fig8(scale: &ExperimentScale) -> Fig8Report {
+    fig8_with(scale, &SweepOptions::default())
+}
+
+/// Runs Fig. 8 through the parallel engine.
+pub fn fig8_with(scale: &ExperimentScale, opts: &SweepOptions) -> Fig8Report {
     let topo = Topology::clos(&scale.clos);
     let tors: Vec<NodeId> = topo.switches().take(scale.clos.tors).collect();
+    let cells = fig7_cells(scale, &[0.8]);
     let mut series = Vec::new();
-    for policy in paper_policies() {
-        let p = run_hybrid(&HybridConfig {
-            scale: scale.clone(),
-            policy,
-            rdma_load: 0.4,
-            tcp_load: 0.8,
-        });
+    for p in run_hybrid_cells(&cells, opts) {
         for &tor in &tors {
             let s = p.results.occupancy.get(&tor).cloned().unwrap_or_default();
             series.push((p.label.clone(), tor, s));
@@ -366,18 +416,14 @@ impl Fig9Report {
 
 /// Runs Fig. 9.
 pub fn fig9(scale: &ExperimentScale) -> Fig9Report {
-    let points = paper_policies()
-        .into_iter()
-        .map(|policy| {
-            run_hybrid(&HybridConfig {
-                scale: scale.clone(),
-                policy,
-                rdma_load: 0.4,
-                tcp_load: 0.8,
-            })
-        })
-        .collect();
-    Fig9Report { points }
+    fig9_with(scale, &SweepOptions::default())
+}
+
+/// Runs Fig. 9 through the parallel engine.
+pub fn fig9_with(scale: &ExperimentScale, opts: &SweepOptions) -> Fig9Report {
+    Fig9Report {
+        points: run_hybrid_cells(&fig7_cells(scale, &[0.8]), opts),
+    }
 }
 
 // --------------------------------------------------------------------
@@ -471,12 +517,19 @@ pub fn fig10(scale: &ExperimentScale) -> Fig10Report {
 /// Runs Fig. 10 at a custom fanout (small fabrics have fewer possible
 /// responders).
 pub fn fig10_with_fanout(scale: &ExperimentScale, fanout: usize) -> Fig10Report {
+    fig10_with(scale, fanout, &SweepOptions::default())
+}
+
+/// Runs Fig. 10 through the parallel engine.
+pub fn fig10_with(scale: &ExperimentScale, fanout: usize, opts: &SweepOptions) -> Fig10Report {
     let fanout = fanout.min(scale.host_count() / 2 - 1);
-    let points = paper_policies()
+    let cells: Vec<IncastConfig> = paper_policies()
         .into_iter()
-        .map(|policy| run_incast(&IncastConfig::paper_defaults(scale.clone(), policy, fanout)))
+        .map(|policy| IncastConfig::paper_defaults(scale.clone(), policy, fanout))
         .collect();
-    Fig10Report { points }
+    Fig10Report {
+        points: run_incast_cells(&cells, opts),
+    }
 }
 
 // --------------------------------------------------------------------
@@ -521,16 +574,30 @@ impl Fig11Report {
     /// Renders all three panels.
     pub fn render(&self) -> String {
         let a = self.render_one("Fig 11(a): 99% FCT slowdown of incast flows", |p| {
-            fmt_f64(p.incast_p99_slowdown)
+            fmt_stat(
+                p.stats
+                    .as_ref()
+                    .and_then(|s| s.incast_p99_slowdown.as_ref()),
+                fmt_f64(p.incast_p99_slowdown),
+            )
         });
         let b = self.render_one("Fig 11(b): average query response time (ms)", |p| {
-            p.query_delay
-                .as_ref()
-                .map(|e| fmt_f64(e.mean * 1e3))
-                .unwrap_or_else(|| "-".into())
+            match p.stats.as_ref().and_then(|s| s.query_delay_mean_s.as_ref()) {
+                Some(s) if s.n > 1 => {
+                    format!("{}±{}", fmt_f64(s.mean * 1e3), fmt_f64(s.ci95_half * 1e3))
+                }
+                _ => p
+                    .query_delay
+                    .as_ref()
+                    .map(|e| fmt_f64(e.mean * 1e3))
+                    .unwrap_or_else(|| "-".into()),
+            }
         });
         let c = self.render_one("Fig 11(c): PFC pause frames", |p| {
-            p.pause_frames.to_string()
+            fmt_stat(
+                p.stats.as_ref().and_then(|s| s.pause_frames.as_ref()),
+                p.pause_frames.to_string(),
+            )
         });
         format!("{a}\n{b}\n{c}")
     }
@@ -543,22 +610,25 @@ pub fn fig11(scale: &ExperimentScale) -> Fig11Report {
 
 /// Runs Fig. 11 with custom incast degrees.
 pub fn fig11_with_fanouts(scale: &ExperimentScale, fanouts: &[usize]) -> Fig11Report {
+    fig11_with(scale, fanouts, &SweepOptions::default())
+}
+
+/// Runs Fig. 11 through the parallel engine.
+pub fn fig11_with(scale: &ExperimentScale, fanouts: &[usize], opts: &SweepOptions) -> Fig11Report {
     // Degrees larger than the scaled-down responder pool are clamped to
     // pool − 1 so small fabrics can still run the sweep.
     let pool = scale.host_count() / 2; // the RDMA half of the servers
     let mut fanouts: Vec<usize> = fanouts.iter().map(|&n| n.min(pool - 1)).collect();
     fanouts.dedup();
-    let mut points = Vec::new();
+    let mut cells = Vec::new();
     for policy in paper_policies() {
         for &n in &fanouts {
-            points.push(run_incast(&IncastConfig::paper_defaults(
-                scale.clone(),
-                policy,
-                n,
-            )));
+            cells.push(IncastConfig::paper_defaults(scale.clone(), policy, n));
         }
     }
-    Fig11Report { points }
+    Fig11Report {
+        points: run_incast_cells(&cells, opts),
+    }
 }
 
 #[cfg(test)]

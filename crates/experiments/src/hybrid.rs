@@ -52,6 +52,10 @@ pub struct HybridPoint {
     pub unfinished: usize,
     /// Full results for figure-specific post-processing (CDFs etc.).
     pub results: RunResults,
+    /// Cross-seed replication statistics, attached by the sweep engine
+    /// when the cell ran with `--seeds N > 1`. The scalar fields above
+    /// always hold the base-seed replicate's values.
+    pub stats: Option<crate::sweep::HybridSeedStats>,
 }
 
 /// Splits the hosts of each rack into an (RDMA, TCP) half, and returns
@@ -162,6 +166,7 @@ pub fn run_hybrid(cfg: &HybridConfig) -> HybridPoint {
         lossless_drops: results.drops.lossless_packets,
         unfinished: results.unfinished_flows,
         results,
+        stats: None,
     }
 }
 

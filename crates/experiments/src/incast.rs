@@ -78,6 +78,9 @@ pub struct IncastPoint {
     pub query_delays_s: Vec<f64>,
     /// Raw slowdowns of all completed incast flows.
     pub incast_slowdowns: Vec<f64>,
+    /// Cross-seed replication statistics, attached by the sweep engine
+    /// when the cell ran with `--seeds N > 1`.
+    pub stats: Option<crate::sweep::IncastSeedStats>,
 }
 
 /// Runs one incast experiment point.
@@ -190,6 +193,7 @@ pub fn run_incast(cfg: &IncastConfig) -> IncastPoint {
         results,
         query_delays_s,
         incast_slowdowns,
+        stats: None,
     }
 }
 

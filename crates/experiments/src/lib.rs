@@ -34,19 +34,24 @@ mod hybrid;
 mod incast;
 mod report;
 mod scale;
+mod sweep;
 
 pub use ablations::{
-    ablations, ablations_with, standard_variants, AblationReport, AblationVariant,
+    ablations, ablations_opts, ablations_with, standard_variants, AblationReport, AblationVariant,
 };
 pub use figures::{
-    fig10, fig10_with_fanout, fig11, fig11_with_fanouts, fig3a, fig3b, fig7, fig7_with_loads, fig8,
-    fig9, table2, table2_with_loads, Fig10Report, Fig11Report, Fig3aReport, Fig3bReport,
-    Fig7Report, Fig8Report, Fig9Report, Table2Report, FIG11_FANOUTS, FIG7_LOADS, TABLE2_LOADS,
+    fig10, fig10_with, fig10_with_fanout, fig11, fig11_with, fig11_with_fanouts, fig3a, fig3a_with,
+    fig3b, fig3b_with, fig7, fig7_with, fig7_with_loads, fig8, fig8_with, fig9, fig9_with, table2,
+    table2_with, table2_with_loads, Fig10Report, Fig11Report, Fig3aReport, Fig3bReport, Fig7Report,
+    Fig8Report, Fig9Report, Table2Report, FIG11_FANOUTS, FIG7_LOADS, TABLE2_LOADS,
 };
 pub use hybrid::{run_hybrid, HybridConfig, HybridPoint};
 pub use incast::{run_incast, IncastConfig, IncastPoint};
 pub use report::{fmt_bytes, fmt_f64, Table};
 pub use scale::ExperimentScale;
+pub use sweep::{
+    fmt_stat, run_hybrid_cells, run_incast_cells, HybridSeedStats, IncastSeedStats, SweepOptions,
+};
 
 /// The four policies every comparison sweeps, in the paper's order.
 pub fn paper_policies() -> Vec<dcn_fabric::PolicyChoice> {

@@ -53,3 +53,55 @@ pub use flows::{FlowRuntime, FlowState};
 pub use host::Host;
 pub use results::RunResults;
 pub use world::{Event, FabricSim, World};
+
+/// Compile-time proof that per-cell fabric construction is `Send`-clean.
+///
+/// A [`World`] itself is deliberately **not** `Send` (its flight
+/// recorder is an `Rc<RefCell<…>>` shared with every switch), so the
+/// parallel sweep engine never moves a live simulation between threads.
+/// Instead each worker thread receives only the plain-data inputs below
+/// and builds its own `World`, and ships back only the plain-data
+/// [`RunResults`]. These assertions pin that contract: if a non-`Send`
+/// handle ever leaks into a config or result type, the crate stops
+/// compiling rather than the sweep engine breaking at a distance.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<FabricConfig>();
+    assert_send::<PolicyChoice>();
+    assert_send::<dcn_net::Topology>();
+    assert_send::<dcn_workload::FlowSpec>();
+    assert_send::<RunResults>();
+};
+
+#[cfg(test)]
+mod send_clean_tests {
+    use super::*;
+    use dcn_net::{FlowId, NodeId, Priority, Topology, TrafficClass};
+    use dcn_sim::{BitRate, Bytes, SimDuration, SimTime};
+    use dcn_workload::FlowSpec;
+
+    /// A whole simulation cell — construction, run, results — executes
+    /// on a spawned thread from `Send` inputs alone.
+    #[test]
+    fn world_builds_and_runs_on_a_worker_thread() {
+        let topo = Topology::single_switch(3, BitRate::from_gbps(25), SimDuration::from_micros(1));
+        let cfg = FabricConfig::default();
+        let results = std::thread::spawn(move || {
+            let mut sim = FabricSim::new(topo, cfg);
+            sim.add_flow(FlowSpec {
+                id: FlowId::new(1),
+                src: NodeId::new(0),
+                dst: NodeId::new(2),
+                size: Bytes::new(50_000),
+                start: SimTime::ZERO,
+                class: TrafficClass::Lossy,
+                priority: Priority::new(1),
+            });
+            assert!(sim.run_until_done(SimTime::from_millis(50)));
+            sim.results()
+        })
+        .join()
+        .expect("worker cell completes");
+        assert_eq!(results.fct.len(), 1);
+    }
+}

@@ -29,4 +29,64 @@ impl RunResults {
     pub fn pause_frames(&self) -> u64 {
         self.pfc.pause_frames()
     }
+
+    /// A stable FNV-1a digest over everything a report can read out of
+    /// the run: per-flow completion records, PFC/drop totals, occupancy
+    /// samples and the event count.
+    ///
+    /// Two runs of the same configuration and seed produce the same
+    /// digest; the parallel sweep engine's regression tests compare
+    /// digests across `--jobs` values to prove scheduling independence.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for r in self.fct.records() {
+            mix(r.flow.as_u64());
+            mix(r.start.as_nanos());
+            mix(r.finish.as_nanos());
+            mix(r.size.as_u64());
+        }
+        mix(self.pfc.pause_frames());
+        mix(self.pfc.resume_frames());
+        mix(self.drops.lossy_packets);
+        mix(self.drops.lossy_bytes);
+        mix(self.drops.lossless_packets);
+        mix(self.drops.lossless_bytes);
+        for (node, series) in &self.occupancy {
+            mix(node.index() as u64);
+            for &(at, occ) in series.samples() {
+                mix(at.as_nanos());
+                mix(occ.as_u64());
+            }
+        }
+        mix(self.unfinished_flows as u64);
+        mix(self.events_processed);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let empty = RunResults::default();
+        assert_eq!(empty.digest(), RunResults::default().digest());
+        let r = RunResults {
+            events_processed: 1,
+            ..RunResults::default()
+        };
+        assert_ne!(r.digest(), empty.digest());
+        let mut r = RunResults::default();
+        r.drops.lossy_packets = 1;
+        assert_ne!(r.digest(), empty.digest());
+    }
 }

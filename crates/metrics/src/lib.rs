@@ -12,6 +12,8 @@
 //!   (the paper samples every 1 ms; Figs. 7(c), 8, 10(c)).
 //! * [`PfcCounters`] / [`DropCounters`] — pause-frame and drop totals
 //!   (Fig. 7(d), Table II, Fig. 11(c)).
+//! * [`SeedStats`] — multi-seed replication summary (mean, sample std
+//!   dev, 95% CI on the mean) for the sweep engine's `--seeds N` mode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,4 +24,4 @@ mod stats;
 
 pub use counters::{DropCounters, OccupancySeries, PfcCounters};
 pub use fct::{FctRecord, FctSet};
-pub use stats::{percentile, Cdf, ErrorBarStats};
+pub use stats::{percentile, Cdf, ErrorBarStats, SeedStats};

@@ -243,6 +243,107 @@ impl ErrorBarStats {
     }
 }
 
+/// Two-sided 97.5% Student-t critical values for df = 1..=30; beyond 30
+/// degrees of freedom the normal approximation (1.96) is within 2%.
+const T_CRIT_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+fn t_critical_975(df: usize) -> f64 {
+    if df == 0 {
+        f64::NAN
+    } else if df <= T_CRIT_975.len() {
+        T_CRIT_975[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Replication summary over the N seeded runs of one sweep cell: mean,
+/// sample standard deviation, 95% confidence interval on the mean
+/// (Student-t for small N), p99 and extremes.
+///
+/// Construction sorts the samples before any arithmetic, so the summary
+/// is **bit-identical under any permutation of the input** — the
+/// property the parallel sweep engine's determinism contract needs when
+/// replicate results arrive in arbitrary completion order.
+///
+/// # Example
+///
+/// ```
+/// use dcn_metrics::SeedStats;
+/// let s = SeedStats::from_samples(&[10.0, 12.0, 11.0, 9.0]).unwrap();
+/// assert_eq!(s.n, 4);
+/// assert!((s.mean - 10.5).abs() < 1e-12);
+/// assert!(s.ci95_half > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeedStats {
+    /// Number of (finite) samples aggregated.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for n = 1).
+    pub std_dev: f64,
+    /// Half-width of the 95% confidence interval on the mean
+    /// (t·s/√n; 0 for n = 1).
+    pub ci95_half: f64,
+    /// 99th percentile of the samples.
+    pub p99: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl SeedStats {
+    /// Aggregates a set of per-seed samples. Non-finite samples (a
+    /// replicate whose metric was undefined, e.g. a p99 over zero
+    /// flows) are ignored; returns `None` if no finite sample remains.
+    pub fn from_samples(samples: &[f64]) -> Option<SeedStats> {
+        let mut v: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        // Sorting fixes the summation order: shuffled inputs produce
+        // bit-identical output.
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let n = v.len();
+        let mean = v.iter().sum::<f64>() / n as f64;
+        let std_dev = if n > 1 {
+            (v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        let ci95_half = if n > 1 {
+            t_critical_975(n - 1) * std_dev / (n as f64).sqrt()
+        } else {
+            0.0
+        };
+        Some(SeedStats {
+            n,
+            mean,
+            std_dev,
+            ci95_half,
+            p99: percentile_sorted(&v, 0.99),
+            min: v[0],
+            max: v[n - 1],
+        })
+    }
+
+    /// Lower edge of the 95% CI.
+    pub fn ci_lo(&self) -> f64 {
+        self.mean - self.ci95_half
+    }
+
+    /// Upper edge of the 95% CI.
+    pub fn ci_hi(&self) -> f64 {
+        self.mean + self.ci95_half
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,5 +416,84 @@ mod tests {
         assert_eq!(s.std_dev, 0.0);
         assert_eq!(s.whisker_lo, 5.0);
         assert_eq!(s.whisker_hi, 5.0);
+    }
+
+    /// Deterministic synthetic noise: a fixed zig-zag around zero whose
+    /// sample std dev is independent of how many periods are taken.
+    fn synthetic_noise(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let z = ((i as f64 * 0.73).sin() * 10.0).round() / 10.0;
+                50.0 + z
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seed_stats_basic() {
+        let s = SeedStats::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std_dev - 1.0).abs() < 1e-12);
+        // df = 2 -> t = 4.303; half-width = 4.303 / sqrt(3).
+        assert!((s.ci95_half - 4.303 / 3f64.sqrt()).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn seed_stats_single_sample_and_empty() {
+        let s = SeedStats::from_samples(&[7.0]).unwrap();
+        assert_eq!((s.n, s.std_dev, s.ci95_half), (1, 0.0, 0.0));
+        assert_eq!(s.mean, 7.0);
+        assert!(SeedStats::from_samples(&[]).is_none());
+        assert!(SeedStats::from_samples(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn seed_stats_ignores_non_finite() {
+        let s = SeedStats::from_samples(&[1.0, f64::NAN, 3.0, f64::INFINITY]).unwrap();
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_width_shrinks_like_inverse_sqrt_n() {
+        // Quadrupling the replicate count should roughly halve the CI
+        // half-width (t -> 1.96 as df grows, so allow a loose band).
+        let small = SeedStats::from_samples(&synthetic_noise(16)).unwrap();
+        let large = SeedStats::from_samples(&synthetic_noise(64)).unwrap();
+        let ratio = small.ci95_half / large.ci95_half;
+        assert!(
+            (1.5..=3.0).contains(&ratio),
+            "expected ~2x shrink from n=16 to n=64, got {ratio:.3} \
+             (ci16={}, ci64={})",
+            small.ci95_half,
+            large.ci95_half
+        );
+    }
+
+    #[test]
+    fn seed_stats_is_order_independent() {
+        // Bit-identical output under any permutation — the property the
+        // parallel sweep's completion-order-free aggregation relies on.
+        let base = synthetic_noise(17);
+        let expect = SeedStats::from_samples(&base).unwrap();
+        let mut shuffled = base.clone();
+        shuffled.reverse();
+        assert_eq!(SeedStats::from_samples(&shuffled), Some(expect));
+        // An interleaved permutation too.
+        let mut weird: Vec<f64> = Vec::new();
+        for i in 0..base.len() {
+            weird.push(base[(i * 5) % base.len()]);
+        }
+        assert_eq!(SeedStats::from_samples(&weird), Some(expect));
+    }
+
+    #[test]
+    fn t_critical_tends_to_normal() {
+        assert!((t_critical_975(1) - 12.706).abs() < 1e-9);
+        assert!((t_critical_975(30) - 2.042).abs() < 1e-9);
+        assert_eq!(t_critical_975(31), 1.96);
     }
 }

@@ -41,12 +41,14 @@
 #![warn(missing_docs)]
 
 mod event;
+mod par;
 mod rng;
 mod time;
 mod trace;
 mod units;
 
 pub use event::{run_until, run_while, EventQueue, Simulation};
+pub use par::{default_jobs, par_map};
 pub use rng::{EmpiricalCdf, SimRng};
 pub use time::{SimDuration, SimTime};
 pub use trace::{

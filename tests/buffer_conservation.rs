@@ -1,0 +1,151 @@
+//! Buffer-conservation property battery: a full [`SharedMemorySwitch`]
+//! under seeded random hybrid traffic must keep the MMU's aggregate
+//! counters equal to the per-queue sums after *every* charge and
+//! discharge — for all four paper policies.
+//!
+//! 4 policies × 16 seeded cases = 64 cases; each failure message
+//! carries the policy and case seed for replay.
+
+use dcn_net::{FlowId, NodeId, Packet, PortId, Priority, TrafficClass};
+use dcn_sim::{BitRate, Bytes, SimDuration, SimRng, SimTime};
+use dcn_switch::{AbmPolicy, BufferPolicy, DtPolicy, QueueIndex, SharedMemorySwitch, SwitchConfig};
+use l2bm::{L2bmConfig, L2bmPolicy};
+
+const N_PORTS: u16 = 4;
+const CASES_PER_POLICY: u64 = 16;
+
+type PolicyFactory = Box<dyn Fn() -> Box<dyn BufferPolicy>>;
+
+fn policies() -> Vec<(&'static str, PolicyFactory)> {
+    vec![
+        ("DT", Box::new(|| Box::new(DtPolicy::new(0.125)) as _)),
+        ("DT2", Box::new(|| Box::new(DtPolicy::new(0.5)) as _)),
+        ("ABM", Box::new(|| Box::new(AbmPolicy::new(0.5)) as _)),
+        (
+            "L2BM",
+            Box::new(|| Box::new(L2bmPolicy::new(L2bmConfig::default())) as _),
+        ),
+    ]
+}
+
+fn random_packet(rng: &mut SimRng, seq: u64) -> Packet {
+    let lossless = rng.below(2) == 0;
+    let (class, prio, flow) = if lossless {
+        (TrafficClass::Lossless, Priority::new(3), FlowId::new(1))
+    } else {
+        (TrafficClass::Lossy, Priority::new(1), FlowId::new(2))
+    };
+    Packet::data(
+        flow,
+        NodeId::new(100),
+        NodeId::new(101),
+        prio,
+        class,
+        seq,
+        Bytes::new(64 + rng.below(1_436)),
+        Bytes::new(48),
+    )
+}
+
+/// Σ per-queue bytes must equal the MMU's pool aggregates (shared pool
+/// occupancy plus reserved and headroom accounting), and the built-in
+/// conservation check must pass.
+fn assert_conserved(sw: &SharedMemorySwitch, what: &str) {
+    let mmu = sw.mmu();
+    let mut sum_shared = Bytes::ZERO;
+    let mut sum_headroom = Bytes::ZERO;
+    let mut sum_total = Bytes::ZERO;
+    for port in 0..N_PORTS {
+        for prio in Priority::all() {
+            let q = QueueIndex::new(PortId::new(port), prio);
+            sum_shared += mmu.ingress_shared(q);
+            sum_headroom += mmu.ingress_headroom(q);
+            sum_total += mmu.ingress_total(q);
+        }
+    }
+    assert_eq!(
+        sum_shared,
+        mmu.shared_used(),
+        "{what}: Σ per-queue shared bytes != shared-pool occupancy"
+    );
+    assert_eq!(
+        sum_headroom,
+        mmu.headroom_used(),
+        "{what}: Σ per-queue headroom != headroom accounting"
+    );
+    assert_eq!(
+        sum_total,
+        mmu.total_stored(),
+        "{what}: Σ per-queue total != total stored"
+    );
+    mmu.check_conservation()
+        .unwrap_or_else(|e| panic!("{what}: {e}"));
+}
+
+fn run_case(label: &str, policy: Box<dyn BufferPolicy>, seed: u64) {
+    let cfg = SwitchConfig {
+        // Small enough that random traffic crosses thresholds, uses
+        // headroom, drops lossy packets and pauses lossless queues.
+        total_buffer: Bytes::new(12_000),
+        headroom_per_queue: Bytes::new(6_000),
+        ..SwitchConfig::default()
+    };
+    let mut sw = SharedMemorySwitch::new(
+        NodeId::new(0),
+        cfg,
+        vec![BitRate::from_gbps(25); N_PORTS as usize],
+        policy,
+        seed,
+    );
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+    let mut busy: Vec<PortId> = Vec::new();
+    let mut t = SimTime::ZERO;
+    let what = |i: usize| format!("{label} seed {seed} op {i}");
+
+    for i in 0..300usize {
+        t += SimDuration::from_nanos(20 + rng.below(500));
+        let drain = !busy.is_empty() && rng.below(10) < 4;
+        if drain {
+            let port = busy.swap_remove(rng.below(busy.len() as u64) as usize);
+            let done = sw.tx_complete(t, port);
+            if done.next.is_some() {
+                busy.push(port);
+            }
+        } else {
+            let in_port = PortId::new(rng.below(N_PORTS as u64) as u16);
+            let out_port = PortId::new(rng.below(N_PORTS as u64) as u16);
+            let r = sw.receive(t, random_packet(&mut rng, i as u64), in_port, out_port);
+            if r.tx.is_some() {
+                busy.push(out_port);
+            }
+        }
+        assert_conserved(&sw, &what(i));
+    }
+
+    // Drain to empty: conservation must hold at every departure and the
+    // switch must end with zero bytes stored.
+    let mut i = 300usize;
+    while let Some(port) = busy.pop() {
+        t += SimDuration::from_nanos(400);
+        let done = sw.tx_complete(t, port);
+        if done.next.is_some() {
+            busy.push(port);
+        }
+        assert_conserved(&sw, &what(i));
+        i += 1;
+    }
+    assert_eq!(
+        sw.occupancy(),
+        Bytes::ZERO,
+        "{label} seed {seed}: switch fully drained"
+    );
+}
+
+#[test]
+fn conservation_holds_for_all_policies_under_random_traffic() {
+    for (label, make) in policies() {
+        for case in 0..CASES_PER_POLICY {
+            run_case(label, make(), 0x5EED_0000 + case);
+        }
+    }
+}
