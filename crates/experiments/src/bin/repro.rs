@@ -15,23 +15,72 @@
 //! (`--jobs 0` = all available cores); the output is bit-identical at
 //! any thread count. `--seeds N` replicates every cell over N seeds and
 //! reports `mean ± 95% CI` per table cell.
+//!
+//! `repro chaos` runs the failure-resilience sweep: the hybrid workload
+//! under sampled fault schedules (link flaps, corruption windows, stuck
+//! PFC pauses) for every policy, with the invariant battery asserted
+//! after each run. `repro chaos --check` is the CI mode: tiny scale, the
+//! 8 fixed fault seeds × 4 policies at `--jobs 1` and `--jobs 8`,
+//! failing on any digest divergence or invariant violation.
 
 use std::env;
 use std::process::ExitCode;
 
 use dcn_experiments::{
-    ablations_opts, fig10_with, fig11_with, fig3a_with, fig3b_with, fig7_with, fig8_with,
-    fig9_with, standard_variants, table2_with, ExperimentScale, SweepOptions, FIG11_FANOUTS,
-    TABLE2_LOADS,
+    ablations_opts, chaos, fig10_with, fig11_with, fig3a_with, fig3b_with, fig7_with, fig8_with,
+    fig9_with, standard_variants, table2_with, ExperimentScale, SweepOptions, CHAOS_CHECK_SEEDS,
+    FIG11_FANOUTS, TABLE2_LOADS,
 };
 use dcn_sim::SimDuration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|ablations|all> \
-         [--scale tiny|small|paper] [--seed N] [--window-ms N] [--jobs N] [--seeds N]"
+        "usage: repro <fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|ablations|chaos|all> \
+         [--scale tiny|small|paper] [--seed N] [--window-ms N] [--jobs N] [--seeds N] [--check]"
     );
     ExitCode::FAILURE
+}
+
+/// CI chaos gate: the fixed fault seeds × every policy at tiny scale,
+/// run serially and in parallel; any digest divergence or invariant
+/// violation fails the process.
+fn chaos_check() -> ExitCode {
+    let scale = ExperimentScale::tiny();
+    eprintln!(
+        "# chaos --check: {} fault seeds x 4 policies, jobs 1 vs 8",
+        CHAOS_CHECK_SEEDS.len()
+    );
+    let serial = chaos(&scale, &CHAOS_CHECK_SEEDS, 1);
+    let parallel = chaos(&scale, &CHAOS_CHECK_SEEDS, 8);
+    let mut failed = false;
+    let points = |r: &dcn_experiments::ChaosReport| -> Vec<(String, Option<u64>, u64)> {
+        r.baselines
+            .iter()
+            .chain(r.points.iter().flatten())
+            .map(|p| (p.label.clone(), p.fault_seed, p.digest))
+            .collect()
+    };
+    for ((label, seed, a), (_, _, b)) in points(&serial).iter().zip(points(&parallel).iter()) {
+        if a != b {
+            eprintln!("FAIL: {label} seed {seed:?}: digest {a:#x} (jobs 1) != {b:#x} (jobs 8)");
+            failed = true;
+        }
+    }
+    for v in serial
+        .violations()
+        .iter()
+        .chain(parallel.violations().iter())
+    {
+        eprintln!("FAIL: invariant violation: {v}");
+        failed = true;
+    }
+    println!("{}", serial.render());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("# chaos --check passed: all digests jobs-invariant, no violations");
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
@@ -42,9 +91,14 @@ fn main() -> ExitCode {
 
     let mut scale = ExperimentScale::small();
     let mut opts = SweepOptions::default();
+    let mut check = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--check" => {
+                check = true;
+                i += 1;
+            }
             "--jobs" => {
                 let Some(v) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
                     return usage();
@@ -93,6 +147,24 @@ fn main() -> ExitCode {
                 return usage();
             }
         }
+    }
+
+    if which == "chaos" {
+        return if check {
+            chaos_check()
+        } else {
+            let report = chaos(&scale, &CHAOS_CHECK_SEEDS, opts.jobs);
+            println!("{}", report.render());
+            let violations = report.violations();
+            for v in &violations {
+                eprintln!("invariant violation: {v}");
+            }
+            if violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        };
     }
 
     eprintln!(

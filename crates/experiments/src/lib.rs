@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod ablations;
+mod chaos;
 mod figures;
 mod hybrid;
 mod incast;
@@ -38,6 +39,10 @@ mod sweep;
 
 pub use ablations::{
     ablations, ablations_opts, ablations_with, standard_variants, AblationReport, AblationVariant,
+};
+pub use chaos::{
+    chaos, run_chaos, run_chaos_cells, sample_fault_schedule, ChaosConfig, ChaosPoint, ChaosReport,
+    CHAOS_CHECK_SEEDS, CHAOS_WATCHDOG,
 };
 pub use figures::{
     fig10, fig10_with, fig10_with_fanout, fig11, fig11_with, fig11_with_fanouts, fig3a, fig3a_with,

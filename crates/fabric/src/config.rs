@@ -1,7 +1,7 @@
 //! Fabric-level configuration: which buffer-management policy runs on
 //! the switches, plus transport tunables.
 
-use dcn_sim::{SimDuration, TraceConfig};
+use dcn_sim::{FaultSchedule, SimDuration, TraceConfig};
 use dcn_switch::{AbmPolicy, BufferPolicy, DtPolicy, SwitchConfig};
 use dcn_transport::{DcqcnConfig, DctcpConfig};
 use l2bm::{L2bmConfig, L2bmPolicy};
@@ -80,6 +80,11 @@ pub struct FabricConfig {
     /// one shared recorder collects lifecycle events from every switch
     /// and transport in the fabric.
     pub trace: TraceConfig,
+    /// Injected faults (link failures, corruption windows, stuck PFC
+    /// pauses). Empty by default: a zero-fault schedule adds no events
+    /// and draws no random numbers, so healthy runs are byte-identical
+    /// to a build without fault support.
+    pub faults: FaultSchedule,
 }
 
 impl Default for FabricConfig {
@@ -92,6 +97,7 @@ impl Default for FabricConfig {
             sample_interval: Some(SimDuration::from_millis(1)),
             seed: 1,
             trace: TraceConfig::default(),
+            faults: FaultSchedule::none(),
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Per-flow transport runtime: one DCTCP or DCQCN endpoint pair.
 
 use dcn_net::TrafficClass;
-use dcn_sim::SimTime;
+use dcn_sim::{SimDuration, SimTime};
 use dcn_transport::{DcqcnReceiver, DcqcnSender, DctcpReceiver, DctcpSender};
 use dcn_workload::FlowSpec;
 
@@ -33,6 +33,10 @@ pub struct FlowState {
     pub runtime: FlowRuntime,
     /// Whether the FCT record has been emitted.
     pub recorded: bool,
+    /// Ideal (empty-network) FCT, computed at registration while every
+    /// route is healthy so a mid-run link failure cannot poison the
+    /// slowdown denominator of flows that finish after it.
+    pub ideal: SimDuration,
 }
 
 impl FlowState {

@@ -55,6 +55,7 @@ impl RunResults {
         }
         mix(self.pfc.pause_frames());
         mix(self.pfc.resume_frames());
+        mix(self.pfc.watchdog_fires());
         mix(self.drops.lossy_packets);
         mix(self.drops.lossy_bytes);
         mix(self.drops.lossless_packets);

@@ -3,15 +3,16 @@
 
 use std::collections::HashMap;
 
-use dcn_metrics::{FctRecord, OccupancySeries};
+use dcn_metrics::{DropCounters, FctRecord, OccupancySeries};
 use dcn_net::{
-    FlowId, NodeId, Packet, PacketKind, PfcFrame, PortId, RoutingTable, Topology, TrafficClass,
+    FlowId, LinkEnd, LinkId, NodeId, Packet, PacketKind, PfcFrame, PortId, Priority, RoutingTable,
+    Topology, TrafficClass,
 };
 use dcn_sim::{
-    run_while, BitRate, Bytes, EventQueue, SimDuration, SimTime, Simulation, TraceEvent,
-    TraceHandle,
+    run_while, BitRate, Bytes, EventQueue, FaultEvent, SimDuration, SimRng, SimTime, Simulation,
+    TraceDropCause, TraceEvent, TraceHandle,
 };
-use dcn_switch::{PfcEmit, SharedMemorySwitch, TxStart};
+use dcn_switch::{PfcEmit, QueueIndex, SharedMemorySwitch, TxStart};
 use dcn_transport::{
     DcqcnReceiver, DcqcnSender, DctcpReceiver, DctcpSender, RpTimerKind, TcpEvent,
 };
@@ -83,6 +84,27 @@ pub enum Event {
     },
     /// Periodic buffer-occupancy sampling tick.
     Sample,
+    /// An injected fault fires (link state change, corruption window
+    /// edge, or stuck PFC pause). Compiled from the configured
+    /// [`dcn_sim::FaultSchedule`] at build time, so fault ordering obeys
+    /// the same deterministic `(time, seq)` tie-break as every other
+    /// event.
+    Fault {
+        /// The fault to apply.
+        fault: FaultEvent,
+    },
+    /// A PFC storm-watchdog deadline: if the egress queue is still
+    /// paused and still in the same pause episode, force-resume it.
+    PfcWatchdog {
+        /// The switch.
+        node: NodeId,
+        /// The paused egress port.
+        port: PortId,
+        /// The paused priority.
+        prio: Priority,
+        /// Pause-episode stamp; stale deadlines are no-ops.
+        generation: u64,
+    },
 }
 
 /// The complete simulated fabric.
@@ -100,6 +122,16 @@ pub struct World {
     done_flows: usize,
     counted_done: Vec<bool>,
     trace: TraceHandle,
+    /// Per-link liveness, indexed by `LinkId::index()`.
+    link_up: Vec<bool>,
+    /// Per-link bit-error rate (0.0 = clean), indexed like `link_up`.
+    link_ber: Vec<f64>,
+    /// Drawn only while some link's `ber > 0`, so zero-fault runs make
+    /// no draws and stay byte-identical to a faultless build.
+    fault_rng: SimRng,
+    /// Packets lost on the wire (dead link or corruption) — charged to
+    /// the fabric, not any switch's admission counters.
+    wire_drops: DropCounters,
 }
 
 impl World {
@@ -141,6 +173,9 @@ impl World {
                 }
             }
         }
+        let link_up = vec![true; topo.links().len()];
+        let link_ber = vec![0.0; topo.links().len()];
+        let fault_rng = SimRng::seed_from_u64(cfg.seed ^ 0xFA01_7EC7_ED00_C0DE);
         World {
             topo,
             routes,
@@ -154,6 +189,10 @@ impl World {
             done_flows: 0,
             counted_done: Vec::new(),
             trace,
+            link_up,
+            link_ber,
+            fault_rng,
+            wire_drops: DropCounters::new(),
         }
     }
 
@@ -224,11 +263,13 @@ impl World {
             }
         };
         let ix = self.flows.len();
+        let ideal = self.ideal_fct(&spec);
         self.flow_ix.insert(spec.id, ix);
         self.flows.push(FlowState {
             spec,
             runtime,
             recorded: false,
+            ideal,
         });
         self.counted_done.push(false);
         ix
@@ -236,7 +277,9 @@ impl World {
 
     /// Ideal FCT on an empty network: pipeline fill (per-hop propagation
     /// plus first-packet serialization) plus draining the remaining bytes
-    /// at the bottleneck link.
+    /// at the bottleneck link. Evaluated at registration time, while
+    /// every route is healthy; panicking here on a disconnected endpoint
+    /// is a configuration error, not a runtime fault.
     fn ideal_fct(&self, spec: &FlowSpec) -> SimDuration {
         let (mtu, header) = match spec.class {
             TrafficClass::Lossy => (self.cfg.dctcp.mss, self.cfg.dctcp.header),
@@ -258,7 +301,7 @@ impl World {
             let link = self.topo.link_at(node, port);
             fill += link.propagation + link.rate.tx_time(first_wire);
             bottleneck = bottleneck.min(link.rate);
-            node = link.peer_of(node).node;
+            node = link.peer_of(node).expect("port's own link").node;
             hops += 1;
             assert!(hops <= 64, "routing loop computing ideal FCT");
         }
@@ -278,7 +321,7 @@ impl World {
         }
         if let Some(finish) = self.flows[ix].finished_at() {
             let spec = self.flows[ix].spec;
-            let ideal = self.ideal_fct(&spec);
+            let ideal = self.flows[ix].ideal;
             self.fct.push(FctRecord {
                 flow: spec.id,
                 class: spec.class,
@@ -293,6 +336,25 @@ impl World {
 
     // ---- scheduling helpers -------------------------------------------
 
+    /// The far end of the link at `(node, port)`, or `None` (after
+    /// recording a `Defect` trace event) on a wiring inconsistency. A
+    /// defect here must not abort the run: under fault injection a
+    /// single bad lookup would otherwise poison a whole sweep worker.
+    fn peer_or_defect(&self, now: SimTime, node: NodeId, port: PortId) -> Option<LinkEnd> {
+        match self.topo.link_at(node, port).peer_of(node) {
+            Ok(end) => Some(end),
+            Err(_) => {
+                let t_node = node.index() as u32;
+                self.trace.record_with(now, || TraceEvent::Defect {
+                    what: "link_peer_not_attached",
+                    node: t_node,
+                    flow: 0,
+                });
+                None
+            }
+        }
+    }
+
     fn schedule_switch_tx(
         &self,
         now: SimTime,
@@ -301,7 +363,8 @@ impl World {
         q: &mut EventQueue<Event>,
     ) {
         let link = self.topo.link_at(node, tx.port);
-        let peer = link.peer_of(node);
+        // The TxComplete must be scheduled even on a wiring defect, or
+        // the port would stay busy forever.
         q.schedule_after(
             now,
             tx.serialize,
@@ -310,6 +373,9 @@ impl World {
                 port: tx.port,
             },
         );
+        let Some(peer) = self.peer_or_defect(now, node, tx.port) else {
+            return;
+        };
         q.schedule_after(
             now,
             tx.serialize + link.propagation,
@@ -323,8 +389,10 @@ impl World {
 
     fn schedule_host_tx(&self, now: SimTime, host: NodeId, tx: TxStart, q: &mut EventQueue<Event>) {
         let link = self.topo.link_at(host, PortId::new(0));
-        let peer = link.peer_of(host);
         q.schedule_after(now, tx.serialize, Event::HostTxComplete { host });
+        let Some(peer) = self.peer_or_defect(now, host, PortId::new(0)) else {
+            return;
+        };
         q.schedule_after(
             now,
             tx.serialize + link.propagation,
@@ -338,7 +406,9 @@ impl World {
 
     fn emit_pfc(&self, now: SimTime, node: NodeId, emit: PfcEmit, q: &mut EventQueue<Event>) {
         let link = self.topo.link_at(node, emit.port);
-        let peer = link.peer_of(node);
+        let Some(peer) = self.peer_or_defect(now, node, emit.port) else {
+            return;
+        };
         // PFC frames are tiny control frames that bypass data queues:
         // modelled with propagation delay only.
         q.schedule_after(
@@ -406,11 +476,15 @@ impl World {
         packet: Packet,
         q: &mut EventQueue<Event>,
     ) {
-        let out_port = self
-            .routes
-            .next_port(node, packet.dst, packet.flow)
-            .expect("packet with no route");
         let sw = self.switches[node.index()].as_mut().expect("not a switch");
+        let Some(out_port) = self.routes.next_port(node, packet.dst, packet.flow) else {
+            // Every candidate next hop is down (or the destination is
+            // unreachable): a counted drop, not a panic, so the fabric
+            // survives injected failures. TCP retransmits after
+            // recovery; a lossless flow hit here becomes a victim flow.
+            sw.record_forwarding_drop(now, &packet, in_port, TraceDropCause::NoRoute);
+            return;
+        };
         let res = sw.receive(now, packet, in_port, out_port);
         if let Some(e) = res.pfc {
             self.emit_pfc(now, node, e, q);
@@ -510,8 +584,19 @@ impl World {
                 });
             }
             // Cross-protocol packets (e.g. an ACK for an RDMA flow)
-            // indicate a wiring bug.
-            (rt, kind) => panic!("flow {} runtime {rt:?} got {kind:?}", packet.flow),
+            // indicate a wiring bug or a corrupted delivery. Recorded
+            // as a Defect and dropped rather than panicking, so one bad
+            // packet cannot abort a whole sweep worker.
+            _ => {
+                let t_flow = packet.flow.as_u64();
+                let t_node = host.index() as u32;
+                self.trace.record_with(now, || TraceEvent::Defect {
+                    what: "unexpected_packet_kind",
+                    node: t_node,
+                    flow: t_flow,
+                });
+                return;
+            }
         }
 
         self.record_if_finished(ix);
@@ -658,6 +743,207 @@ impl World {
             q.schedule_after(now, interval, Event::Sample);
         }
     }
+
+    // ---- fault injection ----------------------------------------------
+
+    /// Counts a packet lost on the wire (dead link or corruption) and
+    /// records the drop in the trace against the receiving node.
+    fn wire_drop(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        in_port: PortId,
+        packet: &Packet,
+        cause: TraceDropCause,
+    ) {
+        match packet.class {
+            TrafficClass::Lossless => self.wire_drops.record_lossless(packet.size),
+            TrafficClass::Lossy => self.wire_drops.record_lossy(packet.size),
+        }
+        let t_node = node.index() as u32;
+        let t_port = in_port.index() as u16;
+        let t_prio = packet.priority.index() as u8;
+        let t_flow = packet.flow.as_u64();
+        let t_seq = packet.seq;
+        let t_size = packet.size.as_u64();
+        let lossless = packet.class == TrafficClass::Lossless;
+        self.trace.record_with(now, || TraceEvent::Drop {
+            node: t_node,
+            in_port: t_port,
+            prio: t_prio,
+            flow: t_flow,
+            seq: t_seq,
+            size: t_size,
+            lossless,
+            cause,
+        });
+    }
+
+    /// Applies link faults to an arriving packet: delivery over a dead
+    /// link is lost (events already on the wire cannot be retracted, so
+    /// the check happens at arrival), and a corrupting link discards the
+    /// packet with probability `1 - (1-ber)^bits`. Returns the packet
+    /// if it survives. The fast path — every link up, no corruption —
+    /// touches no RNG and is byte-identical to a faultless build.
+    fn wire_filter(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        in_port: PortId,
+        packet: Packet,
+    ) -> Option<Packet> {
+        let lid = self.topo.link_at(node, in_port).id.index();
+        if !self.link_up[lid] {
+            self.wire_drop(now, node, in_port, &packet, TraceDropCause::LinkDown);
+            return None;
+        }
+        let ber = self.link_ber[lid];
+        if ber > 0.0 {
+            let bits = (packet.size.as_u64() * 8).min(i32::MAX as u64) as i32;
+            let survive = (1.0 - ber).powi(bits);
+            if self.fault_rng.uniform_f64() >= survive {
+                self.wire_drop(now, node, in_port, &packet, TraceDropCause::Corrupted);
+                return None;
+            }
+        }
+        Some(packet)
+    }
+
+    /// Routes a PFC frame into a switch, arming the storm watchdog on
+    /// each new pause episode. Shared by real `PfcDeliver` events and
+    /// injected stuck-pause faults so both follow identical semantics.
+    fn switch_pfc(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        port: PortId,
+        frame: PfcFrame,
+        q: &mut EventQueue<Event>,
+    ) {
+        let watchdog = self.cfg.switch.pfc_watchdog;
+        let q_out = QueueIndex::new(port, frame.priority);
+        let sw = self.switches[node.index()].as_mut().expect("switch");
+        let was_paused = sw.mmu().egress_paused(q_out);
+        let tx = sw.handle_pfc(now, port, frame);
+        if frame.pause && !was_paused {
+            if let Some(threshold) = watchdog {
+                let generation = sw.pause_generation(q_out);
+                q.schedule_after(
+                    now,
+                    threshold,
+                    Event::PfcWatchdog {
+                        node,
+                        port,
+                        prio: frame.priority,
+                        generation,
+                    },
+                );
+            }
+        }
+        if let Some(tx) = tx {
+            self.schedule_switch_tx(now, node, tx, q);
+        }
+    }
+
+    /// Applies a PFC frame to a host NIC (all host pauses come from its
+    /// single uplink port). Hosts have no storm watchdog — their ToR
+    /// protects them.
+    fn host_pfc(&mut self, now: SimTime, node: NodeId, frame: PfcFrame, q: &mut EventQueue<Event>) {
+        let h = self.hosts[node.index()].as_mut().expect("host");
+        h.set_paused(frame.priority, frame.pause);
+        if !frame.pause {
+            let tx = h.try_start();
+            if let Some(tx) = tx {
+                self.schedule_host_tx(now, node, tx, q);
+            }
+        }
+    }
+
+    fn apply_fault(&mut self, now: SimTime, fault: FaultEvent, q: &mut EventQueue<Event>) {
+        match fault {
+            FaultEvent::LinkDown { link } => {
+                let l = *self.topo.link(LinkId::new(link));
+                self.link_up[l.id.index()] = false;
+                self.routes.fail_link(&l);
+                // Each switch endpoint discharges everything queued to
+                // the dead port; freed shared buffer may release
+                // pause thresholds, so forward any XONs it emits.
+                // Host endpoints need nothing: their transmissions are
+                // lost at delivery and transports recover via RTO.
+                for end in [l.a, l.b] {
+                    let emits = match self.switches[end.node.index()].as_mut() {
+                        Some(sw) => sw.port_down(now, end.port),
+                        None => Vec::new(),
+                    };
+                    for e in emits {
+                        self.emit_pfc(now, end.node, e, q);
+                    }
+                }
+            }
+            FaultEvent::LinkUp { link } => {
+                let l = *self.topo.link(LinkId::new(link));
+                self.link_up[l.id.index()] = true;
+                self.routes.restore_link(&l);
+                // Port renegotiation resets PFC state on both ends
+                // symmetrically: the switch forgets sent and received
+                // pauses on that port; a host clears all its pauses
+                // (they can only have come from this uplink).
+                for end in [l.a, l.b] {
+                    if self.switches[end.node.index()].is_some() {
+                        let tx = self.switches[end.node.index()]
+                            .as_mut()
+                            .expect("checked")
+                            .reset_port_pfc(now, end.port);
+                        if let Some(tx) = tx {
+                            self.schedule_switch_tx(now, end.node, tx, q);
+                        }
+                    } else if self.hosts[end.node.index()].is_some() {
+                        for prio in Priority::all() {
+                            self.hosts[end.node.index()]
+                                .as_mut()
+                                .expect("checked")
+                                .set_paused(prio, false);
+                        }
+                        let tx = self.hosts[end.node.index()]
+                            .as_mut()
+                            .expect("checked")
+                            .try_start();
+                        if let Some(tx) = tx {
+                            self.schedule_host_tx(now, end.node, tx, q);
+                        }
+                    }
+                }
+            }
+            FaultEvent::CorruptionStart { link, ber } => {
+                self.link_ber[LinkId::new(link).index()] = ber.clamp(0.0, 1.0);
+            }
+            FaultEvent::CorruptionEnd { link } => {
+                self.link_ber[LinkId::new(link).index()] = 0.0;
+            }
+            FaultEvent::PauseStuck { node, port, prio } => {
+                let target = NodeId::new(node);
+                let frame = PfcFrame::pause(Priority::new(prio));
+                match self.topo.node(target).kind {
+                    dcn_net::NodeKind::Switch => {
+                        self.switch_pfc(now, target, PortId::new(port), frame, q);
+                    }
+                    dcn_net::NodeKind::Host => self.host_pfc(now, target, frame, q),
+                }
+            }
+            FaultEvent::PauseRelease { node, port, prio } => {
+                let target = NodeId::new(node);
+                let frame = PfcFrame::resume(Priority::new(prio));
+                match self.topo.node(target).kind {
+                    dcn_net::NodeKind::Switch => {
+                        // No-op pause-wise if the watchdog already
+                        // force-resumed; may still start a blocked tx.
+                        self.switch_pfc(now, target, PortId::new(port), frame, q);
+                    }
+                    dcn_net::NodeKind::Host => self.host_pfc(now, target, frame, q),
+                }
+            }
+        }
+    }
 }
 
 impl Simulation for World {
@@ -670,32 +956,30 @@ impl Simulation for World {
                 node,
                 in_port,
                 packet,
-            } => match self.topo.node(node).kind {
-                dcn_net::NodeKind::Switch => self.switch_receive(now, node, in_port, packet, q),
-                dcn_net::NodeKind::Host => self.host_receive(now, node, packet, q),
-            },
+            } => {
+                let Some(packet) = self.wire_filter(now, node, in_port, packet) else {
+                    return;
+                };
+                match self.topo.node(node).kind {
+                    dcn_net::NodeKind::Switch => self.switch_receive(now, node, in_port, packet, q),
+                    dcn_net::NodeKind::Host => self.host_receive(now, node, packet, q),
+                }
+            }
             Event::PfcDeliver {
                 node,
                 in_port,
                 frame,
-            } => match self.topo.node(node).kind {
-                dcn_net::NodeKind::Switch => {
-                    let sw = self.switches[node.index()].as_mut().expect("switch");
-                    if let Some(tx) = sw.handle_pfc(now, in_port, frame) {
-                        self.schedule_switch_tx(now, node, tx, q);
-                    }
+            } => {
+                // Control frames on a dead link are lost like data; they
+                // are counted at the sender, so no drop is recorded.
+                if !self.link_up[self.topo.link_at(node, in_port).id.index()] {
+                    return;
                 }
-                dcn_net::NodeKind::Host => {
-                    let h = self.hosts[node.index()].as_mut().expect("host");
-                    h.set_paused(frame.priority, frame.pause);
-                    if !frame.pause {
-                        let tx = h.try_start();
-                        if let Some(tx) = tx {
-                            self.schedule_host_tx(now, node, tx, q);
-                        }
-                    }
+                match self.topo.node(node).kind {
+                    dcn_net::NodeKind::Switch => self.switch_pfc(now, node, in_port, frame, q),
+                    dcn_net::NodeKind::Host => self.host_pfc(now, node, frame, q),
                 }
-            },
+            }
             Event::SwitchTxComplete { node, port } => {
                 let sw = self.switches[node.index()].as_mut().expect("switch");
                 let res = sw.tx_complete(now, port);
@@ -720,6 +1004,21 @@ impl Simulation for World {
                 generation,
             } => self.handle_rp_timer(now, flow, kind, generation, q),
             Event::Sample => self.handle_sample(now, q),
+            Event::Fault { fault } => self.apply_fault(now, fault, q),
+            Event::PfcWatchdog {
+                node,
+                port,
+                prio,
+                generation,
+            } => {
+                let tx = self.switches[node.index()]
+                    .as_mut()
+                    .expect("switch")
+                    .pfc_watchdog_fire(now, port, prio, generation);
+                if let Some(tx) = tx {
+                    self.schedule_switch_tx(now, node, tx, q);
+                }
+            }
         }
     }
 }
@@ -740,6 +1039,12 @@ impl FabricSim {
         let mut queue = EventQueue::new();
         if let Some(interval) = sample {
             queue.schedule_at(SimTime::ZERO + interval, Event::Sample);
+        }
+        // Compile the fault schedule into ordinary queue entries up
+        // front: arrival order then follows the deterministic
+        // `(time, seq)` tie-break, and an empty schedule adds nothing.
+        for sf in world.cfg.faults.events() {
+            queue.schedule_at(sf.at, Event::Fault { fault: sf.fault });
         }
         FabricSim { world, queue }
     }
@@ -806,6 +1111,7 @@ impl FabricSim {
             r.pfc_by_switch.insert(sw.id(), sw.pfc_counters().clone());
             r.drops.merge(sw.drop_counters());
         }
+        r.drops.merge(&self.world.wire_drops);
         for (id, series) in &self.world.occupancy {
             r.occupancy.insert(*id, series.clone());
         }

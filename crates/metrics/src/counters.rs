@@ -13,6 +13,7 @@ use crate::stats::Cdf;
 pub struct PfcCounters {
     pause_total: u64,
     resume_total: u64,
+    watchdog_total: u64,
     pause_by_priority: [u64; Priority::COUNT],
 }
 
@@ -33,6 +34,11 @@ impl PfcCounters {
         self.resume_total += 1;
     }
 
+    /// Records one PFC storm-watchdog forced resume.
+    pub fn record_watchdog(&mut self) {
+        self.watchdog_total += 1;
+    }
+
     /// Total pause frames.
     pub fn pause_frames(&self) -> u64 {
         self.pause_total
@@ -41,6 +47,11 @@ impl PfcCounters {
     /// Total resume frames.
     pub fn resume_frames(&self) -> u64 {
         self.resume_total
+    }
+
+    /// Total watchdog forced resumes (zero in a healthy fabric).
+    pub fn watchdog_fires(&self) -> u64 {
+        self.watchdog_total
     }
 
     /// Pause frames for one priority.
@@ -52,6 +63,7 @@ impl PfcCounters {
     pub fn merge(&mut self, other: &PfcCounters) {
         self.pause_total += other.pause_total;
         self.resume_total += other.resume_total;
+        self.watchdog_total += other.watchdog_total;
         for (a, b) in self
             .pause_by_priority
             .iter_mut()

@@ -44,6 +44,26 @@ impl LinkEnd {
     }
 }
 
+/// A lookup named a node that is not an endpoint of the link — a wiring
+/// defect. Returned (not panicked) so a corrupted or fault-injected
+/// lookup can be recorded as a `Defect` trace event instead of aborting
+/// a whole sweep worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotAttached {
+    /// The node that was looked up.
+    pub node: NodeId,
+    /// The link it is not attached to.
+    pub link: LinkId,
+}
+
+impl fmt::Display for NotAttached {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} is not attached to {}", self.node, self.link)
+    }
+}
+
+impl std::error::Error for NotAttached {}
+
 /// A full-duplex point-to-point link. Both directions share the same rate
 /// and propagation delay; each direction serializes independently.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,31 +83,37 @@ pub struct Link {
 impl Link {
     /// The endpoint opposite `node`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` is not attached to this link.
-    pub fn peer_of(&self, node: NodeId) -> LinkEnd {
+    /// Returns [`NotAttached`] if `node` is not an endpoint.
+    pub fn peer_of(&self, node: NodeId) -> Result<LinkEnd, NotAttached> {
         if self.a.node == node {
-            self.b
+            Ok(self.b)
         } else if self.b.node == node {
-            self.a
+            Ok(self.a)
         } else {
-            panic!("{node} is not attached to {}", self.id)
+            Err(NotAttached {
+                node,
+                link: self.id,
+            })
         }
     }
 
     /// The local attachment point for `node`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` is not attached to this link.
-    pub fn end_of(&self, node: NodeId) -> LinkEnd {
+    /// Returns [`NotAttached`] if `node` is not an endpoint.
+    pub fn end_of(&self, node: NodeId) -> Result<LinkEnd, NotAttached> {
         if self.a.node == node {
-            self.a
+            Ok(self.a)
         } else if self.b.node == node {
-            self.b
+            Ok(self.b)
         } else {
-            panic!("{node} is not attached to {}", self.id)
+            Err(NotAttached {
+                node,
+                link: self.id,
+            })
         }
     }
 
@@ -114,16 +140,24 @@ mod tests {
     #[test]
     fn peer_lookup() {
         let l = link();
-        assert_eq!(l.peer_of(NodeId::new(1)).node, NodeId::new(2));
-        assert_eq!(l.peer_of(NodeId::new(2)).port, PortId::new(0));
-        assert_eq!(l.end_of(NodeId::new(2)).port, PortId::new(3));
+        assert_eq!(l.peer_of(NodeId::new(1)).unwrap().node, NodeId::new(2));
+        assert_eq!(l.peer_of(NodeId::new(2)).unwrap().port, PortId::new(0));
+        assert_eq!(l.end_of(NodeId::new(2)).unwrap().port, PortId::new(3));
         assert!(l.touches(NodeId::new(1)));
         assert!(!l.touches(NodeId::new(9)));
     }
 
     #[test]
-    #[should_panic(expected = "not attached")]
-    fn peer_of_unattached_panics() {
-        link().peer_of(NodeId::new(7));
+    fn unattached_lookup_is_a_typed_error_not_a_panic() {
+        let err = link().peer_of(NodeId::new(7)).unwrap_err();
+        assert_eq!(
+            err,
+            NotAttached {
+                node: NodeId::new(7),
+                link: LinkId::new(0),
+            }
+        );
+        assert_eq!(err.to_string(), "n7 is not attached to l0");
+        assert_eq!(link().end_of(NodeId::new(7)).unwrap_err(), err);
     }
 }

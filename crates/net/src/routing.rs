@@ -7,13 +7,22 @@
 //! one path — standard per-flow ECMP, which is what the paper's ns-3
 //! setup uses.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 use crate::ids::{FlowId, NodeId, PortId};
+use crate::link::Link;
 use crate::topology::{NodeKind, Topology};
 
 /// Precomputed next-hop sets: for each node and destination host, the
 /// output ports on shortest paths.
+///
+/// Link failures are handled incrementally: [`RoutingTable::fail_link`]
+/// marks both endpoint ports dead without recomputing the BFS, and
+/// [`RoutingTable::next_port`] re-hashes an affected flow onto the live
+/// subset of its candidate set. In a clos fabric every minimal path
+/// shares the same hop count, so excluding dead candidates keeps routing
+/// minimal as long as any shortest path survives; restoring the link
+/// restores the exact pre-failure selection for every flow.
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
     /// `ports[node][dst_host_rank]` = candidate output ports.
@@ -22,6 +31,10 @@ pub struct RoutingTable {
     host_rank: Vec<Option<usize>>,
     /// ECMP hash salt (per-topology constant; change to re-roll paths).
     salt: u64,
+    /// Ports whose link is currently down. Empty in a healthy fabric,
+    /// so the forwarding fast path stays byte-identical to a build
+    /// without fault support.
+    down: HashSet<(NodeId, PortId)>,
 }
 
 impl RoutingTable {
@@ -45,7 +58,10 @@ impl RoutingTable {
             while let Some(v) = q.pop_front() {
                 let dv = dist[v.index()];
                 for &lid in &topo.node(v).ports {
-                    let peer = topo.link(lid).peer_of(v).node;
+                    let Ok(end) = topo.link(lid).peer_of(v) else {
+                        continue; // wiring defect: skip, don't abort
+                    };
+                    let peer = end.node;
                     if dist[peer.index()] == u32::MAX {
                         dist[peer.index()] = dv + 1;
                         q.push_back(peer);
@@ -59,7 +75,10 @@ impl RoutingTable {
                 }
                 let dn = dist[node.id.index()];
                 for (pix, &lid) in node.ports.iter().enumerate() {
-                    let peer = topo.link(lid).peer_of(node.id).node;
+                    let Ok(end) = topo.link(lid).peer_of(node.id) else {
+                        continue;
+                    };
+                    let peer = end.node;
                     if dist[peer.index()] != u32::MAX && dist[peer.index()] + 1 == dn {
                         ports[node.id.index()][rank].push(PortId::new(pix as u16));
                     }
@@ -71,7 +90,27 @@ impl RoutingTable {
             ports,
             host_rank,
             salt: 0x005E_ED0F_ECA7,
+            down: HashSet::new(),
         }
+    }
+
+    /// Marks both endpoint ports of `link` dead. O(1); forwarding
+    /// excludes them until [`RoutingTable::restore_link`].
+    pub fn fail_link(&mut self, link: &Link) {
+        self.down.insert((link.a.node, link.a.port));
+        self.down.insert((link.b.node, link.b.port));
+    }
+
+    /// Restores both endpoint ports of `link`. Flow-to-port pinning
+    /// returns to exactly the pre-failure selection.
+    pub fn restore_link(&mut self, link: &Link) {
+        self.down.remove(&(link.a.node, link.a.port));
+        self.down.remove(&(link.b.node, link.b.port));
+    }
+
+    /// Whether `port` at `node` is currently marked dead.
+    pub fn is_port_down(&self, node: NodeId, port: PortId) -> bool {
+        self.down.contains(&(node, port))
     }
 
     /// All candidate output ports at `node` toward `dst`, or an empty
@@ -84,9 +123,13 @@ impl RoutingTable {
     }
 
     /// The ECMP-selected output port for `flow` at `node` toward `dst`,
-    /// or `None` if unreachable.
+    /// or `None` if unreachable (including when every candidate's link
+    /// is down).
     ///
-    /// All packets of one flow at one node get the same port.
+    /// All packets of one flow at one node get the same port. Flows
+    /// whose hashed port is alive are never re-pinned by an unrelated
+    /// failure; flows on a dead port re-hash onto the live subset and
+    /// return to their original port once the link is restored.
     pub fn next_port(&self, node: NodeId, dst: NodeId, flow: FlowId) -> Option<PortId> {
         let c = self.candidates(node, dst);
         if c.is_empty() {
@@ -94,7 +137,19 @@ impl RoutingTable {
         }
         // Salt with the node id so a flow re-rolls independently per hop.
         let h = flow.ecmp_hash(self.salt ^ (node.index() as u64) << 17);
-        Some(c[(h % c.len() as u64) as usize])
+        let primary = c[(h % c.len() as u64) as usize];
+        if self.down.is_empty() || !self.down.contains(&(node, primary)) {
+            return Some(primary);
+        }
+        let live: Vec<PortId> = c
+            .iter()
+            .copied()
+            .filter(|&p| !self.down.contains(&(node, p)))
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        Some(live[(h % live.len() as u64) as usize])
     }
 
     /// Hop count from `node` to `dst` following shortest paths, or `None`
@@ -107,7 +162,7 @@ impl RoutingTable {
                 return None; // wandered into a wrong host
             }
             let port = self.next_port(node, dst, flow)?;
-            node = topo.link_at(node, port).peer_of(node).node;
+            node = topo.link_at(node, port).peer_of(node).ok()?.node;
             hops += 1;
             if hops > 64 {
                 return None; // routing loop guard
@@ -197,6 +252,56 @@ mod tests {
         // Switch as destination: not a host, no routes.
         assert!(r.candidates(host, sw).is_empty());
         assert_eq!(r.next_port(host, sw, FlowId::new(1)), None);
+    }
+
+    #[test]
+    fn failed_uplink_repins_only_affected_flows_and_restores_exactly() {
+        let (t, mut r) = paper();
+        let hosts: Vec<NodeId> = t.hosts().collect();
+        let tor0 = t.host_uplink_switch(hosts[0]).unwrap();
+        let dst = hosts[32];
+
+        // Pin a pre-failure port for many flows.
+        let before: Vec<Option<PortId>> = (0..64)
+            .map(|i| r.next_port(tor0, dst, FlowId::new(i)))
+            .collect();
+
+        // Fail the link behind some flow's selected port.
+        let victim_port = before[0].unwrap();
+        let link = *t.link_at(tor0, victim_port);
+        r.fail_link(&link);
+        assert!(r.is_port_down(tor0, victim_port));
+
+        for (i, &was) in before.iter().enumerate() {
+            let now = r.next_port(tor0, dst, FlowId::new(i as u64));
+            let was = was.unwrap();
+            if was == victim_port {
+                let now = now.expect("three live uplinks remain");
+                assert_ne!(now, victim_port, "flow {i} moved off the dead port");
+            } else {
+                assert_eq!(now, Some(was), "flow {i} must not be re-pinned");
+            }
+        }
+
+        // Recovery restores the exact pre-failure selection.
+        r.restore_link(&link);
+        assert!(!r.is_port_down(tor0, victim_port));
+        for (i, &was) in before.iter().enumerate() {
+            assert_eq!(r.next_port(tor0, dst, FlowId::new(i as u64)), was);
+        }
+    }
+
+    #[test]
+    fn all_candidates_down_means_no_route() {
+        let (t, mut r) = paper();
+        let hosts: Vec<NodeId> = t.hosts().collect();
+        let tor0 = t.host_uplink_switch(hosts[0]).unwrap();
+        let dst = hosts[32];
+        for &p in r.candidates(tor0, dst).to_vec().iter() {
+            let link = *t.link_at(tor0, p);
+            r.fail_link(&link);
+        }
+        assert_eq!(r.next_port(tor0, dst, FlowId::new(1)), None);
     }
 
     #[test]

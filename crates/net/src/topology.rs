@@ -246,7 +246,7 @@ impl Topology {
             return None;
         }
         let link = self.link(*n.ports.first()?);
-        Some(link.peer_of(host).node)
+        Some(link.peer_of(host).ok()?.node)
     }
 
     /// Number of nodes.

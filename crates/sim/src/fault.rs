@@ -1,0 +1,257 @@
+//! Deterministic fault injection: a typed, seeded schedule of failures
+//! that compiles into ordinary event-queue entries.
+//!
+//! Like the flight recorder, this module is defined on plain integer
+//! identifiers (`u32` link/node ids, `u16` ports, `u8` priorities) so it
+//! can live in the dependency-free base crate; the fabric layer maps the
+//! ids onto its typed topology when it executes each fault.
+//!
+//! Determinism contract: a [`FaultSchedule`] is plain data fixed before
+//! the simulation starts. The fabric turns every entry into a regular
+//! event at schedule-build time, so fault arrival order is governed by
+//! the same `(time, seq)` FIFO tie-break as every other event and runs
+//! are bit-identical across `--jobs` settings. An empty schedule injects
+//! no events and draws no random numbers — a zero-fault run is
+//! byte-identical to a build without this module.
+
+use crate::time::{SimDuration, SimTime};
+
+/// One typed fault, applied at its scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// Take a link down: packets queued to it are discharged and
+    /// dropped, packets on the wire are lost, routing excludes it.
+    LinkDown {
+        /// Link id (the topology's `LinkId::index()`).
+        link: u32,
+    },
+    /// Bring a link back up: routing re-includes it and PFC state on
+    /// both ends resets, as a real port renegotiation would.
+    LinkUp {
+        /// Link id.
+        link: u32,
+    },
+    /// Start corrupting packets on a link with the given bit-error
+    /// rate. A packet of `n` bits survives with probability
+    /// `(1 - ber)^n`; corrupted packets are discarded at the receiver.
+    CorruptionStart {
+        /// Link id.
+        link: u32,
+        /// Per-bit error probability (tiny; e.g. `1e-7`).
+        ber: f64,
+    },
+    /// Stop corrupting packets on a link.
+    CorruptionEnd {
+        /// Link id.
+        link: u32,
+    },
+    /// Assert a PFC XOFF against one egress queue of a device and hold
+    /// it (as a babbling or wedged peer would). Only the paired
+    /// [`FaultEvent::PauseRelease`] — or the PFC storm watchdog —
+    /// clears it.
+    PauseStuck {
+        /// Device (switch or host) whose egress queue is paused.
+        node: u32,
+        /// Egress port held paused.
+        port: u16,
+        /// Priority held paused.
+        prio: u8,
+    },
+    /// Release a previously stuck pause (no-op if the watchdog already
+    /// force-resumed the queue).
+    PauseRelease {
+        /// Device whose egress queue resumes.
+        node: u32,
+        /// Egress port.
+        port: u16,
+        /// Priority.
+        prio: u8,
+    },
+}
+
+/// A fault with its injection time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledFault {
+    /// When the fault is applied.
+    pub at: SimTime,
+    /// What happens.
+    pub fault: FaultEvent,
+}
+
+/// An ordered list of [`ScheduledFault`]s, fixed before the run starts.
+///
+/// Entries need not be pushed in time order — the event queue orders
+/// them — but helpers emit cause before effect (down before up) so
+/// same-instant pairs resolve deterministically by insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    events: Vec<ScheduledFault>,
+}
+
+impl FaultSchedule {
+    /// The empty schedule: injects nothing, perturbs nothing.
+    pub fn none() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Adds one fault at `at`.
+    pub fn push(&mut self, at: SimTime, fault: FaultEvent) -> &mut Self {
+        self.events.push(ScheduledFault { at, fault });
+        self
+    }
+
+    /// A link goes down at `at` and comes back after `outage`.
+    pub fn link_flap(&mut self, link: u32, at: SimTime, outage: SimDuration) -> &mut Self {
+        self.push(at, FaultEvent::LinkDown { link });
+        self.push(at + outage, FaultEvent::LinkUp { link });
+        self
+    }
+
+    /// A link corrupts packets at bit-error rate `ber` for `window`.
+    pub fn corruption_window(
+        &mut self,
+        link: u32,
+        at: SimTime,
+        window: SimDuration,
+        ber: f64,
+    ) -> &mut Self {
+        self.push(at, FaultEvent::CorruptionStart { link, ber });
+        self.push(at + window, FaultEvent::CorruptionEnd { link });
+        self
+    }
+
+    /// A PFC XOFF sticks against `(node, port, prio)` at `at` and is
+    /// released only after `hold` (or earlier by the watchdog).
+    pub fn pause_stuck(
+        &mut self,
+        node: u32,
+        port: u16,
+        prio: u8,
+        at: SimTime,
+        hold: SimDuration,
+    ) -> &mut Self {
+        self.push(at, FaultEvent::PauseStuck { node, port, prio });
+        self.push(at + hold, FaultEvent::PauseRelease { node, port, prio });
+        self
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn events(&self) -> &[ScheduledFault] {
+        &self.events
+    }
+
+    /// Whether the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_is_empty() {
+        let s = FaultSchedule::none();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.events(), &[]);
+    }
+
+    #[test]
+    fn link_flap_compiles_to_down_then_up() {
+        let mut s = FaultSchedule::none();
+        s.link_flap(3, SimTime::from_micros(100), SimDuration::from_millis(1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(
+            s.events()[0],
+            ScheduledFault {
+                at: SimTime::from_micros(100),
+                fault: FaultEvent::LinkDown { link: 3 },
+            }
+        );
+        assert_eq!(
+            s.events()[1],
+            ScheduledFault {
+                at: SimTime::from_micros(1_100),
+                fault: FaultEvent::LinkUp { link: 3 },
+            }
+        );
+    }
+
+    #[test]
+    fn pause_stuck_compiles_to_assert_then_release() {
+        let mut s = FaultSchedule::none();
+        s.pause_stuck(
+            7,
+            2,
+            3,
+            SimTime::from_micros(50),
+            SimDuration::from_millis(4),
+        );
+        assert_eq!(s.len(), 2);
+        assert!(matches!(
+            s.events()[0].fault,
+            FaultEvent::PauseStuck {
+                node: 7,
+                port: 2,
+                prio: 3
+            }
+        ));
+        assert!(matches!(
+            s.events()[1].fault,
+            FaultEvent::PauseRelease { .. }
+        ));
+        assert_eq!(s.events()[1].at, SimTime::from_micros(4_050));
+    }
+
+    #[test]
+    fn corruption_window_brackets_the_ber() {
+        let mut s = FaultSchedule::none();
+        s.corruption_window(
+            1,
+            SimTime::from_micros(10),
+            SimDuration::from_micros(500),
+            1e-7,
+        );
+        match s.events()[0].fault {
+            FaultEvent::CorruptionStart { link, ber } => {
+                assert_eq!(link, 1);
+                assert!((ber - 1e-7).abs() < 1e-18);
+            }
+            other => panic!("expected CorruptionStart, got {other:?}"),
+        }
+        assert_eq!(
+            s.events()[1],
+            ScheduledFault {
+                at: SimTime::from_micros(510),
+                fault: FaultEvent::CorruptionEnd { link: 1 },
+            }
+        );
+    }
+
+    #[test]
+    fn chained_builders_accumulate() {
+        let mut s = FaultSchedule::none();
+        s.link_flap(0, SimTime::from_micros(1), SimDuration::from_micros(10))
+            .pause_stuck(
+                1,
+                0,
+                3,
+                SimTime::from_micros(2),
+                SimDuration::from_micros(20),
+            )
+            .corruption_window(
+                2,
+                SimTime::from_micros(3),
+                SimDuration::from_micros(30),
+                1e-6,
+            );
+        assert_eq!(s.len(), 6);
+    }
+}

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod event;
+mod fault;
 mod par;
 mod rng;
 mod time;
@@ -48,6 +49,7 @@ mod trace;
 mod units;
 
 pub use event::{run_until, run_while, EventQueue, Simulation};
+pub use fault::{FaultEvent, FaultSchedule, ScheduledFault};
 pub use par::{default_jobs, par_map};
 pub use rng::{EmpiricalCdf, SimRng};
 pub use time::{SimDuration, SimTime};

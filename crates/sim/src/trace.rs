@@ -37,6 +37,15 @@ pub enum TraceDropCause {
     AdmissionDeniedEgress,
     /// A lossless packet found both shared space and headroom exhausted.
     HeadroomExhausted,
+    /// The packet was on the wire (or queued to the egress) of a link
+    /// that went down before delivery.
+    LinkDown,
+    /// The switch had no live next hop towards the destination (every
+    /// candidate port's link is down).
+    NoRoute,
+    /// The packet was corrupted in flight by an injected bit-error-rate
+    /// fault and discarded at the receiver.
+    Corrupted,
 }
 
 impl TraceDropCause {
@@ -46,6 +55,9 @@ impl TraceDropCause {
             TraceDropCause::AdmissionDeniedIngress => "admission_denied_ingress",
             TraceDropCause::AdmissionDeniedEgress => "admission_denied_egress",
             TraceDropCause::HeadroomExhausted => "headroom_exhausted",
+            TraceDropCause::LinkDown => "link_down",
+            TraceDropCause::NoRoute => "no_route",
+            TraceDropCause::Corrupted => "corrupted",
         }
     }
 }
@@ -192,6 +204,28 @@ pub enum TraceEvent {
         /// Next unsent byte offset.
         snd_nxt: u64,
     },
+    /// The PFC storm watchdog force-resumed an egress queue whose pause
+    /// exceeded the configured threshold (mirrors real ASIC watchdogs).
+    PfcWatchdogFired {
+        /// Switch node id whose egress queue was force-resumed.
+        node: u32,
+        /// The egress port that was stuck paused.
+        port: u16,
+        /// The priority that was stuck paused.
+        prio: u8,
+    },
+    /// An internal inconsistency was detected and survived (instead of
+    /// panicking): an unattached link lookup, an unexpected packet kind,
+    /// etc. Must stay zero in healthy runs; under injected faults it
+    /// records the blast radius without aborting the sweep worker.
+    Defect {
+        /// Stable machine-readable description of the defect.
+        what: &'static str,
+        /// Node where it was detected.
+        node: u32,
+        /// Flow involved (0 if none).
+        flow: u64,
+    },
 }
 
 impl TraceEvent {
@@ -211,6 +245,8 @@ impl TraceEvent {
             TraceEvent::RtoFire { .. } => "rto_fire",
             TraceEvent::RdmaRate { .. } => "rdma_rate",
             TraceEvent::RdmaStranded { .. } => "rdma_stranded",
+            TraceEvent::PfcWatchdogFired { .. } => "pfc_watchdog_fired",
+            TraceEvent::Defect { .. } => "defect",
         }
     }
 
@@ -228,7 +264,12 @@ impl TraceEvent {
             | TraceEvent::RtoFire { flow, .. }
             | TraceEvent::RdmaRate { flow, .. }
             | TraceEvent::RdmaStranded { flow, .. } => Some(flow),
-            TraceEvent::PfcPause { .. } | TraceEvent::PfcResume { .. } => None,
+            // PFC edges, watchdog fires and defects are diagnostics, not
+            // flow-scoped — they always pass flow filters.
+            TraceEvent::PfcPause { .. }
+            | TraceEvent::PfcResume { .. }
+            | TraceEvent::PfcWatchdogFired { .. }
+            | TraceEvent::Defect { .. } => None,
         }
     }
 
@@ -249,7 +290,8 @@ impl TraceEvent {
                 node, port, prio, ..
             }
             | TraceEvent::PfcPause { node, port, prio }
-            | TraceEvent::PfcResume { node, port, prio } => Some((node, port, prio)),
+            | TraceEvent::PfcResume { node, port, prio }
+            | TraceEvent::PfcWatchdogFired { node, port, prio } => Some((node, port, prio)),
             TraceEvent::Drop {
                 node,
                 in_port,
@@ -318,11 +360,15 @@ impl TraceEvent {
                  \"flow\":{flow},\"seq\":{seq},\"queue_depth\":{queue_depth}}}"
             ),
             TraceEvent::PfcPause { node, port, prio }
-            | TraceEvent::PfcResume { node, port, prio } => {
+            | TraceEvent::PfcResume { node, port, prio }
+            | TraceEvent::PfcWatchdogFired { node, port, prio } => {
                 format!(
                     "{{\"t\":{t},\"ev\":\"{k}\",\"node\":{node},\"port\":{port},\"prio\":{prio}}}"
                 )
             }
+            TraceEvent::Defect { what, node, flow } => format!(
+                "{{\"t\":{t},\"ev\":\"{k}\",\"what\":\"{what}\",\"node\":{node},\"flow\":{flow}}}"
+            ),
             TraceEvent::TcpCwnd {
                 flow,
                 cwnd,
@@ -415,6 +461,12 @@ pub struct TraceTotals {
     pub drops_egress: u64,
     /// Drops recorded with cause [`TraceDropCause::HeadroomExhausted`].
     pub drops_headroom: u64,
+    /// Drops recorded with cause [`TraceDropCause::LinkDown`].
+    pub drops_link_down: u64,
+    /// Drops recorded with cause [`TraceDropCause::NoRoute`].
+    pub drops_no_route: u64,
+    /// Drops recorded with cause [`TraceDropCause::Corrupted`].
+    pub drops_corrupted: u64,
     /// PFC pause edges recorded.
     pub pfc_pauses: u64,
     /// PFC resume edges recorded.
@@ -423,12 +475,21 @@ pub struct TraceTotals {
     pub rto_fires: u64,
     /// Stranded-RDMA-sender events recorded (must stay zero).
     pub rdma_stranded: u64,
+    /// PFC watchdog force-resumes recorded.
+    pub watchdog_fires: u64,
+    /// Defect events recorded (must stay zero in healthy runs).
+    pub defects: u64,
 }
 
 impl TraceTotals {
     /// Total drops across every cause.
     pub fn drops(&self) -> u64 {
-        self.drops_ingress + self.drops_egress + self.drops_headroom
+        self.drops_ingress
+            + self.drops_egress
+            + self.drops_headroom
+            + self.drops_link_down
+            + self.drops_no_route
+            + self.drops_corrupted
     }
 }
 
@@ -483,11 +544,16 @@ impl FlightRecorder {
                 TraceDropCause::AdmissionDeniedIngress => self.totals.drops_ingress += 1,
                 TraceDropCause::AdmissionDeniedEgress => self.totals.drops_egress += 1,
                 TraceDropCause::HeadroomExhausted => self.totals.drops_headroom += 1,
+                TraceDropCause::LinkDown => self.totals.drops_link_down += 1,
+                TraceDropCause::NoRoute => self.totals.drops_no_route += 1,
+                TraceDropCause::Corrupted => self.totals.drops_corrupted += 1,
             },
             TraceEvent::PfcPause { .. } => self.totals.pfc_pauses += 1,
             TraceEvent::PfcResume { .. } => self.totals.pfc_resumes += 1,
             TraceEvent::RtoFire { .. } => self.totals.rto_fires += 1,
             TraceEvent::RdmaStranded { .. } => self.totals.rdma_stranded += 1,
+            TraceEvent::PfcWatchdogFired { .. } => self.totals.watchdog_fires += 1,
+            TraceEvent::Defect { .. } => self.totals.defects += 1,
             _ => {}
         }
         if self.ring.len() == self.cfg.capacity.max(1) {
@@ -876,6 +942,73 @@ mod tests {
         let s2 = rec2.summarize_flow(f);
         assert!(s2.contains("stalled in recovery"), "{s2}");
         assert_eq!(rec2.totals().rto_fires, 1);
+    }
+
+    #[test]
+    fn fault_events_count_into_totals_and_serialize() {
+        let mut rec = FlightRecorder::new(TraceConfig {
+            enabled: true,
+            capacity: 100,
+            flows: Some(vec![7]), // diagnostics must pass flow filters
+            queues: None,
+        });
+        for cause in [
+            TraceDropCause::LinkDown,
+            TraceDropCause::NoRoute,
+            TraceDropCause::Corrupted,
+        ] {
+            rec.record(
+                SimTime::from_nanos(1),
+                TraceEvent::Drop {
+                    node: 3,
+                    in_port: 1,
+                    prio: 3,
+                    flow: 7,
+                    seq: 0,
+                    size: 1_048,
+                    lossless: true,
+                    cause,
+                },
+            );
+        }
+        rec.record(
+            SimTime::from_nanos(2),
+            TraceEvent::PfcWatchdogFired {
+                node: 3,
+                port: 1,
+                prio: 3,
+            },
+        );
+        rec.record(
+            SimTime::from_nanos(3),
+            TraceEvent::Defect {
+                what: "unattached_link",
+                node: 3,
+                flow: 0,
+            },
+        );
+        let t = rec.totals();
+        assert_eq!(t.drops_link_down, 1);
+        assert_eq!(t.drops_no_route, 1);
+        assert_eq!(t.drops_corrupted, 1);
+        assert_eq!(t.drops(), 3, "fault causes join the drop total");
+        assert_eq!(t.watchdog_fires, 1);
+        assert_eq!(t.defects, 1);
+        let dump = rec.to_jsonl();
+        assert!(dump.contains("\"cause\":\"link_down\""), "{dump}");
+        assert!(dump.contains("\"cause\":\"no_route\""), "{dump}");
+        assert!(dump.contains("\"cause\":\"corrupted\""), "{dump}");
+        assert!(dump.contains("\"ev\":\"pfc_watchdog_fired\""), "{dump}");
+        assert!(dump.contains("\"what\":\"unattached_link\""), "{dump}");
+        assert_eq!(
+            TraceEvent::PfcWatchdogFired {
+                node: 3,
+                port: 1,
+                prio: 3
+            }
+            .queue(),
+            Some((3, 1, 3))
+        );
     }
 
     #[test]

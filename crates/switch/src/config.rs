@@ -1,6 +1,6 @@
 //! Switch and ECN configuration.
 
-use dcn_sim::Bytes;
+use dcn_sim::{Bytes, SimDuration};
 
 /// RED-style ECN marking parameters for one traffic class.
 ///
@@ -72,6 +72,12 @@ pub struct SwitchConfig {
     /// MTU used for congestion heuristics (e.g. ABM's congested-queue
     /// detection), not a hard limit on packet size.
     pub mtu: Bytes,
+    /// PFC storm watchdog: if an egress queue stays paused longer than
+    /// this, it is force-resumed and a `PfcWatchdogFired` trace event is
+    /// recorded — mirroring real ASIC pause watchdogs. `None` (the
+    /// default) disables the watchdog and schedules no extra events, so
+    /// healthy-fabric runs are bit-identical with or without it.
+    pub pfc_watchdog: Option<SimDuration>,
 }
 
 impl Default for SwitchConfig {
@@ -91,6 +97,7 @@ impl Default for SwitchConfig {
             // DCTCP step marking around 85 KB (≈ 65 packets × 1.3 KB).
             ecn_lossy: EcnConfig::step(Bytes::from_kb(85)),
             mtu: Bytes::new(1_048),
+            pfc_watchdog: None,
         }
     }
 }
@@ -119,6 +126,9 @@ impl SwitchConfig {
         }
         if self.total_buffer == Bytes::ZERO {
             return Err("total_buffer must be non-zero".into());
+        }
+        if self.pfc_watchdog == Some(SimDuration::ZERO) {
+            return Err("pfc_watchdog threshold must be non-zero".into());
         }
         Ok(())
     }

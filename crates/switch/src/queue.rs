@@ -128,6 +128,18 @@ impl EgressPort {
     pub fn in_flight(&self) -> Option<&InFlight> {
         self.in_flight.as_ref()
     }
+
+    /// Removes every queued packet (port-down drain), in deterministic
+    /// priority-then-FIFO order, so the caller can reverse their MMU
+    /// charges. Any in-flight packet is left alone: its serialization
+    /// already started and its `tx_complete` will discharge it normally.
+    pub fn drain_all(&mut self) -> Vec<QueuedPacket> {
+        let mut out = Vec::with_capacity(self.queued_total());
+        for q in self.queues.iter_mut() {
+            out.extend(q.drain(..));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -215,5 +227,21 @@ mod tests {
     #[should_panic(expected = "tx_complete with idle port")]
     fn finish_on_idle_panics() {
         EgressPort::new().finish_tx();
+    }
+
+    #[test]
+    fn drain_all_empties_queues_but_keeps_in_flight() {
+        let mut p = EgressPort::new();
+        p.enqueue(qp(3, 1));
+        p.enqueue(qp(1, 2));
+        p.enqueue(qp(3, 3));
+        // Round-robin starts at priority 0, so priority 1 (seq 2) wins.
+        assert_eq!(p.start_next(|_| false).unwrap().seq, 2);
+        let drained = p.drain_all();
+        let seqs: Vec<u64> = drained.iter().map(|q| q.packet.seq).collect();
+        assert_eq!(seqs, vec![1, 3], "priority-then-FIFO order");
+        assert_eq!(p.queued_total(), 0);
+        assert!(!p.is_idle(), "in-flight record untouched");
+        assert_eq!(p.finish_tx().seq, 2);
     }
 }

@@ -100,6 +100,12 @@ pub struct SharedMemorySwitch {
     policy: Box<dyn BufferPolicy>,
     /// Ingress queues that have an outstanding XOFF, by flat queue index.
     pause_sent: Vec<bool>,
+    /// Per-egress-queue pause-episode counter (bumped on each pause
+    /// edge), by flat queue index. The PFC storm watchdog uses it to
+    /// recognize stale deadlines: a watchdog armed for episode `g`
+    /// only fires if the queue is still paused *and* still in episode
+    /// `g`.
+    pause_generation: Vec<u64>,
     pfc_counters: PfcCounters,
     drop_counters: DropCounters,
     rng: SimRng,
@@ -132,6 +138,7 @@ impl SharedMemorySwitch {
             ports: (0..n).map(|_| EgressPort::new()).collect(),
             policy,
             pause_sent: vec![false; n * dcn_net::Priority::COUNT],
+            pause_generation: vec![0; n * dcn_net::Priority::COUNT],
             pfc_counters: PfcCounters::new(),
             drop_counters: DropCounters::new(),
             rng: SimRng::seed_from_u64(seed ^ (id.index() as u64).wrapping_mul(0xA5A5_5A5A)),
@@ -362,28 +369,7 @@ impl SharedMemorySwitch {
         });
 
         // --- PFC XON check ----------------------------------------------
-        let mut pfc = None;
-        if self.pause_sent[q_in.flat()] {
-            let t = self.policy.pfc_threshold(&self.mmu, q_in, now);
-            // Resume only when the queue's headroom has fully drained —
-            // otherwise the next pause episode would start with less
-            // than a round trip of absorption and lose lossless packets.
-            if self.mmu.ingress_headroom(q_in) == Bytes::ZERO
-                && self.mmu.ingress_shared(q_in) <= t.scale(self.cfg.xon_fraction)
-            {
-                self.pause_sent[q_in.flat()] = false;
-                self.pfc_counters.record_resume(qp.priority);
-                self.trace.record_with(now, || TraceEvent::PfcResume {
-                    node: t_node,
-                    port: qp.in_port.index() as u16,
-                    prio: qp.priority.index() as u8,
-                });
-                pfc = Some(PfcEmit {
-                    port: qp.in_port,
-                    frame: PfcFrame::resume(qp.priority),
-                });
-            }
-        }
+        let pfc = self.maybe_xon(now, q_in);
 
         let next = self.try_start(port);
         TxCompleteResult {
@@ -393,12 +379,47 @@ impl SharedMemorySwitch {
         }
     }
 
+    /// Emits an XON for an ingress queue whose XOFF is outstanding, once
+    /// its shared occupancy has fallen below the hysteresis point.
+    /// Shared by the departure path and the port-down discharge.
+    fn maybe_xon(&mut self, now: SimTime, q_in: QueueIndex) -> Option<PfcEmit> {
+        if !self.pause_sent[q_in.flat()] {
+            return None;
+        }
+        let t = self.policy.pfc_threshold(&self.mmu, q_in, now);
+        // Resume only when the queue's headroom has fully drained —
+        // otherwise the next pause episode would start with less
+        // than a round trip of absorption and lose lossless packets.
+        if self.mmu.ingress_headroom(q_in) != Bytes::ZERO
+            || self.mmu.ingress_shared(q_in) > t.scale(self.cfg.xon_fraction)
+        {
+            return None;
+        }
+        self.pause_sent[q_in.flat()] = false;
+        self.pfc_counters.record_resume(q_in.priority);
+        let t_node = self.id.index() as u32;
+        self.trace.record_with(now, || TraceEvent::PfcResume {
+            node: t_node,
+            port: q_in.port.index() as u16,
+            prio: q_in.priority.index() as u8,
+        });
+        Some(PfcEmit {
+            port: q_in.port,
+            frame: PfcFrame::resume(q_in.priority),
+        })
+    }
+
     /// Applies a PFC frame received from the downstream device on
     /// `port` (pausing or resuming one egress priority). A resume may
     /// immediately start a transmission.
     pub fn handle_pfc(&mut self, now: SimTime, port: PortId, frame: PfcFrame) -> Option<TxStart> {
         let q_out = QueueIndex::new(port, frame.priority);
         if self.mmu.set_egress_paused(q_out, frame.pause) {
+            if frame.pause {
+                // A new pause episode begins; stale watchdog deadlines
+                // armed for earlier episodes must not fire into it.
+                self.pause_generation[q_out.flat()] += 1;
+            }
             self.policy
                 .on_egress_pause_changed(&self.mmu, now, q_out, frame.pause);
         }
@@ -407,6 +428,141 @@ impl SharedMemorySwitch {
         } else {
             self.try_start(port)
         }
+    }
+
+    /// The current pause episode of an egress queue. Bumped on every
+    /// pause edge; pass it back to
+    /// [`SharedMemorySwitch::pfc_watchdog_fire`] so the watchdog can
+    /// tell a still-stuck pause from a new, unrelated episode.
+    pub fn pause_generation(&self, q: QueueIndex) -> u64 {
+        self.pause_generation[q.flat()]
+    }
+
+    /// Fires the PFC storm watchdog for one egress queue: if the queue
+    /// is still paused *and* still in pause episode `generation`, the
+    /// pause is force-cleared (as real ASIC pause watchdogs do), a
+    /// `PfcWatchdogFired` trace event and counter are recorded, and a
+    /// blocked transmission may start. Stale deadlines are no-ops.
+    pub fn pfc_watchdog_fire(
+        &mut self,
+        now: SimTime,
+        port: PortId,
+        prio: dcn_net::Priority,
+        generation: u64,
+    ) -> Option<TxStart> {
+        let q_out = QueueIndex::new(port, prio);
+        if !self.mmu.egress_paused(q_out) || self.pause_generation[q_out.flat()] != generation {
+            return None;
+        }
+        self.mmu.set_egress_paused(q_out, false);
+        self.policy
+            .on_egress_pause_changed(&self.mmu, now, q_out, false);
+        self.pfc_counters.record_watchdog();
+        let t_node = self.id.index() as u32;
+        self.trace
+            .record_with(now, || TraceEvent::PfcWatchdogFired {
+                node: t_node,
+                port: port.index() as u16,
+                prio: prio.index() as u8,
+            });
+        self.try_start(port)
+    }
+
+    /// Discharges every byte queued to `port` (the link behind it went
+    /// down), reusing the normal departure bookkeeping so buffer
+    /// conservation holds throughout. Drained packets are counted as
+    /// drops (cause `link_down`) and freed shared/headroom space may
+    /// emit XONs for the ingress queues the drained bytes arrived on.
+    /// Any packet already serializing is left to its pending
+    /// `tx_complete`; the wire itself drops it at the dead link.
+    pub fn port_down(&mut self, now: SimTime, port: PortId) -> Vec<PfcEmit> {
+        let drained = self.ports[port.index()].drain_all();
+        let t_node = self.id.index() as u32;
+        let mut affected: Vec<QueueIndex> = Vec::new();
+        for qp in drained {
+            let q_in = QueueIndex::new(qp.in_port, qp.packet.priority);
+            let q_out = QueueIndex::new(port, qp.packet.priority);
+            let size = qp.packet.size;
+            self.mmu.discharge(now, q_in, q_out, qp.charge);
+            self.policy.on_dequeue(&self.mmu, now, q_in, q_out, size);
+            match qp.packet.class {
+                TrafficClass::Lossless => self.drop_counters.record_lossless(size),
+                TrafficClass::Lossy => self.drop_counters.record_lossy(size),
+            }
+            let t_in = qp.in_port.index() as u16;
+            let t_prio = qp.packet.priority.index() as u8;
+            let t_flow = qp.packet.flow.as_u64();
+            let t_seq = qp.packet.seq;
+            let t_lossless = qp.packet.class.is_lossless();
+            self.trace.record_with(now, || TraceEvent::Drop {
+                node: t_node,
+                in_port: t_in,
+                prio: t_prio,
+                flow: t_flow,
+                seq: t_seq,
+                size: size.as_u64(),
+                lossless: t_lossless,
+                cause: TraceDropCause::LinkDown,
+            });
+            if !affected.contains(&q_in) {
+                affected.push(q_in);
+            }
+        }
+        affected
+            .into_iter()
+            .filter_map(|q_in| self.maybe_xon(now, q_in))
+            .collect()
+    }
+
+    /// Resets PFC state on `port` after its link renegotiates (link
+    /// up): any downstream pause asserted across the old link is
+    /// cleared, and an outstanding XOFF we sent over it is forgotten —
+    /// the peer resets symmetrically, and a still-congested ingress
+    /// queue simply re-emits XOFF on its next lossless arrival. May
+    /// start a transmission that the stale pause was blocking.
+    pub fn reset_port_pfc(&mut self, now: SimTime, port: PortId) -> Option<TxStart> {
+        for prio in dcn_net::Priority::all() {
+            let q = QueueIndex::new(port, prio);
+            if self.mmu.set_egress_paused(q, false) {
+                self.policy
+                    .on_egress_pause_changed(&self.mmu, now, q, false);
+            }
+            self.pause_sent[q.flat()] = false;
+        }
+        self.try_start(port)
+    }
+
+    /// Counts a packet the event loop had to discard while forwarding
+    /// on this switch's behalf (no live route, dead link) so the drop
+    /// reconciles with both [`DropCounters`] and the trace totals.
+    pub fn record_forwarding_drop(
+        &mut self,
+        now: SimTime,
+        packet: &Packet,
+        in_port: PortId,
+        cause: TraceDropCause,
+    ) {
+        match packet.class {
+            TrafficClass::Lossless => self.drop_counters.record_lossless(packet.size),
+            TrafficClass::Lossy => self.drop_counters.record_lossy(packet.size),
+        }
+        let t_node = self.id.index() as u32;
+        let t_in = in_port.index() as u16;
+        let t_prio = packet.priority.index() as u8;
+        let t_flow = packet.flow.as_u64();
+        let t_seq = packet.seq;
+        let t_size = packet.size.as_u64();
+        let t_lossless = packet.class.is_lossless();
+        self.trace.record_with(now, || TraceEvent::Drop {
+            node: t_node,
+            in_port: t_in,
+            prio: t_prio,
+            flow: t_flow,
+            seq: t_seq,
+            size: t_size,
+            lossless: t_lossless,
+            cause,
+        });
     }
 
     /// Starts the next eligible transmission on `port`, if it is idle.
@@ -773,6 +929,167 @@ mod tests {
             .unwrap();
         assert!(enq > 0);
         assert_eq!(enq, deq, "switch drained: every enqueue has a dequeue");
+    }
+
+    #[test]
+    fn port_down_discharges_everything_and_can_emit_xon() {
+        use dcn_sim::{TraceConfig, TraceHandle};
+        let mut sw = small_switch(0.125, Bytes::new(10_000));
+        let trace = TraceHandle::from_config(&TraceConfig::enabled());
+        sw.set_trace(trace.clone());
+        // Fill until the ingress queue pauses (headroom in use).
+        for i in 0..8 {
+            sw.receive(
+                SimTime::ZERO,
+                lossless_pkt(i),
+                PortId::new(0),
+                PortId::new(1),
+            );
+        }
+        assert!(sw.is_pause_sent(QueueIndex::new(PortId::new(0), Priority::new(3))));
+        let queued_before = sw.occupancy();
+        assert!(queued_before > Bytes::ZERO);
+
+        // Port 1's link dies: all queued bytes must discharge; the one
+        // in-flight packet stays charged until its tx_complete, and its
+        // shared charge alone still exceeds the XON hysteresis.
+        let pfc = sw.port_down(SimTime::from_nanos(500), PortId::new(1));
+        assert!(pfc.is_empty(), "in-flight charge still above hysteresis");
+        sw.mmu().check_conservation().unwrap();
+        assert_eq!(sw.mmu().headroom_used(), Bytes::ZERO);
+
+        // Finish the in-flight packet: switch fully empty, XON emitted.
+        let done = sw.tx_complete(SimTime::from_nanos(600), PortId::new(1));
+        let xon = done.pfc.expect("final departure clears the pause");
+        assert!(!xon.frame.pause);
+        assert!(!sw.is_pause_sent(QueueIndex::new(PortId::new(0), Priority::new(3))));
+        assert_eq!(sw.occupancy(), Bytes::ZERO);
+        sw.mmu().check_conservation().unwrap();
+
+        // Drained packets were counted as lossless drops and traced.
+        assert_eq!(sw.drop_counters().lossless_packets, 7);
+        let totals = trace.with(|r| r.totals()).unwrap();
+        assert_eq!(totals.drops_link_down, 7);
+        assert_eq!(
+            totals.drops(),
+            sw.drop_counters().lossless_packets + sw.drop_counters().lossy_packets
+        );
+    }
+
+    #[test]
+    fn watchdog_force_resumes_stuck_pause_and_ignores_stale_deadlines() {
+        use dcn_sim::{TraceConfig, TraceHandle};
+        let mut sw = small_switch(0.5, Bytes::from_mb(4));
+        let trace = TraceHandle::from_config(&TraceConfig::enabled());
+        sw.set_trace(trace.clone());
+        sw.receive(
+            SimTime::ZERO,
+            lossless_pkt(0),
+            PortId::new(0),
+            PortId::new(1),
+        );
+        sw.receive(
+            SimTime::ZERO,
+            lossless_pkt(1),
+            PortId::new(0),
+            PortId::new(1),
+        );
+        let q = QueueIndex::new(PortId::new(1), Priority::new(3));
+
+        // Stuck XOFF against egress port 1.
+        sw.handle_pfc(
+            SimTime::from_nanos(100),
+            PortId::new(1),
+            PfcFrame::pause(Priority::new(3)),
+        );
+        let generation = sw.pause_generation(q);
+        sw.tx_complete(SimTime::from_nanos(336), PortId::new(1));
+        assert!(sw.mmu().egress_paused(q));
+
+        // The watchdog fires: pause cleared, blocked packet starts.
+        let tx = sw.pfc_watchdog_fire(
+            SimTime::from_micros(10),
+            PortId::new(1),
+            Priority::new(3),
+            generation,
+        );
+        assert_eq!(tx.expect("forced resume starts tx").packet.seq, 1);
+        assert!(!sw.mmu().egress_paused(q));
+        assert_eq!(sw.pfc_counters().watchdog_fires(), 1);
+        assert_eq!(trace.with(|r| r.totals()).unwrap().watchdog_fires, 1);
+
+        // A stale deadline (same generation, already resumed) is a no-op,
+        // and so is one against a later pause episode.
+        assert!(sw
+            .pfc_watchdog_fire(
+                SimTime::from_micros(11),
+                PortId::new(1),
+                Priority::new(3),
+                generation
+            )
+            .is_none());
+        sw.handle_pfc(
+            SimTime::from_micros(12),
+            PortId::new(1),
+            PfcFrame::pause(Priority::new(3)),
+        );
+        assert_eq!(sw.pause_generation(q), generation + 1);
+        assert!(sw
+            .pfc_watchdog_fire(
+                SimTime::from_micros(13),
+                PortId::new(1),
+                Priority::new(3),
+                generation
+            )
+            .is_none());
+        assert_eq!(sw.pfc_counters().watchdog_fires(), 1);
+    }
+
+    #[test]
+    fn reset_port_pfc_clears_both_directions() {
+        let mut sw = small_switch(0.125, Bytes::new(10_000));
+        // Ingress port 0 pauses (XOFF outstanding) and downstream pause
+        // lands on egress port 1.
+        for i in 0..8 {
+            sw.receive(
+                SimTime::ZERO,
+                lossless_pkt(i),
+                PortId::new(0),
+                PortId::new(1),
+            );
+        }
+        sw.handle_pfc(
+            SimTime::from_nanos(10),
+            PortId::new(0),
+            PfcFrame::pause(Priority::new(3)),
+        );
+        assert!(sw.is_pause_sent(QueueIndex::new(PortId::new(0), Priority::new(3))));
+        assert!(sw
+            .mmu()
+            .egress_paused(QueueIndex::new(PortId::new(0), Priority::new(3))));
+
+        // Port 0's link renegotiates: both the XOFF we sent and the
+        // pause we honour across it are forgotten.
+        sw.reset_port_pfc(SimTime::from_micros(1), PortId::new(0));
+        assert!(!sw.is_pause_sent(QueueIndex::new(PortId::new(0), Priority::new(3))));
+        assert!(!sw
+            .mmu()
+            .egress_paused(QueueIndex::new(PortId::new(0), Priority::new(3))));
+        sw.mmu().check_conservation().unwrap();
+    }
+
+    #[test]
+    fn forwarding_drop_reconciles_counters_and_trace() {
+        use dcn_sim::{TraceConfig, TraceHandle};
+        let mut sw = small_switch(0.5, Bytes::from_mb(4));
+        let trace = TraceHandle::from_config(&TraceConfig::enabled());
+        sw.set_trace(trace.clone());
+        let pkt = lossy_pkt(0);
+        sw.record_forwarding_drop(SimTime::ZERO, &pkt, PortId::new(2), TraceDropCause::NoRoute);
+        assert_eq!(sw.drop_counters().lossy_packets, 1);
+        let totals = trace.with(|r| r.totals()).unwrap();
+        assert_eq!(totals.drops_no_route, 1);
+        assert_eq!(totals.drops(), 1);
     }
 
     #[test]
