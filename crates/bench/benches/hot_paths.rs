@@ -127,6 +127,73 @@ fn bench_event_queue() {
         }
         black_box(acc)
     });
+
+    // Steady-state churn at paper-scale pending depth (~128k events, the
+    // high-water mark of a 128-host hybrid run): pop one, schedule one.
+    // The reference is what the engine used before the indexed-heap
+    // rewrite — `BinaryHeap` over (time, seq, payload) triples, i.e. the
+    // sift path moves the whole event, not a 16-byte index entry.
+    const DEPTH: u64 = 128 * 1024;
+    let mut queue: EventQueue<u64> = EventQueue::new();
+    for i in 0..DEPTH {
+        queue.schedule_at(SimTime::from_nanos((i * 7919) % 1_000_000), i);
+    }
+    let mut t = 1_000_000u64;
+    bench("event_queue/churn_128k_indexed_4ary", || {
+        let (_, e) = queue.pop().expect("depth stays constant");
+        t += 997;
+        queue.schedule_at(SimTime::from_nanos(t), e);
+        black_box(e)
+    });
+
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut reference: BinaryHeap<Reverse<(SimTime, u64, [u64; 12])>> = BinaryHeap::new();
+    for i in 0..DEPTH {
+        reference.push(Reverse((
+            SimTime::from_nanos((i * 7919) % 1_000_000),
+            i,
+            [i; 12],
+        )));
+    }
+    let mut t = 1_000_000u64;
+    let mut seq = DEPTH;
+    bench("event_queue/churn_128k_reference_binheap", || {
+        let Reverse((_, _, payload)) = reference.pop().expect("depth stays constant");
+        t += 997;
+        seq += 1;
+        reference.push(Reverse((SimTime::from_nanos(t), seq, payload)));
+        black_box(payload[0])
+    });
+}
+
+fn bench_flow_table() {
+    use dcn_fabric::FlowTable;
+    use std::collections::HashMap;
+
+    // Two generator banks, like the hybrid experiment: RDMA ids from 0,
+    // TCP background from 1 << 40.
+    const PER_BANK: u64 = 4_096;
+    let mut table = FlowTable::new();
+    let mut map: HashMap<FlowId, usize> = HashMap::new();
+    for i in 0..PER_BANK {
+        table.insert(FlowId::new(i), i as usize);
+        map.insert(FlowId::new(i), i as usize);
+        table.insert(FlowId::new((1 << 40) + i), (PER_BANK + i) as usize);
+        map.insert(FlowId::new((1 << 40) + i), (PER_BANK + i) as usize);
+    }
+    let mut i = 0u64;
+    bench("flow_table/banked_lookup", || {
+        i = (i + 1) % PER_BANK;
+        let id = FlowId::new((1 << 40) + i);
+        black_box(table.get(black_box(id)).expect("registered"))
+    });
+    let mut i = 0u64;
+    bench("flow_table/hashmap_lookup", || {
+        i = (i + 1) % PER_BANK;
+        let id = FlowId::new((1 << 40) + i);
+        black_box(*map.get(&black_box(id)).expect("registered"))
+    });
 }
 
 fn bench_routing() {
@@ -180,6 +247,7 @@ fn main() {
     bench_sum_active_tau();
     bench_sojourn();
     bench_event_queue();
+    bench_flow_table();
     bench_routing();
     bench_switch_cycle();
 }

@@ -1,91 +1,211 @@
-//! End-to-end events/sec benchmark: a fixed seeded incast + hybrid
-//! scenario, written to `BENCH_1.json` to seed the perf trajectory.
+//! End-to-end events/sec benchmark: fixed seeded hybrid + incast
+//! scenarios (small scale) and one paper-scale hybrid run, written to
+//! `BENCH_3.json` to extend the perf trajectory started by
+//! `BENCH_1.json` (seed engine) and `BENCH_2.json` (parallel sweep).
 //!
 //! Run with `cargo run --release -p dcn-bench --bin throughput`. The
 //! simulated work is fully deterministic (fixed seed, fixed scale), so
-//! `events` is reproducible run-to-run; only the wall time varies with
-//! the machine.
+//! `events` and `digest` are reproducible run-to-run; only the wall
+//! time varies with the machine. Each scenario is run several times and
+//! the best (minimum-wall) repetition is reported, which filters the
+//! scheduler noise of shared hosts out of the trajectory number.
+//!
+//! With `--check`, skips the JSON and instead asserts the golden event
+//! counts and `RunResults` digests for every scenario, plus zero
+//! past-time clamps — exits nonzero on any mismatch. CI runs this to
+//! pin the event-engine refactor to byte-identical simulated behavior.
 
 use std::fmt::Write as _;
+use std::process::ExitCode;
 use std::time::Instant;
 
 use dcn_experiments::{run_hybrid, run_incast, ExperimentScale, HybridConfig, IncastConfig};
-use dcn_fabric::PolicyChoice;
+use dcn_fabric::{PolicyChoice, RunResults};
+use dcn_sim::SimDuration;
+
+/// Repetitions per small scenario; the fastest is reported.
+const REPS: usize = 5;
+/// Repetitions for the paper-scale scenario (seconds per run).
+const REPS_PAPER: usize = 2;
+
+/// Golden values for `--check`: captured from the pre-refactor
+/// `BinaryHeap` engine and required to survive the indexed-heap/slab
+/// rewrite bit-for-bit.
+const GOLDEN: [(&str, u64, u64); 3] = [
+    ("hybrid_l2bm_rdma0.4_tcp0.8", 930_146, 0x972d_5f4e_f9da_3109),
+    ("incast_l2bm_fanout5_tcp0.8", 857_321, 0xfc40_bd96_0ecc_5a10),
+    ("hybrid_paper_2ms", 7_464_811, 0x07ab_b15b_a35b_844d),
+];
 
 struct Scenario {
     name: &'static str,
-    events: u64,
-    wall_s: f64,
+    results: RunResults,
+    best_wall_s: f64,
 }
 
 impl Scenario {
     fn events_per_sec(&self) -> f64 {
-        self.events as f64 / self.wall_s
+        self.results.events_processed as f64 / self.best_wall_s
     }
 }
 
-fn main() {
+fn run_scenario(name: &'static str, reps: usize, mut run: impl FnMut() -> RunResults) -> Scenario {
+    let mut best: Option<Scenario> = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let results = run();
+        let wall = start.elapsed().as_secs_f64();
+        if let Some(prev) = &best {
+            assert_eq!(
+                prev.results.digest(),
+                results.digest(),
+                "{name}: digest drifted between repetitions"
+            );
+        }
+        if best.as_ref().is_none_or(|b| wall < b.best_wall_s) {
+            best = Some(Scenario {
+                name,
+                results,
+                best_wall_s: wall,
+            });
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn run_all(reps: usize, reps_paper: usize) -> [Scenario; 3] {
     let scale = ExperimentScale::small();
-
-    let start = Instant::now();
-    let hybrid = run_hybrid(&HybridConfig {
-        scale: scale.clone(),
-        policy: PolicyChoice::l2bm(),
-        rdma_load: 0.4,
-        tcp_load: 0.8,
+    let hybrid_scale = scale.clone();
+    let hybrid = run_scenario(GOLDEN[0].0, reps, move || {
+        run_hybrid(&HybridConfig {
+            scale: hybrid_scale.clone(),
+            policy: PolicyChoice::l2bm(),
+            rdma_load: 0.4,
+            tcp_load: 0.8,
+        })
+        .results
     });
-    let hybrid_scn = Scenario {
-        name: "hybrid_l2bm_rdma0.4_tcp0.8",
-        events: hybrid.results.events_processed,
-        wall_s: start.elapsed().as_secs_f64(),
-    };
+    let incast = run_scenario(GOLDEN[1].0, reps, move || {
+        run_incast(&IncastConfig::paper_defaults(
+            scale.clone(),
+            PolicyChoice::l2bm(),
+            5,
+        ))
+        .results
+    });
+    // Paper fabric (128 hosts), short window: ~126k events pending at
+    // the high-water mark, so this row is where heap depth and slab
+    // locality actually bite (the small scenarios idle under ~2k).
+    let paper = run_scenario(GOLDEN[2].0, reps_paper, move || {
+        run_hybrid(&HybridConfig {
+            scale: ExperimentScale::paper().with_window(SimDuration::from_millis(2)),
+            policy: PolicyChoice::l2bm(),
+            rdma_load: 0.4,
+            tcp_load: 0.8,
+        })
+        .results
+    });
+    [hybrid, incast, paper]
+}
 
-    let start = Instant::now();
-    let incast = run_incast(&IncastConfig::paper_defaults(
-        scale,
-        PolicyChoice::l2bm(),
-        5,
+/// Asserts golden events + digest + zero past clamps for every
+/// scenario. Returns failure instead of panicking so CI logs every
+/// mismatch, not just the first.
+fn check() -> ExitCode {
+    let scenarios = run_all(1, 1);
+    let mut ok = true;
+    for (s, &(name, events, digest)) in scenarios.iter().zip(GOLDEN.iter()) {
+        let got_events = s.results.events_processed;
+        let got_digest = s.results.digest();
+        let clamps = s.results.queue.past_clamps;
+        let pass = got_events == events && got_digest == digest && clamps == 0;
+        println!(
+            "{name}: events {got_events} (want {events}), digest {got_digest:#018x} \
+             (want {digest:#018x}), past_clamps {clamps} (want 0) ... {}",
+            if pass { "ok" } else { "MISMATCH" }
+        );
+        ok &= pass;
+    }
+    if ok {
+        println!("determinism check passed");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--check") {
+        return check();
+    }
+
+    let scenarios = run_all(REPS, REPS_PAPER);
+    let total_events: u64 = scenarios.iter().map(|s| s.results.events_processed).sum();
+    let total_wall: f64 = scenarios.iter().map(|s| s.best_wall_s).sum();
+
+    let mut json = String::from("{\n  \"benchmark\": \"throughput\",\n");
+    json.push_str("  \"engine\": \"indexed 4-ary heap + generational slab\",\n");
+    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    // Trajectory context: what the same scenarios measured at each
+    // stage. BENCH_1.json was recorded on a different (faster) host, so
+    // the like-for-like speedup is against the same-host BinaryHeap
+    // rows below (measured interleaved with the new engine; the shared
+    // host's wall clock is noisy, so per-pair ratios, not absolute
+    // numbers, carry the comparison — medians ran 1.24x small-hybrid,
+    // 1.30x small-incast, 1.40x paper-scale).
+    json.push_str(concat!(
+        "  \"baselines\": [\n",
+        "    {\"stage\": \"BENCH_1 (BinaryHeap engine, original host)\", ",
+        "\"hybrid_events_per_sec\": 4026337, \"incast_events_per_sec\": 3783803},\n",
+        "    {\"stage\": \"BinaryHeap engine, this host\", ",
+        "\"hybrid_events_per_sec\": 3581486, \"incast_events_per_sec\": 3233089, ",
+        "\"hybrid_paper_2ms_events_per_sec\": 2076218},\n",
+        "    {\"stage\": \"BinaryHeap engine + lto/codegen-units profile, this host\", ",
+        "\"hybrid_events_per_sec\": 3967403, \"incast_events_per_sec\": 3766510}\n",
+        "  ],\n",
     ));
-    let incast_scn = Scenario {
-        name: "incast_l2bm_fanout5_tcp0.8",
-        events: incast.results.events_processed,
-        wall_s: start.elapsed().as_secs_f64(),
-    };
-
-    let scenarios = [hybrid_scn, incast_scn];
-    let total_events: u64 = scenarios.iter().map(|s| s.events).sum();
-    let total_wall: f64 = scenarios.iter().map(|s| s.wall_s).sum();
-
-    let mut json = String::from("{\n  \"benchmark\": \"throughput\",\n  \"scenarios\": [\n");
+    json.push_str("  \"scenarios\": [\n");
     for (i, s) in scenarios.iter().enumerate() {
         let comma = if i + 1 < scenarios.len() { "," } else { "" };
+        let q = &s.results.queue;
         writeln!(
             json,
-            "    {{\"name\": \"{}\", \"events_processed\": {}, \"wall_seconds\": {:.6}, \"events_per_sec\": {:.0}}}{comma}",
+            "    {{\"name\": \"{}\", \"events_processed\": {}, \"digest\": \"{:#018x}\", \
+             \"best_wall_seconds\": {:.6}, \"events_per_sec\": {:.0}, \
+             \"max_pending\": {}, \"max_heap_depth\": {}, \"heap_entry_bytes\": {}, \
+             \"slab_slots\": {}, \"past_clamps\": {}}}{comma}",
             s.name,
-            s.events,
-            s.wall_s,
-            s.events_per_sec()
+            s.results.events_processed,
+            s.results.digest(),
+            s.best_wall_s,
+            s.events_per_sec(),
+            q.max_pending,
+            q.max_depth,
+            q.entry_bytes,
+            q.slab_capacity,
+            q.past_clamps,
         )
         .expect("write to string");
     }
     writeln!(
         json,
-        "  ],\n  \"total_events_processed\": {total_events},\n  \"total_wall_seconds\": {total_wall:.6},\n  \"events_per_sec\": {:.0}\n}}",
+        "  ],\n  \"total_events_processed\": {total_events},\n  \
+         \"total_best_wall_seconds\": {total_wall:.6},\n  \"events_per_sec\": {:.0}\n}}",
         total_events as f64 / total_wall
     )
     .expect("write to string");
 
-    std::fs::write("BENCH_1.json", &json).expect("write BENCH_1.json");
+    std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
     println!("{json}");
     for s in &scenarios {
         println!(
-            "{:<30} {:>12} events {:>9.3} s {:>12.0} events/s",
+            "{:<30} {:>12} events {:>9.3} s {:>12.0} events/s (best rep)",
             s.name,
-            s.events,
-            s.wall_s,
+            s.results.events_processed,
+            s.best_wall_s,
             s.events_per_sec()
         );
     }
-    println!("wrote BENCH_1.json");
+    println!("wrote BENCH_3.json");
+    ExitCode::SUCCESS
 }

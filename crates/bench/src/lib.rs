@@ -15,9 +15,12 @@
 //!   full switch receive→transmit cycle.
 //!
 //! A third entry point, `cargo run --release -p dcn-bench --bin
-//! throughput`, runs a fixed seeded incast + hybrid scenario end-to-end
-//! and writes `BENCH_1.json` (events/sec, wall time, events processed)
-//! — the tracked perf-trajectory number.
+//! throughput`, runs fixed seeded hybrid + incast scenarios (plus a
+//! paper-scale hybrid run) end-to-end, best-of-N per scenario, and
+//! writes `BENCH_3.json` (events/sec, queue-shape counters, digests) —
+//! the tracked perf-trajectory number. Its `--check` flag asserts the
+//! golden event counts and `RunResults` digests in CI instead of
+//! writing JSON.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -2,7 +2,7 @@
 //! (x = 1 MB striped over N servers) against TCP web-search background
 //! traffic at load 0.8.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use dcn_fabric::{FabricConfig, FabricSim, PolicyChoice, RunResults};
 use dcn_metrics::ErrorBarStats;
@@ -107,10 +107,8 @@ pub fn run_incast(cfg: &IncastConfig) -> IncastPoint {
     let incast = IncastWorkload::new(rdma_hosts, cfg.fanout, cfg.request_size, cfg.query_gap)
         .class(TrafficClass::Lossless, RDMA_PRIO);
     let queries = incast.generate(cfg.scale.window, &mut rng.fork(3));
-    let incast_flow_sizes: HashMap<dcn_net::FlowId, ()> = queries
-        .iter()
-        .flat_map(|q| q.flow_ids().map(|f| (f, ())))
-        .collect();
+    let incast_flows: HashSet<dcn_net::FlowId> =
+        queries.iter().flat_map(|q| q.flow_ids()).collect();
     for q in &queries {
         flows.extend(q.flows.iter().copied());
     }
@@ -128,9 +126,10 @@ pub fn run_incast(cfg: &IncastConfig) -> IncastPoint {
     let results = sim.results();
 
     // Per-flow records of incast flows.
-    let mut fct_by_flow: HashMap<dcn_net::FlowId, &dcn_metrics::FctRecord> = HashMap::new();
+    let mut fct_by_flow: HashMap<dcn_net::FlowId, &dcn_metrics::FctRecord> =
+        HashMap::with_capacity(incast_flows.len());
     for r in results.fct.records() {
-        if incast_flow_sizes.contains_key(&r.flow) {
+        if incast_flows.contains(&r.flow) {
             fct_by_flow.insert(r.flow, r);
         }
     }

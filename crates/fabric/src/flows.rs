@@ -1,6 +1,7 @@
-//! Per-flow transport runtime: one DCTCP or DCQCN endpoint pair.
+//! Per-flow transport runtime: one DCTCP or DCQCN endpoint pair, and
+//! the dense flow-id → flow-index table the per-packet hot path uses.
 
-use dcn_net::TrafficClass;
+use dcn_net::{FlowId, TrafficClass};
 use dcn_sim::{SimDuration, SimTime};
 use dcn_transport::{DcqcnReceiver, DcqcnSender, DctcpReceiver, DctcpSender};
 use dcn_workload::FlowSpec;
@@ -64,5 +65,134 @@ impl FlowState {
     /// The flow's traffic class.
     pub fn class(&self) -> TrafficClass {
         self.spec.class
+    }
+}
+
+/// Dense flow-id → flow-index lookup for the per-packet hot path.
+///
+/// Workload generators hand out flow ids as `base + counter` — one
+/// contiguous, ascending run per generator (e.g. RDMA flows from 0, TCP
+/// background from `1 << 40`). Registration therefore sees a handful of
+/// dense id *banks*, and lookup is a scan over those banks plus one
+/// bounds-checked `Vec` index: no hashing, no SipHash state, ~2 compares
+/// for every packet of a two-workload experiment. Ids that extend no
+/// existing bank (hand-written tests, examples) each open a bank of
+/// their own, so arbitrary id patterns stay correct — merely a linear
+/// scan over more banks.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    banks: Vec<Bank>,
+}
+
+#[derive(Debug)]
+struct Bank {
+    /// First flow id covered by this bank.
+    base: u64,
+    /// `ix[i]` is the dense flow index of id `base + i`.
+    ix: Vec<u32>,
+}
+
+impl FlowTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// The dense flow index registered for `id`, if any.
+    #[inline]
+    pub fn get(&self, id: FlowId) -> Option<usize> {
+        let id = id.as_u64();
+        for bank in &self.banks {
+            let offset = id.wrapping_sub(bank.base);
+            if offset < bank.ix.len() as u64 {
+                return Some(bank.ix[offset as usize] as usize);
+            }
+        }
+        None
+    }
+
+    /// Registers `id → ix`. The caller (flow registration) checks for
+    /// duplicates via [`FlowTable::get`] first; inserting a present id
+    /// is a logic error.
+    pub fn insert(&mut self, id: FlowId, ix: usize) {
+        debug_assert!(self.get(id).is_none(), "flow id {id} already registered");
+        let id = id.as_u64();
+        let ix = u32::try_from(ix).expect("flow count fits u32");
+        for bank in &mut self.banks {
+            if id == bank.base + bank.ix.len() as u64 {
+                bank.ix.push(ix);
+                return;
+            }
+        }
+        self.banks.push(Bank {
+            base: id,
+            ix: vec![ix],
+        });
+    }
+
+    /// Number of id banks (diagnostics: should stay at the number of
+    /// workload generators feeding the run).
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_dense_banks_resolve_without_hashing() {
+        let mut t = FlowTable::new();
+        for i in 0..100u64 {
+            t.insert(FlowId::new(i), i as usize);
+        }
+        for i in 0..50u64 {
+            t.insert(FlowId::new((1 << 40) + i), 100 + i as usize);
+        }
+        assert_eq!(t.banks(), 2);
+        assert_eq!(t.get(FlowId::new(7)), Some(7));
+        assert_eq!(t.get(FlowId::new((1 << 40) + 49)), Some(149));
+        assert_eq!(t.get(FlowId::new(100)), None);
+        assert_eq!(t.get(FlowId::new((1 << 40) + 50)), None);
+        assert_eq!(t.get(FlowId::new(u64::MAX)), None);
+    }
+
+    #[test]
+    fn sparse_ids_open_their_own_banks() {
+        let mut t = FlowTable::new();
+        t.insert(FlowId::new(5), 0);
+        t.insert(FlowId::new(900), 1);
+        t.insert(FlowId::new(6), 2); // extends the first bank
+        assert_eq!(t.banks(), 2);
+        assert_eq!(t.get(FlowId::new(5)), Some(0));
+        assert_eq!(t.get(FlowId::new(6)), Some(2));
+        assert_eq!(t.get(FlowId::new(900)), Some(1));
+        assert_eq!(t.get(FlowId::new(7)), None);
+    }
+
+    #[test]
+    fn matches_a_hashmap_on_random_ids() {
+        use std::collections::HashMap;
+        let mut rng = dcn_sim::SimRng::seed_from_u64(0xF10);
+        let mut t = FlowTable::new();
+        let mut reference = HashMap::new();
+        let mut ix = 0usize;
+        for _ in 0..500 {
+            let id = FlowId::new(rng.below(1 << 12) * 1_000 + rng.below(3));
+            if reference.contains_key(&id) {
+                continue;
+            }
+            t.insert(id, ix);
+            reference.insert(id, ix);
+            ix += 1;
+        }
+        for (&id, &want) in &reference {
+            assert_eq!(t.get(id), Some(want));
+        }
+        for probe in 0..10_000u64 {
+            let id = FlowId::new(probe * 77);
+            assert_eq!(t.get(id), reference.get(&id).copied());
+        }
     }
 }

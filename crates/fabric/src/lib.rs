@@ -49,7 +49,7 @@ mod results;
 mod world;
 
 pub use config::{FabricConfig, PolicyChoice};
-pub use flows::{FlowRuntime, FlowState};
+pub use flows::{FlowRuntime, FlowState, FlowTable};
 pub use host::Host;
 pub use results::RunResults;
 pub use world::{Event, FabricSim, World};

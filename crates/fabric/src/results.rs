@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use dcn_metrics::{DropCounters, FctSet, OccupancySeries, PfcCounters};
 use dcn_net::NodeId;
+use dcn_sim::QueueStats;
 
 /// Everything the paper's evaluation reads out of a run.
 #[derive(Debug, Clone, Default)]
@@ -22,6 +23,11 @@ pub struct RunResults {
     pub unfinished_flows: usize,
     /// Total events processed (simulator throughput diagnostics).
     pub events_processed: u64,
+    /// Event-queue counters: pending high-water mark, heap depth, entry
+    /// size, past-time clamps. Diagnostics only — deliberately **not**
+    /// part of [`RunResults::digest`], which fingerprints simulated
+    /// behavior, not scheduler internals.
+    pub queue: QueueStats,
 }
 
 impl RunResults {

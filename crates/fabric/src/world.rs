@@ -1,7 +1,9 @@
 //! The event loop: dispatches deliveries, transmissions, PFC frames and
 //! transport timers across every host and switch.
-
-use std::collections::HashMap;
+//!
+//! The per-packet hot path performs no hashing: flow lookup goes through
+//! the dense banked [`FlowTable`] and occupancy sampling through a
+//! node-indexed `Vec` — see DESIGN.md §3.5.
 
 use dcn_metrics::{DropCounters, FctRecord, OccupancySeries};
 use dcn_net::{
@@ -19,7 +21,7 @@ use dcn_transport::{
 use dcn_workload::FlowSpec;
 
 use crate::config::FabricConfig;
-use crate::flows::{FlowRuntime, FlowState};
+use crate::flows::{FlowRuntime, FlowState, FlowTable};
 use crate::host::Host;
 use crate::results::RunResults;
 
@@ -116,9 +118,11 @@ pub struct World {
     switches: Vec<Option<SharedMemorySwitch>>,
     hosts: Vec<Option<Host>>,
     flows: Vec<FlowState>,
-    flow_ix: HashMap<FlowId, usize>,
+    flow_ix: FlowTable,
     fct: Vec<FctRecord>,
-    occupancy: HashMap<NodeId, OccupancySeries>,
+    /// Per-switch occupancy series, indexed by `NodeId::index()` (empty
+    /// for hosts and for switches never sampled).
+    occupancy: Vec<OccupancySeries>,
     done_flows: usize,
     counted_done: Vec<bool>,
     trace: TraceHandle,
@@ -132,6 +136,10 @@ pub struct World {
     /// Packets lost on the wire (dead link or corruption) — charged to
     /// the fabric, not any switch's admission counters.
     wire_drops: DropCounters,
+    /// Reusable buffer for the packets a transport endpoint emits while
+    /// handling one event. Taken (`std::mem::take`), drained, and put
+    /// back by each handler, so the per-packet hot path never allocates.
+    outs_scratch: Vec<Packet>,
 }
 
 impl World {
@@ -183,9 +191,9 @@ impl World {
             switches,
             hosts,
             flows: Vec::new(),
-            flow_ix: HashMap::new(),
+            flow_ix: FlowTable::new(),
             fct: Vec::new(),
-            occupancy: HashMap::new(),
+            occupancy: vec![OccupancySeries::new(); n],
             done_flows: 0,
             counted_done: Vec::new(),
             trace,
@@ -193,6 +201,7 @@ impl World {
             link_ber,
             fault_rng,
             wire_drops: DropCounters::new(),
+            outs_scratch: Vec::new(),
         }
     }
 
@@ -224,7 +233,7 @@ impl World {
 
     fn register_flow(&mut self, spec: FlowSpec) -> usize {
         assert!(
-            !self.flow_ix.contains_key(&spec.id),
+            self.flow_ix.get(spec.id).is_none(),
             "duplicate flow id {}",
             spec.id
         );
@@ -443,7 +452,8 @@ impl World {
         let spec = self.flows[ix].spec;
         match &mut self.flows[ix].runtime {
             FlowRuntime::Tcp { sender, .. } => {
-                let burst = sender.take_ready(now);
+                let mut burst = std::mem::take(&mut self.outs_scratch);
+                sender.take_ready(now, &mut burst);
                 let generation = sender.timer_generation();
                 let rto = sender.rto();
                 q.schedule_after(
@@ -454,9 +464,10 @@ impl World {
                         generation,
                     },
                 );
-                for p in burst {
+                for p in burst.drain(..) {
                     self.host_inject(now, spec.src, p, q);
                 }
+                self.outs_scratch = burst;
             }
             FlowRuntime::Rdma { sender, .. } => {
                 if let Some(p) = sender.emit_next(now) {
@@ -504,10 +515,10 @@ impl World {
         q: &mut EventQueue<Event>,
     ) {
         debug_assert_eq!(packet.dst, host, "misrouted packet");
-        let Some(&ix) = self.flow_ix.get(&packet.flow) else {
+        let Some(ix) = self.flow_ix.get(packet.flow) else {
             return; // stray packet from an unregistered flow
         };
-        let mut outs: Vec<Packet> = Vec::new();
+        let mut outs = std::mem::take(&mut self.outs_scratch);
         let mut rearm_rto: Option<(u64, SimDuration)> = None;
         let mut arm_rp: Option<(SimDuration, u64, SimDuration, u64)> = None;
 
@@ -523,7 +534,7 @@ impl World {
                     ecn_echo,
                 },
             ) => {
-                let action = sender.on_ack(now, cumulative_ack, ecn_echo);
+                let action = sender.on_ack(now, cumulative_ack, ecn_echo, &mut outs);
                 let t_flow = packet.flow.as_u64();
                 if let Some(tr) = action.transition {
                     let ev = match tr {
@@ -556,7 +567,6 @@ impl World {
                         in_recovery,
                     });
                 }
-                outs.extend(action.packets);
                 if action.rearm_timer {
                     rearm_rto = Some((sender.timer_generation(), sender.rto()));
                 }
@@ -595,6 +605,8 @@ impl World {
                     node: t_node,
                     flow: t_flow,
                 });
+                outs.clear();
+                self.outs_scratch = outs;
                 return;
             }
         }
@@ -626,13 +638,14 @@ impl World {
                 },
             );
         }
-        for p in outs {
+        for p in outs.drain(..) {
             self.host_inject(now, host, p, q);
         }
+        self.outs_scratch = outs;
     }
 
     fn handle_rdma_pace(&mut self, now: SimTime, flow: FlowId, q: &mut EventQueue<Event>) {
-        let Some(&ix) = self.flow_ix.get(&flow) else {
+        let Some(ix) = self.flow_ix.get(flow) else {
             return;
         };
         let spec = self.flows[ix].spec;
@@ -675,14 +688,15 @@ impl World {
         generation: u64,
         q: &mut EventQueue<Event>,
     ) {
-        let Some(&ix) = self.flow_ix.get(&flow) else {
+        let Some(ix) = self.flow_ix.get(flow) else {
             return;
         };
         let spec = self.flows[ix].spec;
         let FlowRuntime::Tcp { sender, .. } = &mut self.flows[ix].runtime else {
             return;
         };
-        let action = sender.on_timeout(now, generation);
+        let mut outs = std::mem::take(&mut self.outs_scratch);
+        let action = sender.on_timeout(now, generation, &mut outs);
         if action.rearm_timer {
             // rearm_timer is only set when the timeout was not stale, so
             // this records exactly the RTOs that actually fired.
@@ -697,9 +711,10 @@ impl World {
             });
             q.schedule_after(now, rto, Event::Rto { flow, generation });
         }
-        for p in action.packets {
+        for p in outs.drain(..) {
             self.host_inject(now, spec.src, p, q);
         }
+        self.outs_scratch = outs;
     }
 
     fn handle_rp_timer(
@@ -710,7 +725,7 @@ impl World {
         generation: u64,
         q: &mut EventQueue<Event>,
     ) {
-        let Some(&ix) = self.flow_ix.get(&flow) else {
+        let Some(ix) = self.flow_ix.get(flow) else {
             return;
         };
         let FlowRuntime::Rdma { sender, .. } = &mut self.flows[ix].runtime else {
@@ -737,7 +752,7 @@ impl World {
     fn handle_sample(&mut self, now: SimTime, q: &mut EventQueue<Event>) {
         for sw in self.switches.iter().flatten() {
             let occ = sw.occupancy();
-            self.occupancy.entry(sw.id()).or_default().push(now, occ);
+            self.occupancy[sw.id().index()].push(now, occ);
         }
         if let Some(interval) = self.cfg.sample_interval {
             q.schedule_after(now, interval, Event::Sample);
@@ -1095,12 +1110,26 @@ impl FabricSim {
         self.queue.now()
     }
 
+    /// Times the queue clamped a past-time scheduling up to `now`.
+    /// Always zero in a correct model — asserted by the golden-digest
+    /// test so a latent scheduling bug cannot hide behind the clamp.
+    pub fn past_clamps(&self) -> u64 {
+        self.queue.past_clamps()
+    }
+
+    /// Event-queue counters (high-water mark, heap depth, entry size,
+    /// clamps) for the current state of this simulator.
+    pub fn queue_stats(&self) -> dcn_sim::QueueStats {
+        self.queue.stats()
+    }
+
     /// Collects the run's results (clones the accumulated metrics; the
     /// simulator stays usable).
     pub fn results(&self) -> RunResults {
         let mut r = RunResults {
             events_processed: self.queue.processed(),
             unfinished_flows: self.world.flow_count() - self.world.done_flows(),
+            queue: self.queue.stats(),
             ..RunResults::default()
         };
         for rec in &self.world.fct {
@@ -1112,8 +1141,10 @@ impl FabricSim {
             r.drops.merge(sw.drop_counters());
         }
         r.drops.merge(&self.world.wire_drops);
-        for (id, series) in &self.world.occupancy {
-            r.occupancy.insert(*id, series.clone());
+        for (i, series) in self.world.occupancy.iter().enumerate() {
+            if !series.is_empty() {
+                r.occupancy.insert(NodeId::new(i as u32), series.clone());
+            }
         }
         r
     }

@@ -3,10 +3,32 @@
 //! Events are an application-defined type `E`; the queue orders them by
 //! scheduled time, breaking ties by insertion order so that runs are fully
 //! deterministic regardless of heap internals.
+//!
+//! # Internals: indexed 4-ary heap + event slab
+//!
+//! The priority queue is a hand-rolled 4-ary array heap whose entries are
+//! 16 bytes — the scheduled [`SimTime`] plus a packed `(seq, slot)` key —
+//! while the event payloads live out-of-line in a generational [`Slab`]
+//! with an intrusive free-list. Two consequences:
+//!
+//! * **Sifts move 16 bytes**, not `16 + size_of::<E>()` bytes. With a
+//!   fabric event inlining a full packet (~100 B) the std
+//!   `BinaryHeap<(time, seq, E)>` moved ~7× more memory per level.
+//! * **Steady-state dispatch allocates nothing**: the heap `Vec` and the
+//!   slab only grow to the run's high-water mark of pending events, and
+//!   the slab's free-list recycles slots LIFO after that.
+//!
+//! A 4-ary layout halves tree depth versus a binary heap (log₄ vs log₂),
+//! trading two extra comparisons per level for half the cache-missing
+//! hops — the standard win for small keys (see `Slab` for the payloads).
+//!
+//! Determinism is unchanged: entries are totally ordered by
+//! `(time, seq)` where `seq` is the insertion number, so `pop` returns
+//! exactly the sequence the previous `BinaryHeap` implementation did
+//! (verified by the differential property tests in
+//! `crates/sim/tests/event_queue_differential.rs`).
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
+use crate::slab::Slab;
 use crate::time::{SimDuration, SimTime};
 
 /// A model that consumes events and schedules new ones.
@@ -22,35 +44,52 @@ pub trait Simulation {
     fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
 }
 
-struct Scheduled<E> {
+/// One heap entry: 16 bytes, ordered by `(at, ord)`.
+///
+/// `ord` packs `(seq << 32) | slot`: the high 32 bits are the insertion
+/// sequence number (the FIFO tie-break for equal times), the low 32 bits
+/// address the payload's slab slot. Comparing `ord` as one `u64` compares
+/// `seq` first, and live entries always differ in `seq`, so the total
+/// order is exactly `(at, seq)`.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
     at: SimTime,
-    seq: u64,
-    event: E,
+    ord: u64,
 }
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl Entry {
+    #[inline]
+    fn precedes(self, other: Entry) -> bool {
+        (self.at, self.ord) < (other.at, other.ord)
+    }
+
+    #[inline]
+    fn slot(self) -> u32 {
+        (self.ord & u64::from(u32::MAX)) as u32
     }
 }
 
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering: the BinaryHeap is a max-heap, we want the
-        // earliest (time, seq) on top.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+/// Scheduler counters for perf reporting and model-bug detection.
+///
+/// Returned by [`EventQueue::stats`]; all plain data, so results can ship
+/// it across threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events currently pending.
+    pub pending: usize,
+    /// High-water mark of pending events over the queue's lifetime.
+    pub max_pending: usize,
+    /// Heap levels at the high-water mark (sift work is bounded by this).
+    pub max_depth: u32,
+    /// Bytes moved per sift step: the size of one heap entry.
+    pub entry_bytes: usize,
+    /// Slots ever allocated in the event slab (its high-water mark).
+    pub slab_capacity: usize,
+    /// Total events popped.
+    pub processed: u64,
+    /// Times `schedule_at` clamped a past timestamp up to `now`. Always
+    /// zero in a correct model; see [`EventQueue::past_clamps`].
+    pub past_clamps: u64,
 }
 
 /// A time-ordered event queue with deterministic FIFO tie-breaking.
@@ -68,20 +107,14 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
-    seq: u64,
+    heap: Vec<Entry>,
+    slab: Slab<E>,
+    /// Next insertion sequence number (the FIFO tie-break).
+    seq: u32,
     now: SimTime,
     processed: u64,
-}
-
-impl<E: std::fmt::Debug> std::fmt::Debug for Scheduled<E> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Scheduled")
-            .field("at", &self.at)
-            .field("seq", &self.seq)
-            .field("event", &self.event)
-            .finish()
-    }
+    past_clamps: u64,
+    max_pending: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -94,30 +127,38 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
+            slab: Slab::new(),
             seq: 0,
             now: SimTime::ZERO,
             processed: 0,
+            past_clamps: 0,
+            max_pending: 0,
         }
     }
 
     /// Schedules `event` at absolute time `at`.
     ///
-    /// Scheduling in the past is a model bug; this is checked in debug
-    /// builds and clamped to `now` in release builds.
+    /// Scheduling in the past is a model bug; the time is clamped to
+    /// `now` and the incident is counted in [`EventQueue::past_clamps`],
+    /// which correctness tests assert to be zero — a latent model bug
+    /// cannot hide behind the clamp.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        debug_assert!(
-            at >= self.now,
-            "scheduling in the past: {at} < {}",
+        let at = if at < self.now {
+            self.past_clamps += 1;
             self.now
-        );
-        let at = at.max(self.now);
-        self.heap.push(Scheduled {
-            at,
-            seq: self.seq,
-            event,
-        });
+        } else {
+            at
+        };
+        if self.seq == u32::MAX {
+            self.renumber();
+        }
+        let handle = self.slab.insert(event);
+        let ord = (u64::from(self.seq) << 32) | u64::from(handle.slot);
         self.seq += 1;
+        self.heap.push(Entry { at, ord });
+        self.sift_up(self.heap.len() - 1);
+        self.max_pending = self.max_pending.max(self.heap.len());
     }
 
     /// Schedules `event` at `now + delay`.
@@ -127,15 +168,21 @@ impl<E> EventQueue<E> {
 
     /// Pops the earliest event, advancing the queue's clock to its time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.heap.pop()?;
-        self.now = s.at;
+        let root = *self.heap.first()?;
+        let last = self.heap.pop().expect("peeked heap is non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+        let event = self.slab.take(root.slot());
+        self.now = root.at;
         self.processed += 1;
-        Some((s.at, s.event))
+        Some((root.at, event))
     }
 
     /// The time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        self.heap.first().map(|e| e.at)
     }
 
     /// The current simulated time (time of the last popped event).
@@ -157,6 +204,114 @@ impl<E> EventQueue<E> {
     pub fn processed(&self) -> u64 {
         self.processed
     }
+
+    /// How many times [`EventQueue::schedule_at`] was handed a time
+    /// before `now` and clamped it. A correct model never schedules into
+    /// the past, so this is asserted zero by the golden-digest test.
+    pub fn past_clamps(&self) -> u64 {
+        self.past_clamps
+    }
+
+    /// Scheduler counters: pending high-water mark, heap depth, entry
+    /// size, slab capacity, processed events and past-time clamps.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            pending: self.heap.len(),
+            max_pending: self.max_pending,
+            max_depth: depth_4ary(self.max_pending),
+            entry_bytes: std::mem::size_of::<Entry>(),
+            slab_capacity: self.slab.capacity(),
+            processed: self.processed,
+            past_clamps: self.past_clamps,
+        }
+    }
+
+    // ---- 4-ary heap internals -----------------------------------------
+
+    /// Moves the entry at `i` up until its parent precedes it.
+    fn sift_up(&mut self, mut i: usize) {
+        let e = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if e.precedes(self.heap[parent]) {
+                self.heap[i] = self.heap[parent];
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = e;
+    }
+
+    /// Moves the entry at `i` down until it precedes all its children.
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        let e = self.heap[i];
+        loop {
+            let first = 4 * i + 1;
+            if first >= n {
+                break;
+            }
+            // Smallest of up to four children.
+            let mut min = first;
+            let last = (first + 4).min(n);
+            for c in first + 1..last {
+                if self.heap[c].precedes(self.heap[min]) {
+                    min = c;
+                }
+            }
+            if self.heap[min].precedes(e) {
+                self.heap[i] = self.heap[min];
+                i = min;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = e;
+    }
+
+    /// Compacts the 32-bit sequence counter by reassigning pending
+    /// entries the numbers `0..len` in their existing order.
+    ///
+    /// Triggered once per 2³² insertions — in practice never for the
+    /// workloads in this repository, but it makes the u32 tie-break safe
+    /// at any run length. Relative `(time, seq)` order is preserved (the
+    /// reassignment is monotone in `seq`), so pop order is unchanged;
+    /// this is covered by `force_renumber` tests.
+    fn renumber(&mut self) {
+        // Pending entries hold distinct live seqs; sorting by `ord`
+        // sorts by seq (high bits) and thus by insertion order.
+        self.heap.sort_unstable_by_key(|e| e.ord);
+        for (i, e) in self.heap.iter_mut().enumerate() {
+            e.ord = ((i as u64) << 32) | u64::from(e.slot());
+        }
+        self.seq = u32::try_from(self.heap.len()).expect("pending fits u32");
+        // Re-establish the heap property bottom-up (O(n)).
+        for i in (0..self.heap.len() / 4 + 1).rev() {
+            if i < self.heap.len() {
+                self.sift_down(i);
+            }
+        }
+    }
+
+    /// Test hook: forces the rare sequence-renumber path.
+    #[doc(hidden)]
+    pub fn force_renumber(&mut self) {
+        self.renumber();
+    }
+}
+
+/// Levels of a 4-ary heap holding `n` entries (0 for an empty heap).
+fn depth_4ary(n: usize) -> u32 {
+    let mut depth = 0;
+    let mut level_first = 0usize; // index of the first node at `depth`
+    let mut level_size = 1usize;
+    while level_first < n {
+        depth += 1;
+        level_first += level_size;
+        level_size *= 4;
+    }
+    depth
 }
 
 /// Runs `sim` until the queue drains or the next event is at or past
@@ -203,6 +358,11 @@ pub fn run_while<S: Simulation>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn entry_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<Entry>(), 16);
+    }
 
     #[test]
     fn fifo_tie_breaking() {
@@ -289,5 +449,117 @@ mod tests {
         q.pop();
         q.pop();
         assert_eq!(q.processed(), 2);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_and_counts() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(100), 1);
+        q.pop();
+        assert_eq!(q.past_clamps(), 0);
+        // now = 100; scheduling at 40 is a (counted) model bug.
+        q.schedule_at(SimTime::from_nanos(40), 2);
+        assert_eq!(q.past_clamps(), 1);
+        let (at, ev) = q.pop().expect("clamped event pops");
+        assert_eq!(ev, 2);
+        assert_eq!(at, SimTime::from_nanos(100), "clamped up to now");
+        // Scheduling exactly at `now` is legal and not counted.
+        q.schedule_at(SimTime::from_nanos(100), 3);
+        assert_eq!(q.past_clamps(), 1);
+    }
+
+    #[test]
+    fn stats_report_high_water_mark_and_entry_size() {
+        let mut q = EventQueue::new();
+        for i in 0..21u64 {
+            q.schedule_at(SimTime::from_nanos(i), i);
+        }
+        for _ in 0..21 {
+            q.pop();
+        }
+        let s = q.stats();
+        assert_eq!(s.pending, 0);
+        assert_eq!(s.max_pending, 21);
+        // 21 entries: level sizes 1 + 4 + 16 = 21 → 3 levels.
+        assert_eq!(s.max_depth, 3);
+        assert_eq!(s.entry_bytes, 16);
+        assert_eq!(s.slab_capacity, 21);
+        assert_eq!(s.processed, 21);
+        assert_eq!(s.past_clamps, 0);
+    }
+
+    #[test]
+    fn depth_4ary_levels() {
+        assert_eq!(depth_4ary(0), 0);
+        assert_eq!(depth_4ary(1), 1);
+        assert_eq!(depth_4ary(5), 2);
+        assert_eq!(depth_4ary(21), 3);
+        assert_eq!(depth_4ary(22), 4);
+    }
+
+    #[test]
+    fn renumber_preserves_pop_order() {
+        // Heavy ties across a forced renumber: FIFO order must survive
+        // the seq compaction.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(50);
+        for i in 0..40 {
+            q.schedule_at(t, i);
+            if i == 17 {
+                q.force_renumber();
+            }
+        }
+        q.force_renumber();
+        for i in 40..60 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn renumber_with_mixed_times_keeps_total_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u64 {
+            q.schedule_at(SimTime::from_nanos((i * 37) % 10), i);
+        }
+        q.force_renumber();
+        for i in 100..200u64 {
+            q.schedule_at(SimTime::from_nanos((i * 37) % 10), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((at, ev)) = q.pop() {
+            popped.push((at, ev));
+        }
+        // Reference: stable sort by time of the same schedule (insertion
+        // order is the tie-break, which a stable sort preserves).
+        let mut expect: Vec<(SimTime, u64)> = (0..200u64)
+            .map(|i| (SimTime::from_nanos((i * 37) % 10), i))
+            .collect();
+        expect.sort_by_key(|&(at, _)| at);
+        assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn steady_state_dispatch_reuses_heap_and_slab_storage() {
+        // A self-rescheduling workload with bounded pending events: after
+        // warm-up, neither the heap nor the slab may grow — steady-state
+        // dispatch is allocation-free.
+        let mut q = EventQueue::new();
+        for i in 0..64u64 {
+            q.schedule_at(SimTime::from_nanos(i), i);
+        }
+        let warm_cap = q.stats().slab_capacity;
+        for _ in 0..100_000 {
+            let (now, ev) = q.pop().expect("chain never drains");
+            q.schedule_after(now, SimDuration::from_nanos(1 + ev % 7), ev);
+        }
+        let s = q.stats();
+        assert_eq!(s.pending, 64);
+        assert_eq!(s.max_pending, 64);
+        assert_eq!(
+            s.slab_capacity, warm_cap,
+            "slab must recycle slots, not allocate"
+        );
     }
 }

@@ -3,7 +3,8 @@
 //!
 //! This crate is the foundation of the L2BM reproduction: a nanosecond-
 //! resolution clock ([`SimTime`]), typed quantities ([`Bytes`], [`BitRate`]),
-//! a binary-heap [`EventQueue`] with deterministic FIFO tie-breaking, a
+//! an indexed 4-ary-heap [`EventQueue`] (16-byte heap entries over a
+//! generational event [`Slab`]) with deterministic FIFO tie-breaking, a
 //! [`Simulation`] driver trait, and seeded random-number helpers
 //! ([`SimRng`]) with the distributions the workload generators need.
 //!
@@ -44,14 +45,16 @@ mod event;
 mod fault;
 mod par;
 mod rng;
+mod slab;
 mod time;
 mod trace;
 mod units;
 
-pub use event::{run_until, run_while, EventQueue, Simulation};
+pub use event::{run_until, run_while, EventQueue, QueueStats, Simulation};
 pub use fault::{FaultEvent, FaultSchedule, ScheduledFault};
 pub use par::{default_jobs, par_map};
 pub use rng::{EmpiricalCdf, SimRng};
+pub use slab::{Slab, SlotHandle};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
     summarize_flow, FlightRecorder, TraceConfig, TraceDropCause, TraceEvent, TraceHandle,

@@ -50,6 +50,10 @@ pub struct InFlight {
 #[derive(Debug, Default)]
 pub struct EgressPort {
     queues: [VecDeque<QueuedPacket>; Priority::COUNT],
+    /// Bit `i` set ⇔ `queues[i]` is non-empty. Lets the round-robin scan
+    /// skip empty priorities on one byte instead of touching eight
+    /// `VecDeque` headers (four cache lines) per start attempt.
+    nonempty: u8,
     rr_next: usize,
     in_flight: Option<InFlight>,
 }
@@ -64,6 +68,7 @@ impl EgressPort {
     pub fn enqueue(&mut self, qp: QueuedPacket) {
         let prio = qp.packet.priority.index();
         self.queues[prio].push_back(qp);
+        self.nonempty |= 1 << prio;
     }
 
     /// Whether the transmitter is idle (no packet being serialized).
@@ -90,16 +95,18 @@ impl EgressPort {
     /// `paused(prio)` reports whether a downstream XOFF blocks a
     /// priority.
     pub fn start_next(&mut self, paused: impl Fn(Priority) -> bool) -> Option<Packet> {
-        if self.in_flight.is_some() {
+        if self.in_flight.is_some() || self.nonempty == 0 {
             return None;
         }
         for off in 0..Priority::COUNT {
             let ix = (self.rr_next + off) % Priority::COUNT;
-            let prio = Priority::new(ix as u8);
-            if paused(prio) || self.queues[ix].is_empty() {
+            if self.nonempty & (1 << ix) == 0 || paused(Priority::new(ix as u8)) {
                 continue;
             }
-            let qp = self.queues[ix].pop_front().expect("checked non-empty");
+            let qp = self.queues[ix].pop_front().expect("nonempty bit set");
+            if self.queues[ix].is_empty() {
+                self.nonempty &= !(1 << ix);
+            }
             self.rr_next = (ix + 1) % Priority::COUNT;
             self.in_flight = Some(InFlight {
                 flow: qp.packet.flow,
@@ -138,6 +145,7 @@ impl EgressPort {
         for q in self.queues.iter_mut() {
             out.extend(q.drain(..));
         }
+        self.nonempty = 0;
         out
     }
 }

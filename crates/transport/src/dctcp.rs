@@ -58,10 +58,13 @@ pub enum TcpEvent {
 }
 
 /// What the sender wants done after processing an ACK.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Segments to transmit are appended to the `out` buffer the caller
+/// passes to [`DctcpSender::on_ack`] / [`DctcpSender::on_timeout`], so
+/// the per-ACK hot path allocates nothing; this struct carries only the
+/// plain-data side effects.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AckAction {
-    /// Segments to transmit now (new data and/or retransmissions).
-    pub packets: Vec<Packet>,
     /// Whether the retransmission timer should be (re)armed for
     /// [`DctcpSender::timer_generation`] at `now + rto`.
     pub rearm_timer: bool,
@@ -211,10 +214,12 @@ impl DctcpSender {
         )
     }
 
-    /// Emits every segment the window currently allows. Call at start
-    /// and after each ACK (included in [`AckAction::packets`] there).
-    pub fn take_ready(&mut self, _now: SimTime) -> Vec<Packet> {
-        let mut out = Vec::new();
+    /// Appends every segment the window currently allows to `out`.
+    /// Called at flow start and internally after each ACK ([`on_ack`]
+    /// pushes the ready batch into its own `out` buffer).
+    ///
+    /// [`on_ack`]: DctcpSender::on_ack
+    pub fn take_ready(&mut self, _now: SimTime, out: &mut Vec<Packet>) {
         let limit = (self.snd_una as f64 + self.cwnd) as u64;
         while self.snd_nxt < self.size
             && self.snd_nxt + self.cfg.mss.min(self.size - self.snd_nxt) <= limit
@@ -226,11 +231,18 @@ impl DctcpSender {
         if self.window_end == 0 {
             self.window_end = self.snd_nxt;
         }
-        out
     }
 
-    /// Processes a cumulative ACK with its ECN-echo bit.
-    pub fn on_ack(&mut self, now: SimTime, cumulative_ack: u64, ecn_echo: bool) -> AckAction {
+    /// Processes a cumulative ACK with its ECN-echo bit, appending any
+    /// segments to transmit (retransmissions and newly allowed data) to
+    /// `out`.
+    pub fn on_ack(
+        &mut self,
+        now: SimTime,
+        cumulative_ack: u64,
+        ecn_echo: bool,
+        out: &mut Vec<Packet>,
+    ) -> AckAction {
         let mut action = AckAction::default();
         if self.completed {
             return action;
@@ -258,7 +270,7 @@ impl DctcpSender {
                     // cover the recovery point, so the next hole starts at
                     // the new snd_una — retransmit it immediately instead
                     // of stalling until the RTO.
-                    action.packets.push(self.segment(self.snd_una));
+                    out.push(self.segment(self.snd_una));
                     action.transition = Some(TcpEvent::PartialAckRetransmit {
                         snd_una: self.snd_una,
                     });
@@ -300,14 +312,7 @@ impl DctcpSender {
             }
             self.timer_gen += 1;
             action.rearm_timer = true;
-            if action.packets.is_empty() {
-                // Common case (no partial-ACK retransmit queued): move
-                // the ready batch in without an extra alloc + copy.
-                action.packets = self.take_ready(now);
-            } else {
-                let ready = self.take_ready(now);
-                action.packets.extend(ready);
-            }
+            self.take_ready(now, out);
         } else {
             // Duplicate ACK.
             self.dup_acks += 1;
@@ -316,7 +321,7 @@ impl DctcpSender {
                 self.recover_seq = self.snd_nxt;
                 self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.cfg.mss as f64);
                 self.cwnd = self.ssthresh;
-                action.packets.push(self.segment(self.snd_una));
+                out.push(self.segment(self.snd_una));
                 action.transition = Some(TcpEvent::EnterRecovery {
                     recover_seq: self.recover_seq,
                 });
@@ -327,9 +332,15 @@ impl DctcpSender {
         action
     }
 
-    /// Handles a retransmission timeout carrying `generation`. Stale
-    /// timers (generation mismatch) are ignored.
-    pub fn on_timeout(&mut self, now: SimTime, generation: u64) -> AckAction {
+    /// Handles a retransmission timeout carrying `generation`,
+    /// appending the go-back-N resend to `out`. Stale timers
+    /// (generation mismatch) are ignored.
+    pub fn on_timeout(
+        &mut self,
+        now: SimTime,
+        generation: u64,
+        out: &mut Vec<Packet>,
+    ) -> AckAction {
         let mut action = AckAction::default();
         if self.completed || generation != self.timer_gen {
             return action;
@@ -344,7 +355,7 @@ impl DctcpSender {
         // off exponentially (Karn); reset on the next new ACK.
         self.backoff = self.backoff.saturating_add(1);
         self.timer_gen += 1;
-        action.packets = self.take_ready(now);
+        self.take_ready(now, out);
         action.rearm_timer = true;
         action
     }
@@ -447,24 +458,46 @@ mod tests {
         )
     }
 
+    /// Collects the ready batch into a fresh Vec (test convenience for
+    /// the buffer-filling API).
+    fn ready(s: &mut DctcpSender, now: SimTime) -> Vec<Packet> {
+        let mut out = Vec::new();
+        s.take_ready(now, &mut out);
+        out
+    }
+
+    /// Runs one ACK and returns the action plus the emitted segments.
+    fn ack(s: &mut DctcpSender, now: SimTime, cum: u64, ecn: bool) -> (AckAction, Vec<Packet>) {
+        let mut out = Vec::new();
+        let a = s.on_ack(now, cum, ecn, &mut out);
+        (a, out)
+    }
+
+    /// Runs one timeout and returns the action plus the resent segments.
+    fn timeout(s: &mut DctcpSender, now: SimTime, generation: u64) -> (AckAction, Vec<Packet>) {
+        let mut out = Vec::new();
+        let a = s.on_timeout(now, generation, &mut out);
+        (a, out)
+    }
+
     #[test]
     fn initial_window_burst() {
         let mut s = sender(100_000);
-        let burst = s.take_ready(SimTime::ZERO);
+        let burst = ready(&mut s, SimTime::ZERO);
         assert_eq!(burst.len(), 10, "init cwnd = 10 segments");
         assert_eq!(burst[0].seq, 0);
         assert_eq!(burst[9].seq, 9_000);
         // No more until acked.
-        assert!(s.take_ready(SimTime::ZERO).is_empty());
+        assert!(ready(&mut s, SimTime::ZERO).is_empty());
     }
 
     #[test]
     fn short_flow_single_segment() {
         let mut s = sender(500);
-        let burst = s.take_ready(SimTime::ZERO);
+        let burst = ready(&mut s, SimTime::ZERO);
         assert_eq!(burst.len(), 1);
         assert_eq!(burst[0].payload, Bytes::new(500));
-        let a = s.on_ack(SimTime::from_micros(10), 500, false);
+        let (a, _) = ack(&mut s, SimTime::from_micros(10), 500, false);
         assert!(a.completed);
         assert!(s.is_completed());
     }
@@ -473,10 +506,10 @@ mod tests {
     fn slow_start_doubles() {
         let mut s = sender(10_000_000);
         let w0 = s.cwnd();
-        let burst = s.take_ready(SimTime::ZERO);
+        let burst = ready(&mut s, SimTime::ZERO);
         let mut t = SimTime::from_micros(10);
         for p in &burst {
-            s.on_ack(t, p.seq + p.payload.as_u64(), false);
+            ack(&mut s, t, p.seq + p.payload.as_u64(), false);
             t += SimDuration::from_nanos(100);
         }
         assert!(
@@ -490,7 +523,7 @@ mod tests {
     #[test]
     fn ecn_cut_uses_alpha_once_per_window() {
         let mut s = sender(10_000_000);
-        let burst = s.take_ready(SimTime::ZERO);
+        let burst = ready(&mut s, SimTime::ZERO);
         let mut t = SimTime::from_micros(10);
         // Whole first window marked: alpha jumps to g·1 at the boundary,
         // and the window is cut once.
@@ -498,7 +531,7 @@ mod tests {
         let mut cut_seen = 0;
         let mut last_cwnd = before;
         for p in &burst {
-            s.on_ack(t, p.seq + p.payload.as_u64(), true);
+            ack(&mut s, t, p.seq + p.payload.as_u64(), true);
             if s.cwnd() < last_cwnd {
                 cut_seen += 1;
             }
@@ -513,13 +546,12 @@ mod tests {
     fn unmarked_traffic_decays_alpha() {
         let mut s = sender(10_000_000);
         let mut t = SimTime::from_micros(1);
-        let mut inflight = s.take_ready(SimTime::ZERO);
+        let mut inflight = ready(&mut s, SimTime::ZERO);
         let ack_all =
             |s: &mut DctcpSender, inflight: &mut Vec<Packet>, t: &mut SimTime, marked: bool| {
                 let pkts = std::mem::take(inflight);
                 for p in pkts {
-                    let a = s.on_ack(*t, p.seq + p.payload.as_u64(), marked);
-                    inflight.extend(a.packets);
+                    s.on_ack(*t, p.seq + p.payload.as_u64(), marked, inflight);
                     *t += SimDuration::from_nanos(100);
                 }
             };
@@ -539,32 +571,32 @@ mod tests {
     #[test]
     fn triple_dup_ack_fast_retransmits() {
         let mut s = sender(100_000);
-        let burst = s.take_ready(SimTime::ZERO);
+        let burst = ready(&mut s, SimTime::ZERO);
         assert!(burst.len() >= 4);
         let t = SimTime::from_micros(10);
         // First segment lost: acks for later segments all carry cum = 0...
         // Receiver semantics: cumulative stays at 0 (well, seq 0 missing).
         let w_before = s.cwnd();
-        assert!(s.on_ack(t, 0, false).packets.is_empty());
-        assert!(s.on_ack(t, 0, false).packets.is_empty());
-        let third = s.on_ack(t, 0, false);
-        assert_eq!(third.packets.len(), 1, "fast retransmit");
-        assert_eq!(third.packets[0].seq, 0);
+        assert!(ack(&mut s, t, 0, false).1.is_empty());
+        assert!(ack(&mut s, t, 0, false).1.is_empty());
+        let (_, third) = ack(&mut s, t, 0, false);
+        assert_eq!(third.len(), 1, "fast retransmit");
+        assert_eq!(third[0].seq, 0);
         assert!(s.cwnd() < w_before);
     }
 
     #[test]
     fn timeout_collapses_window() {
         let mut s = sender(100_000);
-        let _ = s.take_ready(SimTime::ZERO);
+        let _ = ready(&mut s, SimTime::ZERO);
         let generation = s.timer_generation();
-        let a = s.on_timeout(SimTime::from_millis(3), generation);
-        assert_eq!(a.packets.len(), 1);
-        assert_eq!(a.packets[0].seq, 0);
+        let (_, resent) = timeout(&mut s, SimTime::from_millis(3), generation);
+        assert_eq!(resent.len(), 1);
+        assert_eq!(resent[0].seq, 0);
         assert_eq!(s.cwnd(), 1_000.0);
         // Stale generation ignored.
-        let stale = s.on_timeout(SimTime::from_millis(4), generation);
-        assert!(stale.packets.is_empty());
+        let (_, stale) = timeout(&mut s, SimTime::from_millis(4), generation);
+        assert!(stale.is_empty());
     }
 
     #[test]
@@ -573,12 +605,12 @@ mod tests {
         // first; the partial ACK that repairs it must retransmit the
         // second instead of falling through silently.
         let mut s = sender(100_000);
-        let _ = s.take_ready(SimTime::ZERO); // segs 0..10_000
+        let _ = ready(&mut s, SimTime::ZERO); // segs 0..10_000
         let t = SimTime::from_micros(10);
-        s.on_ack(t, 0, false);
-        s.on_ack(t, 0, false);
-        let third = s.on_ack(t, 0, false);
-        assert_eq!(third.packets[0].seq, 0);
+        ack(&mut s, t, 0, false);
+        ack(&mut s, t, 0, false);
+        let (third, third_out) = ack(&mut s, t, 0, false);
+        assert_eq!(third_out[0].seq, 0);
         assert!(matches!(
             third.transition,
             Some(TcpEvent::EnterRecovery {
@@ -587,17 +619,17 @@ mod tests {
         ));
         assert!(s.in_recovery());
         // Retransmitted seg 0 repairs up to the second hole at 5000.
-        let partial = s.on_ack(t, 5_000, false);
+        let (partial, partial_out) = ack(&mut s, t, 5_000, false);
         assert!(s.in_recovery(), "partial ACK must not exit recovery");
-        assert_eq!(partial.packets.len(), 1, "{:?}", partial.packets);
-        assert_eq!(partial.packets[0].seq, 5_000, "retransmit new snd_una");
+        assert_eq!(partial_out.len(), 1, "{partial_out:?}");
+        assert_eq!(partial_out[0].seq, 5_000, "retransmit new snd_una");
         assert!(matches!(
             partial.transition,
             Some(TcpEvent::PartialAckRetransmit { snd_una: 5_000 })
         ));
         assert!(partial.rearm_timer, "progress re-arms the timer");
         // The full ACK exits recovery.
-        let full = s.on_ack(t, 10_000, false);
+        let (full, _) = ack(&mut s, t, 10_000, false);
         assert!(!s.in_recovery());
         assert!(matches!(full.transition, Some(TcpEvent::ExitRecovery)));
     }
@@ -616,7 +648,7 @@ mod tests {
             Priority::new(1),
             Bytes::new(10_000),
         );
-        let mut inflight = s.take_ready(SimTime::ZERO);
+        let mut inflight = ready(&mut s, SimTime::ZERO);
         assert_eq!(inflight.len(), 10);
         // Lose seq 0 and seq 5000 on the first pass.
         inflight.retain(|p| p.seq != 0 && p.seq != 5_000);
@@ -633,8 +665,7 @@ mod tests {
                     dcn_net::PacketKind::Ack { cumulative_ack, .. } => cumulative_ack,
                     _ => unreachable!(),
                 };
-                let a = s.on_ack(t, cum, false);
-                inflight.extend(a.packets);
+                s.on_ack(t, cum, false, &mut inflight);
                 t += SimDuration::from_nanos(100);
             }
         }
@@ -645,12 +676,13 @@ mod tests {
     #[test]
     fn consecutive_timeouts_back_off_exponentially() {
         let mut s = sender(100_000);
-        let _ = s.take_ready(SimTime::ZERO);
+        let _ = ready(&mut s, SimTime::ZERO);
         assert_eq!(s.rto(), SimDuration::from_millis(2), "base RTO");
         let mut t = SimTime::from_millis(3);
         let mut expected_ms = 2u64;
         for i in 1..=7u32 {
-            let a = s.on_timeout(t, s.timer_generation());
+            let generation = s.timer_generation();
+            let (a, _) = timeout(&mut s, t, generation);
             assert!(a.rearm_timer);
             assert_eq!(s.backoff(), i);
             expected_ms = (expected_ms * 2).min(64);
@@ -662,7 +694,7 @@ mod tests {
             t += s.rto();
         }
         // Forward progress resets the backoff.
-        let a = s.on_ack(t, 1_000, false);
+        let (a, _) = ack(&mut s, t, 1_000, false);
         assert!(a.rearm_timer);
         assert_eq!(s.backoff(), 0);
         assert_eq!(s.rto(), SimDuration::from_millis(2));

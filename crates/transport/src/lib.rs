@@ -33,8 +33,11 @@
 //!     Priority::new(1),
 //!     Bytes::new(30_000),
 //! );
-//! // Initial window: packets ready to hand to the NIC.
-//! let burst = s.take_ready(SimTime::ZERO);
+//! // Initial window: packets ready to hand to the NIC. The sender
+//! // appends into a caller-owned buffer so the per-ACK hot path can
+//! // reuse one scratch Vec instead of allocating.
+//! let mut burst = Vec::new();
+//! s.take_ready(SimTime::ZERO, &mut burst);
 //! assert!(!burst.is_empty());
 //! ```
 

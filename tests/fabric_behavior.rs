@@ -243,6 +243,10 @@ fn hybrid_golden_digest() -> (usize, u64, u64, u64, u64, usize) {
     sim.run_until_done(SimTime::ZERO + window + SimDuration::from_millis(20));
 
     let r = sim.results();
+    assert_eq!(
+        r.queue.past_clamps, 0,
+        "a correct model never schedules into the past"
+    );
     let fct_nanos: u64 = r.fct.records().iter().map(|rec| rec.fct().as_nanos()).sum();
     (
         r.fct.len(),
