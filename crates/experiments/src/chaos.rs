@@ -184,6 +184,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosPoint {
         sample_interval: None,
         trace: TraceConfig::enabled(),
         faults,
+        train: cfg.scale.train,
         ..FabricConfig::default()
     };
     let mut sim = FabricSim::new(topo, fabric_cfg);
@@ -257,7 +258,25 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosPoint {
         violations.push(format!("{} defect events recorded", totals.defects));
     }
 
-    // (4) Every non-victim flow completes. Victims are flows that lost
+    // (4) Scheduler-timer parity: wheel timers fire at their exact
+    // deadline even under fault storms, so no event is ever clamped
+    // forward to "now" and no cancelled timer ever pops. A nonzero
+    // count here means a handler armed a deadline in the past (or a
+    // cancellation leaked), which silently reorders the schedule.
+    if r.queue.past_clamps != 0 {
+        violations.push(format!(
+            "{} past-time clamps (timers must never fire late)",
+            r.queue.past_clamps
+        ));
+    }
+    if r.queue.stale_timer_pops != 0 {
+        violations.push(format!(
+            "{} stale timer pops (cancelled timers must never fire)",
+            r.queue.stale_timer_pops
+        ));
+    }
+
+    // (5) Every non-victim flow completes. Victims are flows that lost
     // a lossless-class packet (no retransmission exists for them);
     // everything else — all TCP, undamaged RDMA — must finish inside
     // the drain.

@@ -121,6 +121,7 @@ pub fn run_hybrid(cfg: &HybridConfig) -> HybridPoint {
         policy: cfg.policy,
         seed: cfg.scale.seed,
         switch: cfg.scale.switch_config(),
+        train: cfg.scale.train,
         ..FabricConfig::default()
     };
     let mut sim = FabricSim::new(topo, fabric_cfg);

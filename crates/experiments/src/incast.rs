@@ -117,6 +117,7 @@ pub fn run_incast(cfg: &IncastConfig) -> IncastPoint {
         policy: cfg.policy,
         seed: cfg.scale.seed,
         switch: cfg.scale.switch_config(),
+        train: cfg.scale.train,
         ..FabricConfig::default()
     };
     let mut sim = FabricSim::new(topo, fabric_cfg);

@@ -1,5 +1,6 @@
 //! Experiment scaling knobs.
 
+use dcn_fabric::TrainConfig;
 use dcn_net::ClosConfig;
 use dcn_sim::{Bytes, SimDuration};
 use dcn_switch::SwitchConfig;
@@ -22,6 +23,10 @@ pub struct ExperimentScale {
     /// scaled-down fabrics shrink it proportionally so buffer *pressure*
     /// (and therefore PFC/drop behaviour) is preserved.
     pub total_buffer: Bytes,
+    /// Host-NIC packet-train coalescing. Off by default — trained runs
+    /// are behaviorally equivalent but not byte-identical to the golden
+    /// digests (see [`TrainConfig`]).
+    pub train: TrainConfig,
 }
 
 impl ExperimentScale {
@@ -34,6 +39,7 @@ impl ExperimentScale {
             drain: SimDuration::from_millis(400),
             seed: 42,
             total_buffer: Bytes::from_mb(4),
+            train: TrainConfig::default(),
         }
     }
 
@@ -46,6 +52,7 @@ impl ExperimentScale {
             drain: SimDuration::from_millis(200),
             seed: 42,
             total_buffer: Bytes::from_kb(500), // 4 MB × 16/128 hosts
+            train: TrainConfig::default(),
         }
     }
 
@@ -58,6 +65,7 @@ impl ExperimentScale {
             drain: SimDuration::from_millis(100),
             seed: 42,
             total_buffer: Bytes::from_kb(250), // 4 MB × 8/128 hosts
+            train: TrainConfig::default(),
         }
     }
 
@@ -87,6 +95,12 @@ impl ExperimentScale {
     /// Replaces the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables host-NIC packet-train coalescing with default limits.
+    pub fn with_trains(mut self) -> Self {
+        self.train = TrainConfig::enabled();
         self
     }
 }

@@ -2,7 +2,7 @@
 //! the dense flow-id → flow-index table the per-packet hot path uses.
 
 use dcn_net::{FlowId, TrafficClass};
-use dcn_sim::{SimDuration, SimTime};
+use dcn_sim::{SimDuration, SimTime, TimerHandle};
 use dcn_transport::{DcqcnReceiver, DcqcnSender, DctcpReceiver, DctcpSender};
 use dcn_workload::FlowSpec;
 
@@ -25,6 +25,21 @@ pub enum FlowRuntime {
     },
 }
 
+/// Wheel-timer handles owned by one flow's sender. Each slot is the
+/// handle of the single outstanding deadline of that kind (`None` when
+/// not armed): re-arming cancels the old entry instead of orphaning a
+/// generation-stamped tombstone in the heap, which is what keeps the
+/// pending-event population bounded for long-lived flows.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowTimers {
+    /// DCTCP retransmission deadline.
+    pub rto: Option<TimerHandle>,
+    /// DCQCN α-decay timer.
+    pub alpha: Option<TimerHandle>,
+    /// DCQCN rate-increase timer.
+    pub rate: Option<TimerHandle>,
+}
+
 /// A flow plus its lifecycle bookkeeping.
 #[derive(Debug)]
 pub struct FlowState {
@@ -32,6 +47,8 @@ pub struct FlowState {
     pub spec: FlowSpec,
     /// The protocol endpoints.
     pub runtime: FlowRuntime,
+    /// Outstanding cancellable timers for this flow.
+    pub timers: FlowTimers,
     /// Whether the FCT record has been emitted.
     pub recorded: bool,
     /// Ideal (empty-network) FCT, computed at registration while every

@@ -48,10 +48,10 @@ mod host;
 mod results;
 mod world;
 
-pub use config::{FabricConfig, PolicyChoice};
+pub use config::{FabricConfig, PolicyChoice, TrainConfig};
 pub use flows::{FlowRuntime, FlowState, FlowTable};
 pub use host::Host;
-pub use results::RunResults;
+pub use results::{RunResults, TrainStats};
 pub use world::{Event, FabricSim, World};
 
 /// Compile-time proof that per-cell fabric construction is `Send`-clean.

@@ -6,6 +6,20 @@ use dcn_metrics::{DropCounters, FctSet, OccupancySeries, PfcCounters};
 use dcn_net::NodeId;
 use dcn_sim::QueueStats;
 
+/// Host-NIC packet-train coalescing counters. Diagnostics only — like
+/// [`QueueStats`], deliberately excluded from [`RunResults::digest`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrainStats {
+    /// Trains committed (each replaced `legs` per-packet completions
+    /// with one wheel timer).
+    pub trains: u64,
+    /// Total legs across all committed trains.
+    pub legs: u64,
+    /// Trains split mid-flight by a PFC XOFF or a competing-priority
+    /// injection (revoked legs went back to their queue).
+    pub splits: u64,
+}
+
 /// Everything the paper's evaluation reads out of a run.
 #[derive(Debug, Clone, Default)]
 pub struct RunResults {
@@ -28,6 +42,8 @@ pub struct RunResults {
     /// part of [`RunResults::digest`], which fingerprints simulated
     /// behavior, not scheduler internals.
     pub queue: QueueStats,
+    /// Packet-train coalescing counters (zero when trains are off).
+    pub trains: TrainStats,
 }
 
 impl RunResults {
@@ -44,6 +60,20 @@ impl RunResults {
     /// digest; the parallel sweep engine's regression tests compare
     /// digests across `--jobs` values to prove scheduling independence.
     pub fn digest(&self) -> u64 {
+        self.digest_inner(true)
+    }
+
+    /// [`RunResults::digest`] minus the event count: fingerprints *what
+    /// the network did* (per-flow records, PFC, drops, occupancy)
+    /// without *how many events it took*. Packet-train coalescing
+    /// replaces N per-packet completions with one timer, so a trained
+    /// run can match an untrained run's behavior digest while their
+    /// full digests necessarily differ.
+    pub fn behavior_digest(&self) -> u64 {
+        self.digest_inner(false)
+    }
+
+    fn digest_inner(&self, include_events: bool) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut h = OFFSET;
@@ -74,7 +104,9 @@ impl RunResults {
             }
         }
         mix(self.unfinished_flows as u64);
-        mix(self.events_processed);
+        if include_events {
+            mix(self.events_processed);
+        }
         h
     }
 }

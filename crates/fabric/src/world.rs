@@ -12,7 +12,7 @@ use dcn_net::{
 };
 use dcn_sim::{
     run_while, BitRate, Bytes, EventQueue, FaultEvent, SimDuration, SimRng, SimTime, Simulation,
-    TraceDropCause, TraceEvent, TraceHandle,
+    TimerHandle, TraceDropCause, TraceEvent, TraceHandle,
 };
 use dcn_switch::{PfcEmit, QueueIndex, SharedMemorySwitch, TxStart};
 use dcn_transport::{
@@ -21,9 +21,9 @@ use dcn_transport::{
 use dcn_workload::FlowSpec;
 
 use crate::config::FabricConfig;
-use crate::flows::{FlowRuntime, FlowState, FlowTable};
-use crate::host::Host;
-use crate::results::RunResults;
+use crate::flows::{FlowRuntime, FlowState, FlowTable, FlowTimers};
+use crate::host::{Host, Train, TrainLeg};
+use crate::results::{RunResults, TrainStats};
 
 /// Events dispatched through the fabric's queue.
 #[derive(Debug)]
@@ -63,26 +63,34 @@ pub enum Event {
         /// The host.
         host: NodeId,
     },
+    /// A host NIC finishes serializing the last leg of a packet train —
+    /// one wheel-armed completion standing in for N per-packet
+    /// [`Event::HostTxComplete`]s. A mid-train split cancels this timer
+    /// and falls back to a plain `HostTxComplete` for the leg on the
+    /// wire. Only scheduled when [`crate::TrainConfig::enable`] is set.
+    HostTrainDone {
+        /// The host.
+        host: NodeId,
+    },
     /// A DCQCN sender's pacing tick: emit the next packet.
     RdmaPace {
         /// The flow.
         flow: FlowId,
     },
-    /// A DCTCP retransmission timer.
+    /// A DCTCP retransmission timer. Armed on the timing wheel through
+    /// a [`TimerHandle`]; a firing timer is live by construction
+    /// because every re-arm cancels the previous deadline.
     Rto {
         /// The flow.
         flow: FlowId,
-        /// Generation stamp; stale timers are discarded.
-        generation: u64,
     },
-    /// A DCQCN reaction-point timer (α decay or rate increase).
+    /// A DCQCN reaction-point timer (α decay or rate increase), armed
+    /// on the timing wheel like [`Event::Rto`].
     RpTimer {
         /// The flow.
         flow: FlowId,
         /// Which timer.
         kind: RpTimerKind,
-        /// Generation stamp; stale timers are discarded.
-        generation: u64,
     },
     /// Periodic buffer-occupancy sampling tick.
     Sample,
@@ -97,6 +105,11 @@ pub enum Event {
     },
     /// A PFC storm-watchdog deadline: if the egress queue is still
     /// paused and still in the same pause episode, force-resume it.
+    /// Also wheel-armed; deadlines are cancelled at every point where a
+    /// fire is provably a no-op (resume, re-pause, port reset). The
+    /// generation stamp stays as defence in depth: a deadline that
+    /// survives to fire against a later episode degrades to exactly the
+    /// legacy stale no-op.
     PfcWatchdog {
         /// The switch.
         node: NodeId,
@@ -136,10 +149,26 @@ pub struct World {
     /// Packets lost on the wire (dead link or corruption) — charged to
     /// the fabric, not any switch's admission counters.
     wire_drops: DropCounters,
+    /// Outstanding storm-watchdog deadlines, indexed
+    /// `[NodeId::index()][QueueIndex::flat()]` (empty for hosts). Each
+    /// slot holds the newest armed deadline's handle plus the
+    /// pause-episode generation it was armed for.
+    watchdog_timers: Vec<Vec<Option<(TimerHandle, u64)>>>,
     /// Reusable buffer for the packets a transport endpoint emits while
     /// handling one event. Taken (`std::mem::take`), drained, and put
     /// back by each handler, so the per-packet hot path never allocates.
     outs_scratch: Vec<Packet>,
+    /// Packet-train coalescing counters (all zero when trains are off).
+    train_stats: TrainStats,
+    /// Deliveries orphaned by a train split, keyed `(flow, seq,
+    /// fire-time)`. The revoked leg's packet went back to the NIC
+    /// queue, so when its already-scheduled `Deliver` fires it is
+    /// swallowed here instead of duplicating the packet on the wire.
+    /// Exact fire-time matching distinguishes the orphan from any
+    /// later retransmission of the same `(flow, seq)`. Empty except in
+    /// the short window between a split and the orphan's fire time, so
+    /// a linear scan is free on the hot path.
+    suppressed_delivers: Vec<(FlowId, u64, SimTime)>,
 }
 
 impl World {
@@ -181,6 +210,14 @@ impl World {
                 }
             }
         }
+        let watchdog_timers = topo
+            .nodes()
+            .iter()
+            .map(|node| match node.kind {
+                dcn_net::NodeKind::Switch => vec![None; node.ports.len() * Priority::COUNT],
+                dcn_net::NodeKind::Host => Vec::new(),
+            })
+            .collect();
         let link_up = vec![true; topo.links().len()];
         let link_ber = vec![0.0; topo.links().len()];
         let fault_rng = SimRng::seed_from_u64(cfg.seed ^ 0xFA01_7EC7_ED00_C0DE);
@@ -201,7 +238,10 @@ impl World {
             link_ber,
             fault_rng,
             wire_drops: DropCounters::new(),
+            watchdog_timers,
             outs_scratch: Vec::new(),
+            train_stats: TrainStats::default(),
+            suppressed_delivers: Vec::new(),
         }
     }
 
@@ -277,6 +317,7 @@ impl World {
         self.flows.push(FlowState {
             spec,
             runtime,
+            timers: FlowTimers::default(),
             recorded: false,
             ideal,
         });
@@ -431,6 +472,128 @@ impl World {
         );
     }
 
+    /// Starts the next host transmission if the NIC is idle and an
+    /// unpaused priority has a packet — as a packet train when enabled
+    /// and eligible, otherwise as the legacy per-packet
+    /// `HostTxComplete`/`Deliver` pair. With trains disabled this makes
+    /// exactly the calls the legacy path made, in the same order, so
+    /// event sequence numbers (and digests) are unchanged.
+    fn host_start(&mut self, now: SimTime, host: NodeId, q: &mut EventQueue<Event>) {
+        let h = self.hosts[host.index()].as_mut().expect("not a host");
+        let Some(tx) = h.try_start() else {
+            return;
+        };
+        if self.cfg.train.enable {
+            self.host_start_train(now, host, tx, q);
+        } else {
+            self.schedule_host_tx(now, host, tx, q);
+        }
+    }
+
+    /// Commits a packet train if the NIC is uncontended (the started
+    /// packet's priority is the *only* non-empty one) and deep enough,
+    /// else falls back to the per-packet pair. Legs serialize
+    /// back-to-back; each leg's `Deliver` is booked up front as a plain
+    /// heap event at the exact time the per-packet path would have
+    /// fired it — the same per-packet scheduling cost as unbatched —
+    /// and one wheel-armed `HostTrainDone` replaces the N
+    /// `HostTxComplete`s. Only the completion rides the wheel: it is
+    /// the one entry a split must cancel; revoked leg deliveries are
+    /// instead suppressed at dispatch (see [`World::split_train`]).
+    fn host_start_train(
+        &mut self,
+        now: SimTime,
+        host: NodeId,
+        tx: TxStart,
+        q: &mut EventQueue<Event>,
+    ) {
+        let max_burst = self.cfg.train.max_burst;
+        let min_queue = self.cfg.train.min_queue;
+        let prio = tx.packet.priority;
+        let link = *self.topo.link_at(host, PortId::new(0));
+        let peer = self.peer_or_defect(now, host, PortId::new(0));
+        let h = self.hosts[host.index()].as_mut().expect("not a host");
+        let eligible = max_burst >= 2
+            && peer.is_some()
+            && h.sole_nonempty() == Some(prio)
+            && h.queued_at(prio) + 1 >= min_queue;
+        if !eligible {
+            self.schedule_host_tx(now, host, tx, q);
+            return;
+        }
+        let peer = peer.expect("checked");
+        let prop = link.propagation;
+        let mut legs = Vec::with_capacity(max_burst.min(h.queued_at(prio) + 1));
+        let mut at = now;
+        let mut commit = |leg_packet: Packet, serialize, start, legs: &mut Vec<TrainLeg>| {
+            let deliver_at = start + serialize + prop;
+            legs.push(TrainLeg {
+                start,
+                serialize,
+                deliver_at,
+                packet: leg_packet.clone(),
+            });
+            q.schedule_at(
+                deliver_at,
+                Event::Deliver {
+                    node: peer.node,
+                    in_port: peer.port,
+                    packet: leg_packet,
+                },
+            );
+        };
+        commit(tx.packet, tx.serialize, at, &mut legs);
+        at += tx.serialize;
+        while legs.len() < max_burst {
+            let Some(qp) = h.pop_front(prio) else {
+                break;
+            };
+            let serialize = h.tx_time(qp.packet.size);
+            commit(qp.packet, serialize, at, &mut legs);
+            at += serialize;
+        }
+        let n_legs = legs.len() as u64;
+        let done = q.schedule_timer_at(at, Event::HostTrainDone { host });
+        h.set_train(Train { prio, legs, done });
+        self.train_stats.trains += 1;
+        self.train_stats.legs += n_legs;
+    }
+
+    /// Splits the active train at `now`: legs already serializing or
+    /// departed keep their booked `Deliver`s; unstarted legs are
+    /// revoked — their stored packet copies go back to the queue front
+    /// in order and their already-scheduled `Deliver`s are marked for
+    /// suppression at dispatch (matched by flow, sequence *and* exact
+    /// fire time, so a retransmission of the same packet can never be
+    /// eaten in the orphan's place). The leg currently on the wire
+    /// completes through a plain `HostTxComplete`, after which normal
+    /// scheduling sees the pause or the competing priority. A leg whose
+    /// start time equals `now` counts as started — ties go to the wire,
+    /// matching the per-packet path when the completion dispatches
+    /// first.
+    fn split_train(&mut self, now: SimTime, host: NodeId, q: &mut EventQueue<Event>) {
+        let h = self.hosts[host.index()].as_mut().expect("not a host");
+        let Some(mut train) = h.take_train() else {
+            return;
+        };
+        q.cancel_timer(train.done);
+        let cur = train
+            .legs
+            .iter()
+            .rposition(|l| l.start <= now)
+            .expect("leg 0 starts at commit time");
+        let revoked = train.legs.split_off(cur + 1);
+        for leg in revoked.into_iter().rev() {
+            self.suppressed_delivers
+                .push((leg.packet.flow, leg.packet.seq, leg.deliver_at));
+            h.requeue_front(leg.packet);
+        }
+        let cur = &train.legs[cur];
+        h.set_in_flight_leg(cur, train.prio);
+        q.schedule_after(cur.start, cur.serialize, Event::HostTxComplete { host });
+        self.train_stats.splits += 1;
+    }
+
     fn host_inject(
         &mut self,
         now: SimTime,
@@ -439,11 +602,17 @@ impl World {
         q: &mut EventQueue<Event>,
     ) {
         let h = self.hosts[host.index()].as_mut().expect("not a host");
-        h.enqueue(packet);
-        let tx = h.try_start();
-        if let Some(tx) = tx {
-            self.schedule_host_tx(now, host, tx, q);
+        // A competing-priority arrival breaks the train's "sole
+        // non-empty priority" invariant (round-robin would interleave
+        // it): split before enqueueing so revoked legs land back in
+        // front in FIFO order. Same-priority arrivals just queue behind
+        // the committed legs.
+        if h.train_priority().is_some_and(|p| p != packet.priority) {
+            self.split_train(now, host, q);
         }
+        let h = self.hosts[host.index()].as_mut().expect("not a host");
+        h.enqueue(packet);
+        self.host_start(now, host, q);
     }
 
     // ---- event handlers ------------------------------------------------
@@ -454,16 +623,9 @@ impl World {
             FlowRuntime::Tcp { sender, .. } => {
                 let mut burst = std::mem::take(&mut self.outs_scratch);
                 sender.take_ready(now, &mut burst);
-                let generation = sender.timer_generation();
                 let rto = sender.rto();
-                q.schedule_after(
-                    now,
-                    rto,
-                    Event::Rto {
-                        flow: spec.id,
-                        generation,
-                    },
-                );
+                self.flows[ix].timers.rto =
+                    Some(q.schedule_timer_after(now, rto, Event::Rto { flow: spec.id }));
                 for p in burst.drain(..) {
                     self.host_inject(now, spec.src, p, q);
                 }
@@ -519,8 +681,9 @@ impl World {
             return; // stray packet from an unregistered flow
         };
         let mut outs = std::mem::take(&mut self.outs_scratch);
-        let mut rearm_rto: Option<(u64, SimDuration)> = None;
-        let mut arm_rp: Option<(SimDuration, u64, SimDuration, u64)> = None;
+        let mut rearm_rto: Option<SimDuration> = None;
+        let mut cancel_rto = false;
+        let mut arm_rp: Option<(SimDuration, SimDuration)> = None;
 
         match (&mut self.flows[ix].runtime, packet.kind) {
             (FlowRuntime::Tcp { receiver, .. }, PacketKind::Data) => {
@@ -568,7 +731,11 @@ impl World {
                     });
                 }
                 if action.rearm_timer {
-                    rearm_rto = Some((sender.timer_generation(), sender.rto()));
+                    rearm_rto = Some(sender.rto());
+                } else if action.completed {
+                    // Last byte ACKed: retire the outstanding deadline
+                    // instead of letting it fire as a stale no-op.
+                    cancel_rto = true;
                 }
             }
             (FlowRuntime::Rdma { receiver, .. }, PacketKind::Data) => {
@@ -579,12 +746,7 @@ impl World {
             (FlowRuntime::Rdma { sender, .. }, PacketKind::Cnp) => {
                 if sender.on_cnp(now) {
                     let cfg = sender.config();
-                    arm_rp = Some((
-                        cfg.alpha_timer,
-                        sender.timer_generation(RpTimerKind::Alpha),
-                        cfg.rate_timer,
-                        sender.timer_generation(RpTimerKind::Rate),
-                    ));
+                    arm_rp = Some((cfg.alpha_timer, cfg.rate_timer));
                 }
                 let t_flow = packet.flow.as_u64();
                 let rate_bps = sender.rate().as_bps();
@@ -615,28 +777,45 @@ impl World {
         self.update_done(ix);
 
         let flow = packet.flow;
-        if let Some((generation, rto)) = rearm_rto {
-            q.schedule_after(now, rto, Event::Rto { flow, generation });
+        if let Some(rto) = rearm_rto {
+            // True re-arm: the old deadline is removed from the wheel
+            // (no tombstone left behind) and a fresh one armed at the
+            // exact queue position where a replacement used to be
+            // scheduled, so sequence-number allocation is unchanged.
+            let timers = &mut self.flows[ix].timers;
+            if let Some(h) = timers.rto.take() {
+                q.cancel_timer(h);
+            }
+            timers.rto = Some(q.schedule_timer_after(now, rto, Event::Rto { flow }));
+        } else if cancel_rto {
+            if let Some(h) = self.flows[ix].timers.rto.take() {
+                q.cancel_timer(h);
+            }
         }
-        if let Some((alpha_after, alpha_gen, rate_after, rate_gen)) = arm_rp {
-            q.schedule_after(
+        if let Some((alpha_after, rate_after)) = arm_rp {
+            let timers = &mut self.flows[ix].timers;
+            if let Some(h) = timers.alpha.take() {
+                q.cancel_timer(h);
+            }
+            if let Some(h) = timers.rate.take() {
+                q.cancel_timer(h);
+            }
+            timers.alpha = Some(q.schedule_timer_after(
                 now,
                 alpha_after,
                 Event::RpTimer {
                     flow,
                     kind: RpTimerKind::Alpha,
-                    generation: alpha_gen,
                 },
-            );
-            q.schedule_after(
+            ));
+            timers.rate = Some(q.schedule_timer_after(
                 now,
                 rate_after,
                 Event::RpTimer {
                     flow,
                     kind: RpTimerKind::Rate,
-                    generation: rate_gen,
                 },
-            );
+            ));
         }
         for p in outs.drain(..) {
             self.host_inject(now, host, p, q);
@@ -681,26 +860,22 @@ impl World {
         self.update_done(ix);
     }
 
-    fn handle_rto(
-        &mut self,
-        now: SimTime,
-        flow: FlowId,
-        generation: u64,
-        q: &mut EventQueue<Event>,
-    ) {
+    fn handle_rto(&mut self, now: SimTime, flow: FlowId, q: &mut EventQueue<Event>) {
         let Some(ix) = self.flow_ix.get(flow) else {
             return;
         };
         let spec = self.flows[ix].spec;
+        // Firing consumed the wheel entry; the stored handle is dead.
+        self.flows[ix].timers.rto = None;
         let FlowRuntime::Tcp { sender, .. } = &mut self.flows[ix].runtime else {
             return;
         };
         let mut outs = std::mem::take(&mut self.outs_scratch);
-        let action = sender.on_timeout(now, generation, &mut outs);
+        let action = sender.on_timeout(now, &mut outs);
         if action.rearm_timer {
-            // rearm_timer is only set when the timeout was not stale, so
-            // this records exactly the RTOs that actually fired.
-            let generation = sender.timer_generation();
+            // A wheel timer only fires while live, so every arrival
+            // here is a real timeout; this records exactly the RTOs
+            // that actually fired.
             let rto = sender.rto();
             let t_flow = flow.as_u64();
             let backoff = sender.backoff();
@@ -709,7 +884,7 @@ impl World {
                 backoff,
                 next_rto_ns: rto.as_nanos(),
             });
-            q.schedule_after(now, rto, Event::Rto { flow, generation });
+            self.flows[ix].timers.rto = Some(q.schedule_timer_after(now, rto, Event::Rto { flow }));
         }
         for p in outs.drain(..) {
             self.host_inject(now, spec.src, p, q);
@@ -722,30 +897,29 @@ impl World {
         now: SimTime,
         flow: FlowId,
         kind: RpTimerKind,
-        generation: u64,
         q: &mut EventQueue<Event>,
     ) {
         let Some(ix) = self.flow_ix.get(flow) else {
             return;
         };
+        // Firing consumed the wheel entry; the stored handle is dead.
+        match kind {
+            RpTimerKind::Alpha => self.flows[ix].timers.alpha = None,
+            RpTimerKind::Rate => self.flows[ix].timers.rate = None,
+        }
         let FlowRuntime::Rdma { sender, .. } = &mut self.flows[ix].runtime else {
             return;
         };
-        if sender.on_timer(kind, generation) {
+        if sender.on_timer(kind) {
             let period = match kind {
                 RpTimerKind::Alpha => sender.config().alpha_timer,
                 RpTimerKind::Rate => sender.config().rate_timer,
             };
-            let generation = sender.timer_generation(kind);
-            q.schedule_after(
-                now,
-                period,
-                Event::RpTimer {
-                    flow,
-                    kind,
-                    generation,
-                },
-            );
+            let h = q.schedule_timer_after(now, period, Event::RpTimer { flow, kind });
+            match kind {
+                RpTimerKind::Alpha => self.flows[ix].timers.alpha = Some(h),
+                RpTimerKind::Rate => self.flows[ix].timers.rate = Some(h),
+            }
         }
     }
 
@@ -843,7 +1017,7 @@ impl World {
         if frame.pause && !was_paused {
             if let Some(threshold) = watchdog {
                 let generation = sw.pause_generation(q_out);
-                q.schedule_after(
+                let handle = q.schedule_timer_after(
                     now,
                     threshold,
                     Event::PfcWatchdog {
@@ -853,6 +1027,19 @@ impl World {
                         generation,
                     },
                 );
+                // This new episode bumped the generation, so any older
+                // deadline still armed on this queue could only fire as
+                // a stale no-op — cancelling it is behaviour-preserving.
+                let slot = &mut self.watchdog_timers[node.index()][q_out.flat()];
+                if let Some((old, _)) = slot.replace((handle, generation)) {
+                    q.cancel_timer(old);
+                }
+            }
+        } else if !frame.pause && was_paused {
+            // Resumed: a later pause starts a fresh generation, so the
+            // pending deadline can never fire meaningfully again.
+            if let Some((old, _)) = self.watchdog_timers[node.index()][q_out.flat()].take() {
+                q.cancel_timer(old);
             }
         }
         if let Some(tx) = tx {
@@ -866,11 +1053,15 @@ impl World {
     fn host_pfc(&mut self, now: SimTime, node: NodeId, frame: PfcFrame, q: &mut EventQueue<Event>) {
         let h = self.hosts[node.index()].as_mut().expect("host");
         h.set_paused(frame.priority, frame.pause);
-        if !frame.pause {
-            let tx = h.try_start();
-            if let Some(tx) = tx {
-                self.schedule_host_tx(now, node, tx, q);
+        if frame.pause {
+            // An XOFF of the train's own priority revokes every leg not
+            // yet on the wire; pauses of other priorities cannot affect
+            // a committed train (its legs are all one priority).
+            if h.train_priority() == Some(frame.priority) {
+                self.split_train(now, node, q);
             }
+        } else {
+            self.host_start(now, node, q);
         }
     }
 
@@ -905,6 +1096,18 @@ impl World {
                 // (they can only have come from this uplink).
                 for end in [l.a, l.b] {
                     if self.switches[end.node.index()].is_some() {
+                        // The reset forgets the port's pause state and any
+                        // later pause starts a fresh generation, so every
+                        // pending storm deadline on it is now a guaranteed
+                        // no-op — cancel them all.
+                        for prio in Priority::all() {
+                            let flat = QueueIndex::new(end.port, prio).flat();
+                            if let Some((h, _)) =
+                                self.watchdog_timers[end.node.index()][flat].take()
+                            {
+                                q.cancel_timer(h);
+                            }
+                        }
                         let tx = self.switches[end.node.index()]
                             .as_mut()
                             .expect("checked")
@@ -919,13 +1122,7 @@ impl World {
                                 .expect("checked")
                                 .set_paused(prio, false);
                         }
-                        let tx = self.hosts[end.node.index()]
-                            .as_mut()
-                            .expect("checked")
-                            .try_start();
-                        if let Some(tx) = tx {
-                            self.schedule_host_tx(now, end.node, tx, q);
-                        }
+                        self.host_start(now, end.node, q);
                     }
                 }
             }
@@ -972,6 +1169,20 @@ impl Simulation for World {
                 in_port,
                 packet,
             } => {
+                // A delivery orphaned by a train split: its packet was
+                // requeued at the NIC, so this event must vanish — and
+                // before `wire_filter`, which would otherwise burn a
+                // corruption-RNG draw the unbatched run never makes.
+                if !self.suppressed_delivers.is_empty() {
+                    if let Some(pos) = self
+                        .suppressed_delivers
+                        .iter()
+                        .position(|&(f, s, at)| f == packet.flow && s == packet.seq && at == now)
+                    {
+                        self.suppressed_delivers.swap_remove(pos);
+                        return;
+                    }
+                }
                 let Some(packet) = self.wire_filter(now, node, in_port, packet) else {
                     return;
                 };
@@ -1007,17 +1218,17 @@ impl Simulation for World {
             }
             Event::HostTxComplete { host } => {
                 let h = self.hosts[host.index()].as_mut().expect("host");
-                if let Some(tx) = h.tx_complete() {
-                    self.schedule_host_tx(now, host, tx, q);
-                }
+                h.finish_tx();
+                self.host_start(now, host, q);
+            }
+            Event::HostTrainDone { host } => {
+                let h = self.hosts[host.index()].as_mut().expect("host");
+                h.finish_train();
+                self.host_start(now, host, q);
             }
             Event::RdmaPace { flow } => self.handle_rdma_pace(now, flow, q),
-            Event::Rto { flow, generation } => self.handle_rto(now, flow, generation, q),
-            Event::RpTimer {
-                flow,
-                kind,
-                generation,
-            } => self.handle_rp_timer(now, flow, kind, generation, q),
+            Event::Rto { flow } => self.handle_rto(now, flow, q),
+            Event::RpTimer { flow, kind } => self.handle_rp_timer(now, flow, kind, q),
             Event::Sample => self.handle_sample(now, q),
             Event::Fault { fault } => self.apply_fault(now, fault, q),
             Event::PfcWatchdog {
@@ -1026,6 +1237,13 @@ impl Simulation for World {
                 prio,
                 generation,
             } => {
+                // If this very deadline is the one on record, firing
+                // consumed its wheel entry — forget the dead handle.
+                let slot =
+                    &mut self.watchdog_timers[node.index()][QueueIndex::new(port, prio).flat()];
+                if slot.is_some_and(|(_, g)| g == generation) {
+                    *slot = None;
+                }
                 let tx = self.switches[node.index()]
                     .as_mut()
                     .expect("switch")
@@ -1091,7 +1309,17 @@ impl FabricSim {
         run_while(&mut self.world, &mut self.queue, |w, t| {
             t < deadline && w.done_flows() < total
         });
-        self.world.done_flows() == total
+        let done = self.world.done_flows() == total;
+        if !done {
+            // Deadline exit: account for the cancelled timers a
+            // tombstoning queue would have popped as stale no-ops
+            // inside the window. On the done exit the loop stopped at
+            // the completing event's key, which `finish_pop` already
+            // absorbed up to — exactly where a tombstoning pop loop
+            // would have stopped.
+            self.queue.absorb_ghosts_before(deadline);
+        }
+        done
     }
 
     /// The world (for inspection).
@@ -1127,9 +1355,13 @@ impl FabricSim {
     /// simulator stays usable).
     pub fn results(&self) -> RunResults {
         let mut r = RunResults {
-            events_processed: self.queue.processed(),
+            // Dispatched events plus absorbed ghosts: byte-identical to
+            // what a tombstoning queue would have popped, so the golden
+            // digests survive the wheel migration unchanged.
+            events_processed: self.queue.processed() + self.queue.ghost_pops(),
             unfinished_flows: self.world.flow_count() - self.world.done_flows(),
             queue: self.queue.stats(),
+            trains: self.world.train_stats,
             ..RunResults::default()
         };
         for rec in &self.world.fct {

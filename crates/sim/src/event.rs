@@ -4,32 +4,43 @@
 //! scheduled time, breaking ties by insertion order so that runs are fully
 //! deterministic regardless of heap internals.
 //!
-//! # Internals: indexed 4-ary heap + event slab
+//! # Internals: indexed 4-ary heap + timing wheel + event slab
 //!
-//! The priority queue is a hand-rolled 4-ary array heap whose entries are
-//! 16 bytes — the scheduled [`SimTime`] plus a packed `(seq, slot)` key —
-//! while the event payloads live out-of-line in a generational [`Slab`]
-//! with an intrusive free-list. Two consequences:
+//! The queue is two structures behind one dispatch order:
 //!
-//! * **Sifts move 16 bytes**, not `16 + size_of::<E>()` bytes. With a
-//!   fabric event inlining a full packet (~100 B) the std
-//!   `BinaryHeap<(time, seq, E)>` moved ~7× more memory per level.
-//! * **Steady-state dispatch allocates nothing**: the heap `Vec` and the
-//!   slab only grow to the run's high-water mark of pending events, and
-//!   the slab's free-list recycles slots LIFO after that.
+//! * **Fire-and-forget events** (packets, link completions, samples) go
+//!   to a hand-rolled 4-ary array heap whose entries are 16 bytes — the
+//!   scheduled [`SimTime`] plus a packed `(seq, slot)` key — while the
+//!   event payloads live out-of-line in a generational [`Slab`] with an
+//!   intrusive free-list. Sifts move 16 bytes, not `16 + size_of::<E>()`,
+//!   and steady-state dispatch allocates nothing.
+//! * **Cancellable timers** (RTO deadlines, DCQCN rate/alpha timers, PFC
+//!   watchdogs) go to a hierarchical timing wheel ([`crate::wheel`]) via
+//!   [`EventQueue::schedule_timer_at`], which returns a [`TimerHandle`]
+//!   for true O(1) cancel/re-arm. Re-arming a timer *removes* the old
+//!   entry instead of leaving a tombstone in the heap, so the pending
+//!   population no longer grows with every ACK on a live flow.
 //!
-//! A 4-ary layout halves tree depth versus a binary heap (log₄ vs log₂),
-//! trading two extra comparisons per level for half the cache-missing
-//! hops — the standard win for small keys (see `Slab` for the payloads).
+//! The dispatcher merges the two sources deterministically: wheel entries
+//! that come due are staged into a small `due` min-heap keyed by the same
+//! `(time, seq)` order the main heap uses, and [`EventQueue::pop`] always
+//! returns the global minimum. Timer arms consume insertion sequence
+//! numbers exactly where the tombstoning engine scheduled replacement
+//! events, so the dispatch stream is byte-identical to the old engine's
+//! (golden digests included) — see DESIGN.md §4.8.
 //!
-//! Determinism is unchanged: entries are totally ordered by
-//! `(time, seq)` where `seq` is the insertion number, so `pop` returns
-//! exactly the sequence the previous `BinaryHeap` implementation did
-//! (verified by the differential property tests in
-//! `crates/sim/tests/event_queue_differential.rs`).
+//! Cancelled timers leave a *ghost* — their `(time, seq)` key — which is
+//! lazily absorbed when dispatch passes that key. Ghost pops are exactly
+//! the pops the tombstoning engine spent on dead entries, so
+//! `processed + ghost_pops` reproduces the legacy `events_processed`
+//! count that the result digests pin.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::slab::Slab;
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::{Cancelled, TimerHandle, Wheel};
 
 /// A model that consumes events and schedules new ones.
 ///
@@ -69,27 +80,49 @@ impl Entry {
     }
 }
 
+/// A staged wheel entry awaiting dispatch: `(at, ord, node, generation)`.
+/// Ordered by `(at, ord)` — node and generation only validate the entry
+/// against cancel-after-staging at pop time.
+type DueEntry = (SimTime, u64, u32, u32);
+
 /// Scheduler counters for perf reporting and model-bug detection.
 ///
 /// Returned by [`EventQueue::stats`]; all plain data, so results can ship
 /// it across threads.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueueStats {
-    /// Events currently pending.
+    /// Events currently pending (heap + wheel + staged timers).
     pub pending: usize,
     /// High-water mark of pending events over the queue's lifetime.
     pub max_pending: usize,
-    /// Heap levels at the high-water mark (sift work is bounded by this).
+    /// Heap levels at the *heap's* high-water mark (sift work is bounded
+    /// by this; wheel timers never sift).
     pub max_depth: u32,
     /// Bytes moved per sift step: the size of one heap entry.
     pub entry_bytes: usize,
     /// Slots ever allocated in the event slab (its high-water mark).
     pub slab_capacity: usize,
-    /// Total events popped.
+    /// Events dispatched to the model.
     pub processed: u64,
-    /// Times `schedule_at` clamped a past timestamp up to `now`. Always
-    /// zero in a correct model; see [`EventQueue::past_clamps`].
+    /// Times a schedule call clamped a past timestamp up to `now`.
+    /// Always zero in a correct model; see [`EventQueue::past_clamps`].
+    /// Wheel-routed timers count here identically to heap events.
     pub past_clamps: u64,
+    /// Timers currently armed (filed in the wheel or staged for
+    /// dispatch).
+    pub timers_pending: usize,
+    /// Timers cancelled or re-armed before firing. Each one the
+    /// tombstoning engine would have left to rot in the heap.
+    pub timer_cancels: u64,
+    /// Cancelled-timer keys lazily absorbed at dispatch: exactly the
+    /// pops the tombstoning engine spent discarding dead entries, kept
+    /// so `processed + ghost_pops` matches its `events_processed`.
+    pub ghost_pops: u64,
+    /// Timer events dispatched to the model after their handle was
+    /// cancelled. Structurally zero with the wheel (cancellation removes
+    /// the entry before dispatch); a nonzero value means tombstoning has
+    /// crept back in. Asserted zero by the golden and chaos checks.
+    pub stale_timer_pops: u64,
 }
 
 /// A time-ordered event queue with deterministic FIFO tie-breaking.
@@ -109,12 +142,26 @@ pub struct QueueStats {
 pub struct EventQueue<E> {
     heap: Vec<Entry>,
     slab: Slab<E>,
+    wheel: Wheel,
+    /// Wheel entries that have come due, merged with heap pops in
+    /// `(time, seq)` order. Usually a handful of entries.
+    due: BinaryHeap<Reverse<DueEntry>>,
+    /// Live entries in `due` (cancel-after-staging leaves stale heap
+    /// entries that are skipped, not removed).
+    due_live: usize,
+    /// `(time, seq)` keys of cancelled timers, absorbed lazily as
+    /// dispatch passes them. See [`QueueStats::ghost_pops`].
+    ghosts: BinaryHeap<Reverse<(SimTime, u64)>>,
     /// Next insertion sequence number (the FIFO tie-break).
     seq: u32,
     now: SimTime,
     processed: u64,
+    ghost_pops: u64,
+    timer_cancels: u64,
+    stale_timer_pops: u64,
     past_clamps: u64,
     max_pending: usize,
+    max_heap: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -129,12 +176,45 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: Vec::new(),
             slab: Slab::new(),
+            wheel: Wheel::new(),
+            due: BinaryHeap::new(),
+            due_live: 0,
+            ghosts: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
             processed: 0,
+            ghost_pops: 0,
+            timer_cancels: 0,
+            stale_timer_pops: 0,
             past_clamps: 0,
             max_pending: 0,
+            max_heap: 0,
         }
+    }
+
+    /// Clamps a requested time into the non-past, counting violations.
+    #[inline]
+    fn clamp_time(&mut self, at: SimTime) -> SimTime {
+        if at < self.now {
+            self.past_clamps += 1;
+            self.now
+        } else {
+            at
+        }
+    }
+
+    /// Allocates the payload slot and packed `(seq, slot)` key for one
+    /// scheduled entry — shared by heap events and wheel timers so both
+    /// consume insertion numbers from the same sequence.
+    #[inline]
+    fn admit(&mut self, event: E) -> u64 {
+        if self.seq == u32::MAX {
+            self.renumber();
+        }
+        let handle = self.slab.insert(event);
+        let ord = (u64::from(self.seq) << 32) | u64::from(handle.slot);
+        self.seq += 1;
+        ord
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -144,21 +224,12 @@ impl<E> EventQueue<E> {
     /// which correctness tests assert to be zero — a latent model bug
     /// cannot hide behind the clamp.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        let at = if at < self.now {
-            self.past_clamps += 1;
-            self.now
-        } else {
-            at
-        };
-        if self.seq == u32::MAX {
-            self.renumber();
-        }
-        let handle = self.slab.insert(event);
-        let ord = (u64::from(self.seq) << 32) | u64::from(handle.slot);
-        self.seq += 1;
+        let at = self.clamp_time(at);
+        let ord = self.admit(event);
         self.heap.push(Entry { at, ord });
         self.sift_up(self.heap.len() - 1);
-        self.max_pending = self.max_pending.max(self.heap.len());
+        self.max_heap = self.max_heap.max(self.heap.len());
+        self.max_pending = self.max_pending.max(self.len());
     }
 
     /// Schedules `event` at `now + delay`.
@@ -166,23 +237,169 @@ impl<E> EventQueue<E> {
         self.schedule_at(now + delay, event);
     }
 
+    /// Arms a cancellable timer at absolute time `at`, returning a handle
+    /// for [`EventQueue::cancel_timer`]. Timers dispatch through
+    /// [`EventQueue::pop`] in the same `(time, seq)` order as heap
+    /// events; past times are clamped and counted exactly like
+    /// [`EventQueue::schedule_at`].
+    pub fn schedule_timer_at(&mut self, at: SimTime, event: E) -> TimerHandle {
+        let at = self.clamp_time(at);
+        let ord = self.admit(event);
+        let handle = self.wheel.insert(at, ord);
+        self.max_pending = self.max_pending.max(self.len());
+        handle
+    }
+
+    /// Arms a cancellable timer at `now + delay`.
+    pub fn schedule_timer_after(
+        &mut self,
+        now: SimTime,
+        delay: SimDuration,
+        event: E,
+    ) -> TimerHandle {
+        self.schedule_timer_at(now + delay, event)
+    }
+
+    /// Cancels an armed timer in O(1), returning its payload. `None` if
+    /// the handle is stale (the timer already fired or was cancelled).
+    ///
+    /// The cancelled deadline's `(time, seq)` key is kept as a ghost and
+    /// absorbed when dispatch passes it, reproducing the pop the
+    /// tombstoning engine would have spent on the dead entry.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> Option<E> {
+        let (at, ord) = match self.wheel.cancel(handle) {
+            Cancelled::Invalid => return None,
+            Cancelled::Filed { at, ord } => (at, ord),
+            Cancelled::Staged { at, ord } => {
+                self.due_live -= 1;
+                (at, ord)
+            }
+        };
+        self.timer_cancels += 1;
+        self.ghosts.push(Reverse((at, ord)));
+        Some(self.slab.take((ord & u64::from(u32::MAX)) as u32))
+    }
+
+    /// Establishes the dispatch invariant: stale due entries are gone
+    /// and the earliest pending key (heap or due) precedes everything
+    /// still filed in the wheel — or all three are empty.
+    fn settle(&mut self) {
+        loop {
+            while let Some(&Reverse((_, _, node, generation))) = self.due.peek() {
+                if self.wheel.is_staged_live(node, generation) {
+                    break;
+                }
+                // Cancelled after staging; already ghosted by the cancel.
+                self.due.pop();
+            }
+            if self.wheel.is_empty() {
+                return;
+            }
+            let target = match self.next_key() {
+                Some((at, _)) if at < self.wheel.bound() => return,
+                Some((at, _)) => at,
+                None => match self.wheel.next_window_end() {
+                    Some(end) => end,
+                    None => return,
+                },
+            };
+            let due = &mut self.due;
+            let due_live = &mut self.due_live;
+            self.wheel.drain_to(target, |at, ord, node, generation| {
+                due.push(Reverse((at, ord, node, generation)));
+                *due_live += 1;
+            });
+        }
+    }
+
+    /// The earliest `(at, ord)` key across the heap and the due stage.
+    /// Only meaningful after [`EventQueue::settle`] (due head live).
+    #[inline]
+    fn next_key(&self) -> Option<(SimTime, u64)> {
+        let heap_key = self.heap.first().map(|e| (e.at, e.ord));
+        let due_key = self.due.peek().map(|r| (r.0 .0, r.0 .1));
+        match (heap_key, due_key) {
+            (Some(h), Some(d)) => Some(h.min(d)),
+            (h, d) => h.or(d),
+        }
+    }
+
     /// Pops the earliest event, advancing the queue's clock to its time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let root = *self.heap.first()?;
+        self.settle();
+        let heap_key = self.heap.first().map(|e| (e.at, e.ord));
+        let due_key = self.due.peek().map(|r| (r.0 .0, r.0 .1));
+        match (heap_key, due_key) {
+            (None, None) => None,
+            (Some(h), d) if d.is_none_or(|d| h < d) => Some(self.pop_heap_top()),
+            _ => Some(self.pop_due_top()),
+        }
+    }
+
+    fn pop_heap_top(&mut self) -> (SimTime, E) {
+        let root = *self.heap.first().expect("pop_heap_top on non-empty heap");
         let last = self.heap.pop().expect("peeked heap is non-empty");
         if !self.heap.is_empty() {
             self.heap[0] = last;
             self.sift_down(0);
         }
         let event = self.slab.take(root.slot());
-        self.now = root.at;
+        self.finish_pop(root.at, root.ord);
+        (root.at, event)
+    }
+
+    fn pop_due_top(&mut self) -> (SimTime, E) {
+        let Reverse((at, ord, node, generation)) = self.due.pop().expect("settled due top");
+        match self.wheel.release_staged(node, generation) {
+            Some(released) => debug_assert_eq!(released, ord),
+            None => {
+                // Unreachable by construction: settle() just validated
+                // this entry. Counted rather than ignored so tombstoning
+                // regressions can't hide.
+                self.stale_timer_pops += 1;
+            }
+        }
+        self.due_live -= 1;
+        let event = self.slab.take((ord & u64::from(u32::MAX)) as u32);
+        self.finish_pop(at, ord);
+        (at, event)
+    }
+
+    /// Advances the clock and absorbs every ghost the tombstoning engine
+    /// would have popped before dispatching this key.
+    fn finish_pop(&mut self, at: SimTime, ord: u64) {
+        while let Some(&Reverse(ghost)) = self.ghosts.peek() {
+            if ghost < (at, ord) {
+                self.ghosts.pop();
+                self.ghost_pops += 1;
+            } else {
+                break;
+            }
+        }
+        self.now = at;
         self.processed += 1;
-        Some((root.at, event))
+    }
+
+    /// Absorbs every ghost strictly before `horizon`, mirroring the pops
+    /// a tombstoning engine would have spent draining dead entries up to
+    /// (but excluding) that time. The run drivers call this when a run
+    /// window closes so `processed + ghost_pops` stays exactly
+    /// comparable across engines.
+    pub fn absorb_ghosts_before(&mut self, horizon: SimTime) {
+        while let Some(&Reverse((at, _))) = self.ghosts.peek() {
+            if at < horizon {
+                self.ghosts.pop();
+                self.ghost_pops += 1;
+            } else {
+                break;
+            }
+        }
     }
 
     /// The time of the earliest pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.first().map(|e| e.at)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.settle();
+        self.next_key().map(|(at, _)| at)
     }
 
     /// The current simulated time (time of the last popped event).
@@ -190,39 +407,51 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Number of pending events.
+    /// Number of pending events (heap events plus armed timers).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.wheel.len() + self.due_live
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
-    /// Total events processed so far (for throughput reporting).
+    /// Events dispatched to the model so far.
     pub fn processed(&self) -> u64 {
         self.processed
     }
 
-    /// How many times [`EventQueue::schedule_at`] was handed a time
-    /// before `now` and clamped it. A correct model never schedules into
-    /// the past, so this is asserted zero by the golden-digest test.
+    /// Cancelled-timer keys absorbed at dispatch. Adding this to
+    /// [`EventQueue::processed`] reproduces the event count of the
+    /// tombstoning engine, which popped (and discarded) each dead entry.
+    pub fn ghost_pops(&self) -> u64 {
+        self.ghost_pops
+    }
+
+    /// How many times a schedule call was handed a time before `now`
+    /// and clamped it. A correct model never schedules into the past, so
+    /// this is asserted zero by the golden-digest and chaos checks.
     pub fn past_clamps(&self) -> u64 {
         self.past_clamps
     }
 
     /// Scheduler counters: pending high-water mark, heap depth, entry
-    /// size, slab capacity, processed events and past-time clamps.
+    /// size, slab capacity, dispatch/ghost/cancel counts and past-time
+    /// clamps.
     pub fn stats(&self) -> QueueStats {
         QueueStats {
-            pending: self.heap.len(),
+            pending: self.len(),
             max_pending: self.max_pending,
-            max_depth: depth_4ary(self.max_pending),
+            max_depth: depth_4ary(self.max_heap),
             entry_bytes: std::mem::size_of::<Entry>(),
             slab_capacity: self.slab.capacity(),
             processed: self.processed,
             past_clamps: self.past_clamps,
+            timers_pending: self.wheel.len() + self.due_live,
+            timer_cancels: self.timer_cancels,
+            ghost_pops: self.ghost_pops,
+            stale_timer_pops: self.stale_timer_pops,
         }
     }
 
@@ -270,28 +499,63 @@ impl<E> EventQueue<E> {
         self.heap[i] = e;
     }
 
-    /// Compacts the 32-bit sequence counter by reassigning pending
-    /// entries the numbers `0..len` in their existing order.
+    /// Compacts the 32-bit sequence counter by reassigning every pending
+    /// key — heap entries, wheel timers, staged timers, and ghosts — the
+    /// numbers `0..n` in their existing order.
     ///
     /// Triggered once per 2³² insertions — in practice never for the
     /// workloads in this repository, but it makes the u32 tie-break safe
-    /// at any run length. Relative `(time, seq)` order is preserved (the
-    /// reassignment is monotone in `seq`), so pop order is unchanged;
-    /// this is covered by `force_renumber` tests.
+    /// at any run length. The reassignment is monotone in `seq`, so every
+    /// pairwise `(time, seq)` comparison (and thus pop order, heap shape
+    /// and ghost absorption) is unchanged; covered by `force_renumber`
+    /// tests and the wheel differential oracle.
     fn renumber(&mut self) {
-        // Pending entries hold distinct live seqs; sorting by `ord`
-        // sorts by seq (high bits) and thus by insertion order.
-        self.heap.sort_unstable_by_key(|e| e.ord);
-        for (i, e) in self.heap.iter_mut().enumerate() {
-            e.ord = ((i as u64) << 32) | u64::from(e.slot());
+        #[derive(Clone, Copy)]
+        enum Src {
+            Heap(u32),
+            Node(u32),
+            Ghost(u32),
         }
-        self.seq = u32::try_from(self.heap.len()).expect("pending fits u32");
-        // Re-establish the heap property bottom-up (O(n)).
-        for i in (0..self.heap.len() / 4 + 1).rev() {
-            if i < self.heap.len() {
-                self.sift_down(i);
+        let mut ghosts: Vec<(SimTime, u64)> = std::mem::take(&mut self.ghosts)
+            .into_iter()
+            .map(|r| r.0)
+            .collect();
+        let mut all: Vec<(u64, Src)> =
+            Vec::with_capacity(self.heap.len() + self.wheel.len() + self.due_live + ghosts.len());
+        for (i, e) in self.heap.iter().enumerate() {
+            all.push((e.ord, Src::Heap(i as u32)));
+        }
+        for (node, ord) in self.wheel.live_nodes() {
+            all.push((ord, Src::Node(node)));
+        }
+        for (i, g) in ghosts.iter().enumerate() {
+            all.push((g.1, Src::Ghost(i as u32)));
+        }
+        // Distinct live seqs: sorting by ord sorts by insertion order.
+        all.sort_unstable_by_key(|&(ord, _)| ord);
+        for (i, &(old, src)) in all.iter().enumerate() {
+            let new_ord = ((i as u64) << 32) | (old & u64::from(u32::MAX));
+            match src {
+                Src::Heap(j) => self.heap[j as usize].ord = new_ord,
+                Src::Node(node) => self.wheel.set_node_ord(node, new_ord),
+                Src::Ghost(j) => ghosts[j as usize].1 = new_ord,
             }
         }
+        self.seq = u32::try_from(all.len()).expect("pending fits u32");
+        // A monotone ord remap preserves every pairwise ordering, so the
+        // heap property still holds; only the derived heaps that copied
+        // ords need rebuilding.
+        self.ghosts = ghosts.into_iter().map(Reverse).collect();
+        let due = std::mem::take(&mut self.due);
+        self.due = due
+            .into_iter()
+            .filter(|&Reverse((_, _, node, generation))| {
+                self.wheel.is_staged_live(node, generation)
+            })
+            .map(|Reverse((at, _old, node, generation))| {
+                Reverse((at, self.wheel.node_ord(node), node, generation))
+            })
+            .collect();
     }
 
     /// Test hook: forces the rare sequence-renumber path.
@@ -315,10 +579,12 @@ fn depth_4ary(n: usize) -> u32 {
 }
 
 /// Runs `sim` until the queue drains or the next event is at or past
-/// `horizon`. Returns the number of events processed.
+/// `horizon`. Returns the number of events dispatched.
 ///
 /// Events scheduled exactly at `horizon` are *not* processed, so
-/// `run_until(.., t)` covers the half-open interval `[start, t)`.
+/// `run_until(.., t)` covers the half-open interval `[start, t)`. Ghosts
+/// of timers cancelled before `horizon` are absorbed when the window
+/// closes (a tombstoning engine would have popped them within it).
 pub fn run_until<S: Simulation>(
     sim: &mut S,
     queue: &mut EventQueue<S::Event>,
@@ -333,11 +599,17 @@ pub fn run_until<S: Simulation>(
         sim.handle(now, ev, queue);
         n += 1;
     }
+    queue.absorb_ghosts_before(horizon);
     n
 }
 
 /// Runs `sim` until the queue drains or `keep_going` returns false
-/// (checked before each event). Returns the number of events processed.
+/// (checked before each event). Returns the number of events dispatched.
+///
+/// Callers that compare event counts against a deadline-bounded engine
+/// should call [`EventQueue::absorb_ghosts_before`] with their own
+/// stopping time afterwards; `run_while` cannot see inside the
+/// predicate.
 pub fn run_while<S: Simulation>(
     sim: &mut S,
     queue: &mut EventQueue<S::Event>,
@@ -469,6 +741,18 @@ mod tests {
     }
 
     #[test]
+    fn timer_past_scheduling_clamps_identically() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(100), 0);
+        q.pop();
+        // Wheel-routed timers share the clamp-and-count path.
+        q.schedule_timer_at(SimTime::from_nanos(40), 7);
+        assert_eq!(q.past_clamps(), 1);
+        let (at, ev) = q.pop().expect("clamped timer fires");
+        assert_eq!((at, ev), (SimTime::from_nanos(100), 7));
+    }
+
+    #[test]
     fn stats_report_high_water_mark_and_entry_size() {
         let mut q = EventQueue::new();
         for i in 0..21u64 {
@@ -486,6 +770,7 @@ mod tests {
         assert_eq!(s.slab_capacity, 21);
         assert_eq!(s.processed, 21);
         assert_eq!(s.past_clamps, 0);
+        assert_eq!(s.stale_timer_pops, 0);
     }
 
     #[test]
@@ -561,5 +846,156 @@ mod tests {
             s.slab_capacity, warm_cap,
             "slab must recycle slots, not allocate"
         );
+    }
+
+    #[test]
+    fn timers_merge_with_heap_events_in_key_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(5), 1);
+        q.schedule_timer_at(SimTime::from_micros(3), 2);
+        q.schedule_at(SimTime::from_micros(3), 3); // later seq, same time
+        q.schedule_timer_at(SimTime::from_micros(9), 4);
+        q.schedule_at(SimTime::from_micros(7), 5);
+        let order: Vec<(u64, i32)> =
+            std::iter::from_fn(|| q.pop().map(|(at, e)| (at.as_nanos() / 1_000, e))).collect();
+        // Ties (3 µs) break by insertion order: timer 2 armed before
+        // event 3 was scheduled.
+        assert_eq!(order, vec![(3, 2), (3, 3), (5, 1), (7, 5), (9, 4)]);
+        assert_eq!(q.stats().stale_timer_pops, 0);
+    }
+
+    #[test]
+    fn cancel_returns_payload_and_goes_stale() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_timer_at(SimTime::from_micros(10), 42);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.cancel_timer(h), Some(42));
+        assert_eq!(q.cancel_timer(h), None, "double cancel");
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.pop(), None);
+        let s = q.stats();
+        assert_eq!(s.timer_cancels, 1);
+        assert_eq!(s.stale_timer_pops, 0);
+    }
+
+    #[test]
+    fn fired_timer_handle_is_stale() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_timer_at(SimTime::from_micros(1), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(1), 1)));
+        assert_eq!(q.cancel_timer(h), None);
+    }
+
+    #[test]
+    fn rearm_storm_keeps_pending_bounded() {
+        // The tombstoning engine grew by one dead entry per re-arm; the
+        // wheel must hold pending constant under arbitrarily long
+        // cancel/re-arm chains.
+        let mut q = EventQueue::new();
+        let mut t = SimTime::ZERO;
+        let mut h = q.schedule_timer_at(t + SimDuration::from_millis(2), 0u64);
+        for i in 0..50_000u64 {
+            t += SimDuration::from_micros(1);
+            // Keep the clock moving like ACK arrivals would.
+            q.schedule_at(t, u64::MAX);
+            q.pop();
+            assert_eq!(q.cancel_timer(h), Some(i));
+            h = q.schedule_timer_at(t + SimDuration::from_millis(2), i + 1);
+            assert!(q.len() <= 1, "re-arm must not tombstone");
+        }
+        let s = q.stats();
+        assert_eq!(s.timer_cancels, 50_000);
+        assert!(s.max_pending <= 2);
+    }
+
+    #[test]
+    fn ghost_pops_reproduce_tombstone_counting() {
+        // Legacy engine: cancel = leave a dead entry that still pops.
+        // New engine: processed + ghost_pops must equal the legacy pop
+        // count for the same schedule.
+        let mut q = EventQueue::new();
+        let h = q.schedule_timer_at(SimTime::from_micros(1), 1);
+        q.schedule_at(SimTime::from_micros(2), 2);
+        q.cancel_timer(h); // ghost at 1 µs
+        assert_eq!(q.pop(), Some((SimTime::from_micros(2), 2)));
+        assert_eq!(q.processed(), 1);
+        assert_eq!(q.ghost_pops(), 1, "ghost absorbed before the 2 µs pop");
+        // A ghost beyond the last dispatch is absorbed by the window
+        // close, exactly where the legacy drain would have popped it.
+        let h2 = q.schedule_timer_at(SimTime::from_micros(5), 3);
+        q.cancel_timer(h2);
+        assert_eq!(q.ghost_pops(), 1);
+        q.absorb_ghosts_before(SimTime::from_micros(10));
+        assert_eq!(q.ghost_pops(), 2);
+    }
+
+    #[test]
+    fn peek_time_sees_wheel_timers() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(5), 1);
+        q.schedule_timer_at(SimTime::from_micros(40), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(40)));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(40), 2)));
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_staged_timers() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_timer_at(SimTime::from_micros(1), 1);
+        q.schedule_at(SimTime::from_micros(1), 2);
+        // Stage the timer by peeking, then cancel it: the phantom must
+        // not be reported as the next event time's occupant.
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(1)));
+        q.cancel_timer(h);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(1), 2)));
+        assert_eq!(q.stats().stale_timer_pops, 0);
+    }
+
+    #[test]
+    fn renumber_covers_timers_and_ghosts() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(3);
+        let mut handles = Vec::new();
+        for i in 0..20 {
+            if i % 2 == 0 {
+                handles.push(Some(q.schedule_timer_at(t, i)));
+            } else {
+                q.schedule_at(t, i);
+                handles.push(None);
+            }
+        }
+        // Cancel a few timers (ghosts), then force the renumber.
+        assert_eq!(q.cancel_timer(handles[4].unwrap()), Some(4));
+        assert_eq!(q.cancel_timer(handles[10].unwrap()), Some(10));
+        q.force_renumber();
+        q.schedule_at(t, 20);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let expect: Vec<i32> = (0..21).filter(|&i| i != 4 && i != 10).collect();
+        assert_eq!(order, expect, "FIFO ties survive renumber across sources");
+        assert_eq!(q.ghost_pops() + q.processed(), 21, "ghosts renumbered too");
+    }
+
+    #[test]
+    fn run_until_absorbs_ghosts_in_window() {
+        struct Noop;
+        impl Simulation for Noop {
+            type Event = u8;
+            fn handle(&mut self, _: SimTime, _: u8, _: &mut EventQueue<u8>) {}
+        }
+        let mut q = EventQueue::new();
+        let h = q.schedule_timer_at(SimTime::from_micros(50), 1);
+        q.cancel_timer(h);
+        // Nothing dispatches, but the ghost lies inside the window: a
+        // tombstoning engine would have popped it.
+        let n = run_until(&mut Noop, &mut q, SimTime::from_millis(1));
+        assert_eq!(n, 0);
+        assert_eq!(q.ghost_pops(), 1);
+        // Ghost at/after the horizon stays (legacy would not have
+        // popped it inside this window either).
+        let h2 = q.schedule_timer_at(SimTime::from_millis(2), 2);
+        q.cancel_timer(h2);
+        run_until(&mut Noop, &mut q, SimTime::from_millis(2));
+        assert_eq!(q.ghost_pops(), 1);
     }
 }

@@ -5,8 +5,11 @@
 //! resolution clock ([`SimTime`]), typed quantities ([`Bytes`], [`BitRate`]),
 //! an indexed 4-ary-heap [`EventQueue`] (16-byte heap entries over a
 //! generational event [`Slab`]) with deterministic FIFO tie-breaking, a
-//! [`Simulation`] driver trait, and seeded random-number helpers
-//! ([`SimRng`]) with the distributions the workload generators need.
+//! hierarchical timing wheel for cancellable timers (armed with
+//! [`EventQueue::schedule_timer_at`], cancelled in O(1) via
+//! [`TimerHandle`]), a [`Simulation`] driver trait, and seeded
+//! random-number helpers ([`SimRng`]) with the distributions the
+//! workload generators need.
 //!
 //! # Example
 //!
@@ -49,6 +52,7 @@ mod slab;
 mod time;
 mod trace;
 mod units;
+mod wheel;
 
 pub use event::{run_until, run_while, EventQueue, QueueStats, Simulation};
 pub use fault::{FaultEvent, FaultSchedule, ScheduledFault};
@@ -61,3 +65,4 @@ pub use trace::{
     TraceRecord, TraceTotals,
 };
 pub use units::{BitRate, Bytes};
+pub use wheel::TimerHandle;

@@ -1,0 +1,349 @@
+//! Differential oracle for the timing wheel: an [`EventQueue`] mixing
+//! plain heap events with wheel timers under cancel/re-arm storms must
+//! pop exactly the `(time, value)` sequence of a reference tombstoning
+//! `BinaryHeap` engine — the engine the wheel replaced — on seeded
+//! random interleavings.
+//!
+//! The reference models cancellation the way the old engine did: the
+//! dead entry stays in the heap and is popped (and discarded) when its
+//! `(time, seq)` key surfaces. The wheel engine instead absorbs a
+//! "ghost" per cancelled key at dispatch, so after every live pop the
+//! two engines must agree not only on the popped event but on the
+//! cumulative dead-pop count (`ghost_pops`). That equality is what
+//! keeps `events_processed` — and therefore the golden digests —
+//! byte-identical across the engine swap.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use dcn_sim::{EventQueue, SimRng, SimTime, TimerHandle};
+
+/// The pre-wheel engine, kept as the oracle: a max-`BinaryHeap` of
+/// reverse-ordered `(time, seq)` entries where cancellation tombstones
+/// the value and the dead entry is popped lazily.
+struct ReferenceQueue {
+    heap: BinaryHeap<Scheduled>,
+    tombstones: HashSet<u64>,
+    seq: u64,
+    now: SimTime,
+    dead_pops: u64,
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    value: u64,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: earliest (time, seq) on top of the max-heap.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl ReferenceQueue {
+    fn new() -> Self {
+        ReferenceQueue {
+            heap: BinaryHeap::new(),
+            tombstones: HashSet::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            dead_pops: 0,
+        }
+    }
+
+    /// Plain events and timers are the same entry kind here; both
+    /// consume one sequence number, mirroring the wheel engine's shared
+    /// `admit` counter.
+    fn schedule_at(&mut self, at: SimTime, value: u64) {
+        let at = at.max(self.now);
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            value,
+        });
+        self.seq += 1;
+    }
+
+    /// Tombstones a pending value; the entry itself stays queued.
+    fn cancel(&mut self, value: u64) {
+        self.tombstones.insert(value);
+    }
+
+    /// Pops the next *live* entry, spending a dead pop on every
+    /// tombstoned entry passed on the way. When only dead entries
+    /// remain they are left queued — the wheel engine likewise absorbs
+    /// a cancelled key only when a live dispatch passes it (trailing
+    /// ghosts wait for the window-close absorb).
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        if !self
+            .heap
+            .iter()
+            .any(|s| !self.tombstones.contains(&s.value))
+        {
+            return None;
+        }
+        while let Some(s) = self.heap.pop() {
+            self.now = s.at;
+            if self.tombstones.remove(&s.value) {
+                self.dead_pops += 1;
+                continue;
+            }
+            return Some((s.at, s.value));
+        }
+        unreachable!("a live entry was present");
+    }
+
+    /// Window close: spends the dead pops of everything still queued,
+    /// mirroring [`EventQueue::absorb_ghosts_before`] at the horizon.
+    fn drain_dead(&mut self) {
+        while let Some(s) = self.heap.pop() {
+            assert!(
+                self.tombstones.remove(&s.value),
+                "only dead entries remain after a live drain"
+            );
+            self.dead_pops += 1;
+        }
+    }
+}
+
+/// A pending wheel timer on the real queue, with the bookkeeping needed
+/// to drive cancels against both engines.
+struct Armed {
+    handle: TimerHandle,
+    value: u64,
+}
+
+struct Harness {
+    real: EventQueue<u64>,
+    oracle: ReferenceQueue,
+    /// Timers armed on the real queue and not yet known to have fired
+    /// or been cancelled.
+    armed: Vec<Armed>,
+    /// Handles whose timers fired or were already cancelled; cancelling
+    /// these again must return `None`.
+    stale: Vec<TimerHandle>,
+    /// Values that left the queues by firing.
+    fired: HashSet<u64>,
+    next_value: u64,
+}
+
+impl Harness {
+    fn new() -> Self {
+        Harness {
+            real: EventQueue::new(),
+            oracle: ReferenceQueue::new(),
+            armed: Vec::new(),
+            stale: Vec::new(),
+            fired: HashSet::new(),
+            next_value: 0,
+        }
+    }
+
+    fn push_event(&mut self, at: SimTime) {
+        let v = self.next_value;
+        self.next_value += 1;
+        self.real.schedule_at(at, v);
+        self.oracle.schedule_at(at, v);
+    }
+
+    fn arm_timer(&mut self, at: SimTime) {
+        let v = self.next_value;
+        self.next_value += 1;
+        let handle = self.real.schedule_timer_at(at, v);
+        self.oracle.schedule_at(at, v);
+        self.armed.push(Armed { handle, value: v });
+    }
+
+    /// Cancels the pending timer at `ix` on both engines, asserting the
+    /// real queue surrenders the right payload. Returns its old value.
+    fn cancel_at(&mut self, ix: usize) -> u64 {
+        let Armed { handle, value } = self.armed.swap_remove(ix);
+        if self.fired.contains(&value) {
+            // Raced: the timer fired since we recorded it. The handle
+            // is stale and cancellation must be a no-op.
+            assert_eq!(self.real.cancel_timer(handle), None, "fired handle");
+            self.stale.push(handle);
+            return value;
+        }
+        assert_eq!(
+            self.real.cancel_timer(handle),
+            Some(value),
+            "live cancel must surrender the payload"
+        );
+        self.oracle.cancel(value);
+        self.stale.push(handle);
+        value
+    }
+
+    /// Pops one event from both engines and asserts full agreement:
+    /// payload, time, and cumulative dead-pop accounting.
+    fn pop_both(&mut self, context: &str) -> Option<(SimTime, u64)> {
+        let a = self.real.pop();
+        let b = self.oracle.pop();
+        assert_eq!(a, b, "pop mismatch ({context})");
+        if let Some((_, v)) = a {
+            self.fired.insert(v);
+            self.armed.retain(|t| t.value != v);
+        }
+        assert_eq!(
+            self.real.ghost_pops(),
+            self.oracle.dead_pops,
+            "ghost accounting diverged ({context})"
+        );
+        a
+    }
+
+    /// Drains both queues, then absorbs the ghosts of cancellations
+    /// later than the last live event — the run-window close the fabric
+    /// drivers perform — and asserts the engines spent the same total
+    /// event budget.
+    fn drain_and_reconcile(&mut self, context: &str) {
+        while self.pop_both(context).is_some() {}
+        self.real
+            .absorb_ghosts_before(SimTime::from_nanos(u64::MAX));
+        self.oracle.drain_dead();
+        assert_eq!(
+            self.real.ghost_pops(),
+            self.oracle.dead_pops,
+            "window-close ghost absorption must cover every cancel ({context})"
+        );
+        assert_eq!(
+            self.real.processed() + self.real.ghost_pops(),
+            self.oracle.seq,
+            "total event budget must match the tombstoning engine ({context})"
+        );
+        assert_eq!(self.real.stats().stale_timer_pops, 0, "({context})");
+        assert_eq!(self.real.past_clamps(), 0, "({context})");
+    }
+}
+
+/// One seeded interleaving of pushes, timer arms, cancels, re-arms and
+/// pops. `tie_span` controls time collisions (small = heavy ties);
+/// `far_span` occasionally schedules far ahead so keys cross wheel
+/// windows and levels (cascade + wrap coverage).
+fn run_case(seed: u64, tie_span: u64, far_span: u64) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut h = Harness::new();
+    for step in 0..800 {
+        let at = |h: &Harness, rng: &mut SimRng| {
+            let span = if far_span > 0 && rng.below(8) == 0 {
+                far_span
+            } else {
+                tie_span
+            };
+            SimTime::from_nanos(h.real.now().as_nanos() + rng.below(span))
+        };
+        match rng.below(10) {
+            0..=2 => {
+                let t = at(&h, &mut rng);
+                h.push_event(t);
+            }
+            3..=5 => {
+                let t = at(&h, &mut rng);
+                h.arm_timer(t);
+            }
+            6 if !h.armed.is_empty() => {
+                // Cancel storm: kill up to 4 pending timers at once.
+                for _ in 0..=rng.below(4) {
+                    if h.armed.is_empty() {
+                        break;
+                    }
+                    let ix = rng.below(h.armed.len() as u64) as usize;
+                    h.cancel_at(ix);
+                }
+            }
+            7 if !h.armed.is_empty() => {
+                // Re-arm storm: cancel + immediately arm a replacement,
+                // sometimes at the exact same instant (RTO push-out).
+                let ix = rng.below(h.armed.len() as u64) as usize;
+                h.cancel_at(ix);
+                let t = at(&h, &mut rng);
+                h.arm_timer(t);
+            }
+            8 if !h.stale.is_empty() => {
+                // Double-cancel: a stale handle must stay a no-op.
+                let ix = rng.below(h.stale.len() as u64) as usize;
+                let handle = h.stale[ix];
+                assert_eq!(h.real.cancel_timer(handle), None, "stale handle");
+            }
+            _ => {
+                h.pop_both(&format!("seed {seed} step {step}"));
+            }
+        }
+    }
+    h.drain_and_reconcile(&format!("seed {seed}"));
+}
+
+#[test]
+fn wheel_differential_random_interleaving_64_seeds() {
+    for seed in 0..64 {
+        run_case(0x0EE1_0000 + seed, 2_000, 0);
+    }
+}
+
+#[test]
+fn wheel_differential_heavy_ties_64_seeds() {
+    // tie_span 3: nearly every pending key shares a timestamp, so the
+    // shared insertion sequence does all the ordering work — the case
+    // where a wheel that merged non-deterministically would diverge.
+    for seed in 0..64 {
+        run_case(0x0EE2_0000 + seed, 3, 0);
+    }
+}
+
+#[test]
+fn wheel_differential_cross_window_cascades_64_seeds() {
+    // Far keys land in outer wheel levels and cascade inward as time
+    // advances; cancels must find them at every residence.
+    for seed in 0..64 {
+        run_case(0x0EE3_0000 + seed, 500, 40_000_000);
+    }
+}
+
+#[test]
+fn wheel_differential_survives_renumber() {
+    // The u32-seq compaction renumbers heap entries, filed and staged
+    // timers, and ghosts in one monotone pass; pop order and ghost
+    // accounting must be unaffected even mid-storm.
+    for seed in 0..16 {
+        let mut rng = SimRng::seed_from_u64(0x0EE4_0000 + seed);
+        let mut h = Harness::new();
+        for step in 0..400 {
+            let t = SimTime::from_nanos(h.real.now().as_nanos() + rng.below(50));
+            match rng.below(6) {
+                0 | 1 => h.push_event(t),
+                2 | 3 => h.arm_timer(t),
+                4 if !h.armed.is_empty() => {
+                    let ix = rng.below(h.armed.len() as u64) as usize;
+                    h.cancel_at(ix);
+                }
+                _ => {
+                    h.pop_both(&format!("renumber seed {seed} step {step}"));
+                }
+            }
+            if step % 61 == 0 {
+                h.real.force_renumber();
+            }
+        }
+        h.drain_and_reconcile(&format!("renumber seed {seed}"));
+    }
+}

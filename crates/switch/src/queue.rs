@@ -131,6 +131,53 @@ impl EgressPort {
         self.in_flight.take().expect("tx_complete with idle port")
     }
 
+    /// The single priority with queued packets, if *exactly one* FIFO is
+    /// non-empty. `None` when the port is empty or contended — the
+    /// eligibility test for coalescing back-to-back serializations into
+    /// a packet train (round-robin is a no-op over one priority, so a
+    /// train cannot reorder anything the scheduler would interleave).
+    pub fn sole_nonempty(&self) -> Option<Priority> {
+        if self.nonempty != 0 && self.nonempty & (self.nonempty - 1) == 0 {
+            Some(Priority::new(self.nonempty.trailing_zeros() as u8))
+        } else {
+            None
+        }
+    }
+
+    /// Pops the head of one priority FIFO *without* touching the
+    /// in-flight record or the round-robin pointer: a train commits its
+    /// follow-on legs this way, so after the train the port's scheduler
+    /// state is exactly what serving the same packets one-by-one through
+    /// [`EgressPort::start_next`] would have left (each serve of the
+    /// sole priority `p` sets `rr_next` to `p + 1`, which the first
+    /// leg's `start_next` already did).
+    pub fn pop_front(&mut self, priority: Priority) -> Option<QueuedPacket> {
+        let ix = priority.index();
+        let qp = self.queues[ix].pop_front()?;
+        if self.queues[ix].is_empty() {
+            self.nonempty &= !(1 << ix);
+        }
+        Some(qp)
+    }
+
+    /// Pushes a packet back at the *front* of its priority FIFO — the
+    /// inverse of [`EgressPort::pop_front`], used when a split revokes a
+    /// train leg that has not started serializing. Revoking legs in
+    /// reverse commit order restores the original FIFO order.
+    pub fn requeue_front(&mut self, qp: QueuedPacket) {
+        let ix = qp.packet.priority.index();
+        self.queues[ix].push_front(qp);
+        self.nonempty |= 1 << ix;
+    }
+
+    /// Replaces the in-flight record. A train keeps its first leg's
+    /// record in flight; when a split lands mid-train the leg currently
+    /// on the wire takes over, so the eventual `finish_tx` discharges
+    /// the right packet.
+    pub fn set_in_flight(&mut self, inf: InFlight) {
+        self.in_flight = Some(inf);
+    }
+
     /// Bookkeeping of the packet currently being serialized, if any.
     pub fn in_flight(&self) -> Option<&InFlight> {
         self.in_flight.as_ref()
@@ -235,6 +282,101 @@ mod tests {
     #[should_panic(expected = "tx_complete with idle port")]
     fn finish_on_idle_panics() {
         EgressPort::new().finish_tx();
+    }
+
+    #[test]
+    fn sole_nonempty_requires_exactly_one_priority() {
+        let mut p = EgressPort::new();
+        assert_eq!(p.sole_nonempty(), None, "empty port");
+        p.enqueue(qp(3, 1));
+        p.enqueue(qp(3, 2));
+        assert_eq!(p.sole_nonempty(), Some(Priority::new(3)));
+        p.enqueue(qp(1, 3));
+        assert_eq!(p.sole_nonempty(), None, "contended port");
+    }
+
+    #[test]
+    fn pop_front_then_requeue_front_restores_fifo_order() {
+        let mut p = EgressPort::new();
+        for seq in 1..=3 {
+            p.enqueue(qp(3, seq));
+        }
+        let a = p.pop_front(Priority::new(3)).unwrap();
+        let b = p.pop_front(Priority::new(3)).unwrap();
+        assert_eq!((a.packet.seq, b.packet.seq), (1, 2));
+        // Reverse commit order, like a train split revoking legs.
+        p.requeue_front(b);
+        p.requeue_front(a);
+        let served: Vec<u64> = std::iter::from_fn(|| {
+            let s = p.start_next(|_| false)?.seq;
+            p.finish_tx();
+            Some(s)
+        })
+        .collect();
+        assert_eq!(served, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pop_front_clears_nonempty_bit() {
+        let mut p = EgressPort::new();
+        p.enqueue(qp(3, 1));
+        assert!(p.pop_front(Priority::new(3)).is_some());
+        assert_eq!(p.sole_nonempty(), None);
+        assert!(p.pop_front(Priority::new(3)).is_none());
+        assert!(
+            p.start_next(|_| false).is_none(),
+            "scheduler sees the emptied queue"
+        );
+    }
+
+    #[test]
+    fn pop_front_leaves_rr_pointer_equivalent_to_serial_serves() {
+        // Serve 3 packets of priority 3 one-by-one on one port, and as
+        // leg pops after a single start on another: the next contended
+        // round-robin decision must match.
+        let mut serial = EgressPort::new();
+        let mut train = EgressPort::new();
+        for seq in 1..=3 {
+            serial.enqueue(qp(3, seq));
+            train.enqueue(qp(3, seq));
+        }
+        for _ in 0..3 {
+            serial.start_next(|_| false).unwrap();
+            serial.finish_tx();
+        }
+        train.start_next(|_| false).unwrap();
+        train.pop_front(Priority::new(3)).unwrap();
+        train.pop_front(Priority::new(3)).unwrap();
+        train.finish_tx();
+        for p in [&mut serial, &mut train] {
+            p.enqueue(qp(1, 10));
+            p.enqueue(qp(5, 50));
+        }
+        let s = serial.start_next(|_| false).unwrap().seq;
+        let t = train.start_next(|_| false).unwrap().seq;
+        assert_eq!(s, t, "round-robin resumes identically");
+        assert_eq!(s, 50, "rr_next sits just past the served priority");
+    }
+
+    #[test]
+    fn set_in_flight_replaces_record() {
+        let mut p = EgressPort::new();
+        p.enqueue(qp(3, 1));
+        p.start_next(|_| false).unwrap();
+        let replacement = InFlight {
+            flow: FlowId::new(9),
+            seq: 9,
+            priority: Priority::new(3),
+            size: Bytes::new(1_000),
+            in_port: PortId::new(0),
+            charge: Charge {
+                reserved: Bytes::ZERO,
+                pooled: Bytes::ZERO,
+                pool: Pool::Shared,
+            },
+        };
+        p.set_in_flight(replacement);
+        assert_eq!(p.finish_tx().seq, 9);
     }
 
     #[test]

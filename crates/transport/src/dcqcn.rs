@@ -57,7 +57,7 @@ impl Default for DcqcnConfig {
     }
 }
 
-/// Which RP timer fired (both are generation-stamped).
+/// Which RP timer fired (each is armed as a cancellable wheel timer).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RpTimerKind {
     /// The α-decay timer.
@@ -85,8 +85,6 @@ pub struct DcqcnSender {
     b_stage: u32,
     bytes_since_stage: u64,
     ever_cut: bool,
-    alpha_gen: u64,
-    rate_gen: u64,
 }
 
 impl DcqcnSender {
@@ -123,8 +121,6 @@ impl DcqcnSender {
             b_stage: 0,
             bytes_since_stage: 0,
             ever_cut: false,
-            alpha_gen: 0,
-            rate_gen: 0,
         }
     }
 
@@ -151,14 +147,6 @@ impl DcqcnSender {
     /// The next unsent byte offset (for diagnostics).
     pub fn snd_nxt(&self) -> u64 {
         self.snd_nxt
-    }
-
-    /// Generation stamp for timer events of `kind`.
-    pub fn timer_generation(&self, kind: RpTimerKind) -> u64 {
-        match kind {
-            RpTimerKind::Alpha => self.alpha_gen,
-            RpTimerKind::Rate => self.rate_gen,
-        }
     }
 
     /// The configuration (for timer periods).
@@ -202,8 +190,8 @@ impl DcqcnSender {
     }
 
     /// Reacts to a CNP: multiplicative cut, α refresh, stage reset.
-    /// Returns `true` when the caller must (re)start both RP timers at
-    /// the new generations.
+    /// Returns `true` when the caller must cancel any outstanding RP
+    /// timers and (re)arm both afresh.
     pub fn on_cnp(&mut self, _now: SimTime) -> bool {
         self.rt = self.rc;
         self.rc = self.rc.scale(1.0 - self.alpha / 2.0).max(self.cfg.min_rate);
@@ -212,27 +200,20 @@ impl DcqcnSender {
         self.b_stage = 0;
         self.bytes_since_stage = 0;
         self.ever_cut = true;
-        self.alpha_gen += 1;
-        self.rate_gen += 1;
         true
     }
 
-    /// Handles an α-decay timer of `generation`. Returns whether to
-    /// rearm. Stale generations are ignored (no rearm).
-    pub fn on_timer(&mut self, kind: RpTimerKind, generation: u64) -> bool {
+    /// Handles an RP timer firing. Returns whether to rearm. With
+    /// wheel-armed timers a CNP cancels the old deadline outright, so a
+    /// firing timer is always current — no generation check needed.
+    pub fn on_timer(&mut self, kind: RpTimerKind) -> bool {
         match kind {
             RpTimerKind::Alpha => {
-                if generation != self.alpha_gen {
-                    return false;
-                }
                 self.alpha *= 1.0 - self.cfg.g;
                 // Keep decaying while meaningfully non-zero.
                 self.alpha > 1e-4 && self.has_more()
             }
             RpTimerKind::Rate => {
-                if generation != self.rate_gen {
-                    return false;
-                }
                 self.t_stage += 1;
                 self.increase_rate();
                 self.rc < self.line_rate && self.has_more()
@@ -393,11 +374,8 @@ mod tests {
         let mut s = sender(1_000_000);
         s.on_cnp(SimTime::from_micros(10));
         let a = s.alpha();
-        let generation = s.timer_generation(RpTimerKind::Alpha);
-        assert!(s.on_timer(RpTimerKind::Alpha, generation));
+        assert!(s.on_timer(RpTimerKind::Alpha));
         assert!(s.alpha() < a);
-        // Stale timer ignored.
-        assert!(!s.on_timer(RpTimerKind::Alpha, generation.wrapping_sub(1)));
     }
 
     #[test]
@@ -405,10 +383,8 @@ mod tests {
         let mut s = sender(10_000_000);
         s.on_cnp(SimTime::from_micros(10));
         let rt = BitRate::from_gbps(25); // rt was line rate pre-cut
-        let mut generation = s.timer_generation(RpTimerKind::Rate);
         for _ in 0..4 {
-            assert!(s.on_timer(RpTimerKind::Rate, generation));
-            generation = s.timer_generation(RpTimerKind::Rate);
+            assert!(s.on_timer(RpTimerKind::Rate));
         }
         // After several fast-recovery steps Rc approaches Rt = 25 G.
         assert!(s.rate().as_bps() > rt.as_bps() * 9 / 10);
@@ -433,8 +409,7 @@ mod tests {
         // Drive only the timer: after F stages, additive increase raises
         // Rt beyond line-rate-capped fast recovery ceiling.
         for _ in 0..50 {
-            let generation = s.timer_generation(RpTimerKind::Rate);
-            if !s.on_timer(RpTimerKind::Rate, generation) {
+            if !s.on_timer(RpTimerKind::Rate) {
                 break;
             }
         }

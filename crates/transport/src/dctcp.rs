@@ -65,8 +65,8 @@ pub enum TcpEvent {
 /// plain-data side effects.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AckAction {
-    /// Whether the retransmission timer should be (re)armed for
-    /// [`DctcpSender::timer_generation`] at `now + rto`.
+    /// Whether the retransmission timer should be (re)armed at
+    /// `now + rto` (the caller cancels and re-arms its wheel timer).
     pub rearm_timer: bool,
     /// All data acknowledged — the flow is complete at the sender.
     pub completed: bool,
@@ -102,7 +102,6 @@ pub struct DctcpSender {
     recover_seq: u64,
     backoff: u32,
 
-    timer_gen: u64,
     completed: bool,
 }
 
@@ -144,7 +143,6 @@ impl DctcpSender {
             in_recovery: false,
             recover_seq: 0,
             backoff: 0,
-            timer_gen: 0,
             completed: false,
         }
     }
@@ -167,12 +165,6 @@ impl DctcpSender {
     /// Whether all payload has been acknowledged.
     pub fn is_completed(&self) -> bool {
         self.completed
-    }
-
-    /// Generation stamp for the currently valid retransmission timer;
-    /// timer events carrying an older stamp must be discarded.
-    pub fn timer_generation(&self) -> u64 {
-        self.timer_gen
     }
 
     /// Slow-start threshold in bytes (`f64::MAX` until the first cut).
@@ -305,12 +297,11 @@ impl DctcpSender {
             }
 
             if self.snd_una >= self.size {
+                // The caller cancels the outstanding RTO timer.
                 self.completed = true;
-                self.timer_gen += 1; // cancel outstanding timer
                 action.completed = true;
                 return action;
             }
-            self.timer_gen += 1;
             action.rearm_timer = true;
             self.take_ready(now, out);
         } else {
@@ -325,24 +316,19 @@ impl DctcpSender {
                 action.transition = Some(TcpEvent::EnterRecovery {
                     recover_seq: self.recover_seq,
                 });
-                self.timer_gen += 1;
                 action.rearm_timer = true;
             }
         }
         action
     }
 
-    /// Handles a retransmission timeout carrying `generation`,
-    /// appending the go-back-N resend to `out`. Stale timers
-    /// (generation mismatch) are ignored.
-    pub fn on_timeout(
-        &mut self,
-        now: SimTime,
-        generation: u64,
-        out: &mut Vec<Packet>,
-    ) -> AckAction {
+    /// Handles a retransmission timeout, appending the go-back-N resend
+    /// to `out`. With wheel-armed timers every progress ACK cancels and
+    /// re-arms the deadline, so a firing timer is live by construction;
+    /// the completed guard is defence in depth only.
+    pub fn on_timeout(&mut self, now: SimTime, out: &mut Vec<Packet>) -> AckAction {
         let mut action = AckAction::default();
-        if self.completed || generation != self.timer_gen {
+        if self.completed {
             return action;
         }
         // Go-back-N: collapse to one segment and resend from snd_una.
@@ -354,7 +340,6 @@ impl DctcpSender {
         // Consecutive timeouts with no forward progress back the RTO
         // off exponentially (Karn); reset on the next new ACK.
         self.backoff = self.backoff.saturating_add(1);
-        self.timer_gen += 1;
         self.take_ready(now, out);
         action.rearm_timer = true;
         action
@@ -474,9 +459,9 @@ mod tests {
     }
 
     /// Runs one timeout and returns the action plus the resent segments.
-    fn timeout(s: &mut DctcpSender, now: SimTime, generation: u64) -> (AckAction, Vec<Packet>) {
+    fn timeout(s: &mut DctcpSender, now: SimTime) -> (AckAction, Vec<Packet>) {
         let mut out = Vec::new();
-        let a = s.on_timeout(now, generation, &mut out);
+        let a = s.on_timeout(now, &mut out);
         (a, out)
     }
 
@@ -589,14 +574,24 @@ mod tests {
     fn timeout_collapses_window() {
         let mut s = sender(100_000);
         let _ = ready(&mut s, SimTime::ZERO);
-        let generation = s.timer_generation();
-        let (_, resent) = timeout(&mut s, SimTime::from_millis(3), generation);
+        let (_, resent) = timeout(&mut s, SimTime::from_millis(3));
         assert_eq!(resent.len(), 1);
         assert_eq!(resent[0].seq, 0);
         assert_eq!(s.cwnd(), 1_000.0);
-        // Stale generation ignored.
-        let (_, stale) = timeout(&mut s, SimTime::from_millis(4), generation);
-        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn timeout_after_completion_is_ignored() {
+        // Defence in depth: the fabric cancels the RTO wheel timer at
+        // completion, so this cannot fire in a correct run — but a
+        // stray call must still be a no-op.
+        let mut s = sender(500);
+        let _ = ready(&mut s, SimTime::ZERO);
+        let (a, _) = ack(&mut s, SimTime::from_micros(10), 500, false);
+        assert!(a.completed);
+        let (a, resent) = timeout(&mut s, SimTime::from_millis(3));
+        assert_eq!(a, AckAction::default());
+        assert!(resent.is_empty());
     }
 
     #[test]
@@ -681,8 +676,7 @@ mod tests {
         let mut t = SimTime::from_millis(3);
         let mut expected_ms = 2u64;
         for i in 1..=7u32 {
-            let generation = s.timer_generation();
-            let (a, _) = timeout(&mut s, t, generation);
+            let (a, _) = timeout(&mut s, t);
             assert!(a.rearm_timer);
             assert_eq!(s.backoff(), i);
             expected_ms = (expected_ms * 2).min(64);

@@ -1,0 +1,192 @@
+//! Host-NIC packet-train coalescing: trains must change the event
+//! *count*, never the simulated *behavior*. Each test runs the same
+//! scenario with trains off and on and compares behavior digests (per
+//! flow FCTs, PFC, drops, occupancy — everything but the event count)
+//! and, where a flight recorder is attached, the full per-packet trace.
+//!
+//! The scenarios are tie-free by construction (odd fault offsets, a
+//! single transmitting host), so the sequence-number permutation that
+//! batching introduces cannot flip any same-nanosecond tie-break.
+
+use dcn_fabric::{FabricConfig, FabricSim, PolicyChoice, RunResults, TrainConfig};
+use dcn_net::{FlowId, NodeId, Priority, Topology, TrafficClass};
+use dcn_sim::{BitRate, Bytes, FaultSchedule, SimDuration, SimTime, TraceConfig};
+use dcn_workload::FlowSpec;
+
+fn flow(id: u64, src: u32, dst: u32, size: u64, class: TrafficClass, start_ns: u64) -> FlowSpec {
+    FlowSpec {
+        id: FlowId::new(id),
+        src: NodeId::new(src),
+        dst: NodeId::new(dst),
+        size: Bytes::new(size),
+        start: SimTime::from_nanos(start_ns),
+        class,
+        priority: match class {
+            TrafficClass::Lossless => Priority::new(3),
+            TrafficClass::Lossy => Priority::new(1),
+        },
+    }
+}
+
+/// Two hosts behind one switch; 1 µs links at 25 Gb/s (one packet
+/// serializes in ~336 ns, so a 10-segment TCP burst forms a ~3.4 µs
+/// train).
+fn topo() -> Topology {
+    Topology::single_switch(2, BitRate::from_gbps(25), SimDuration::from_micros(1))
+}
+
+struct Run {
+    results: RunResults,
+    trace: String,
+}
+
+fn run(trains: bool, faults: FaultSchedule, flows: &[FlowSpec]) -> Run {
+    let cfg = FabricConfig {
+        policy: PolicyChoice::l2bm(),
+        sample_interval: None,
+        trace: TraceConfig::enabled(),
+        faults,
+        train: if trains {
+            TrainConfig::enabled()
+        } else {
+            TrainConfig::default()
+        },
+        ..FabricConfig::default()
+    };
+    let mut sim = FabricSim::new(topo(), cfg);
+    for f in flows {
+        sim.add_flow(*f);
+    }
+    assert!(
+        sim.run_until_done(SimTime::from_millis(50)),
+        "every flow must finish"
+    );
+    let trace = sim
+        .trace()
+        .with(|rec| rec.to_jsonl())
+        .expect("trace enabled");
+    Run {
+        results: sim.results(),
+        trace,
+    }
+}
+
+#[test]
+fn trains_are_off_by_default() {
+    assert!(!FabricConfig::default().train.enable);
+    assert!(!TrainConfig::default().enable);
+    assert!(TrainConfig::enabled().enable);
+}
+
+/// An uninterrupted burst coalesces into trains, shrinking the event
+/// count while leaving every observable byte of behavior alone.
+#[test]
+fn uncontended_burst_coalesces_without_behavior_change() {
+    let flows = [flow(1, 0, 1, 100_000, TrafficClass::Lossy, 0)];
+    let off = run(false, FaultSchedule::none(), &flows);
+    let on = run(true, FaultSchedule::none(), &flows);
+
+    assert_eq!(off.results.trains.trains, 0, "off means off");
+    assert!(on.results.trains.trains > 0, "deep burst must form trains");
+    assert!(
+        on.results.trains.legs > on.results.trains.trains,
+        "trains must batch more than one leg"
+    );
+    assert!(
+        on.results.events_processed < off.results.events_processed,
+        "coalescing must shrink the event count ({} vs {})",
+        on.results.events_processed,
+        off.results.events_processed,
+    );
+    assert_eq!(
+        on.results.behavior_digest(),
+        off.results.behavior_digest(),
+        "trained behavior must match unbatched behavior"
+    );
+    assert_eq!(on.trace, off.trace, "per-packet traces must be identical");
+}
+
+/// A PFC XOFF of the train's priority lands mid-train: committed legs
+/// keep their delivery times, unstarted legs are revoked, and the
+/// post-split schedule replays the unbatched run packet for packet.
+#[test]
+fn mid_train_pause_split_matches_unbatched() {
+    // 10-segment initial window bursts at t=0; legs end every ~336 ns.
+    // The XOFF lands at 1499 ns — mid-leg-5, off any leg boundary —
+    // and releases 20 µs later.
+    let mut faults = FaultSchedule::none();
+    faults.pause_stuck(
+        0, // host 0
+        0, // its single NIC port
+        1, // the lossy priority carrying the train
+        SimTime::from_nanos(1_499),
+        SimDuration::from_micros(20),
+    );
+    let flows = [flow(1, 0, 1, 100_000, TrafficClass::Lossy, 0)];
+    let off = run(false, faults.clone(), &flows);
+    let on = run(true, faults, &flows);
+
+    assert!(on.results.trains.trains > 0, "the burst must form a train");
+    assert!(
+        on.results.trains.splits > 0,
+        "the XOFF must land mid-train and split it"
+    );
+    assert_eq!(on.results.drops.lossless_packets, 0);
+    assert_eq!(
+        on.results.behavior_digest(),
+        off.results.behavior_digest(),
+        "split must replay the unbatched schedule"
+    );
+    assert_eq!(on.trace, off.trace, "per-packet traces must be identical");
+}
+
+/// A competing-priority packet injected mid-train breaks the sole-
+/// priority invariant: the train splits so round-robin can interleave
+/// exactly as the unbatched scheduler would have.
+#[test]
+fn competing_priority_injection_splits_train() {
+    let flows = [
+        // The lossy burst that forms the train at t=0...
+        flow(1, 0, 1, 100_000, TrafficClass::Lossy, 0),
+        // ...and a lossless flow from the same host starting mid-train.
+        flow(2, 0, 1, 20_000, TrafficClass::Lossless, 1_371),
+    ];
+    let off = run(false, FaultSchedule::none(), &flows);
+    let on = run(true, FaultSchedule::none(), &flows);
+
+    assert!(on.results.trains.trains > 0);
+    assert!(
+        on.results.trains.splits > 0,
+        "the lossless arrival must split the lossy train"
+    );
+    assert_eq!(on.results.drops.lossless_packets, 0);
+    assert_eq!(
+        on.results.behavior_digest(),
+        off.results.behavior_digest(),
+        "round-robin interleaving must match the unbatched run"
+    );
+    assert_eq!(on.trace, off.trace, "per-packet traces must be identical");
+}
+
+/// Wheel timers keep the pending-event population of a long-lived flow
+/// bounded: every RTO re-arm cancels its predecessor instead of
+/// tombstoning it, so the queue never accumulates dead deadlines and
+/// never pops a stale one.
+#[test]
+fn long_lived_flow_pending_events_stay_bounded() {
+    let flows = [flow(1, 0, 1, 5_000_000, TrafficClass::Lossy, 0)];
+    let r = run(false, FaultSchedule::none(), &flows).results;
+    assert_eq!(r.unfinished_flows, 0);
+    assert!(
+        r.fct.len() == 1 && r.events_processed > 10_000,
+        "the transfer must be long-lived ({} events)",
+        r.events_processed
+    );
+    assert!(
+        r.queue.max_pending < 100,
+        "pending events must stay bounded for a single flow, got {}",
+        r.queue.max_pending
+    );
+    assert_eq!(r.queue.stale_timer_pops, 0, "no cancelled timer may pop");
+    assert_eq!(r.queue.past_clamps, 0, "wheel timers never clamp");
+}
