@@ -20,22 +20,29 @@
 //! under sampled fault schedules (link flaps, corruption windows, stuck
 //! PFC pauses) for every policy, with the invariant battery asserted
 //! after each run. `repro chaos --check` is the CI mode: tiny scale, the
-//! 8 fixed fault seeds × 4 policies at `--jobs 1` and `--jobs 8`,
+//! 8 fixed fault seeds × 6 policies at `--jobs 1` and `--jobs 8`,
 //! failing on any digest divergence or invariant violation.
+//!
+//! `repro tournament` runs the six-policy arena — hybrid, websearch-
+//! heavy, incast and chaos cells, multi-seed — and renders the Pareto
+//! table (p99 slowdown / goodput / pause frames / fault degradation,
+//! `mean±CI` per cell). `repro tournament --check` is the CI gate: tiny
+//! scale, two seeds, run at `--jobs 1` and `--jobs 8`, failing on any
+//! per-run digest divergence or invariant violation.
 
 use std::env;
 use std::process::ExitCode;
 
 use dcn_experiments::{
     ablations_opts, chaos, fig10_with, fig11_with, fig3a_with, fig3b_with, fig7_with, fig8_with,
-    fig9_with, standard_variants, table2_with, ExperimentScale, SweepOptions, CHAOS_CHECK_SEEDS,
-    FIG11_FANOUTS, TABLE2_LOADS,
+    fig9_with, standard_variants, table2_with, tournament, ExperimentScale, SweepOptions,
+    CHAOS_CHECK_SEEDS, FIG11_FANOUTS, TABLE2_LOADS,
 };
 use dcn_sim::SimDuration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|ablations|chaos|all> \
+        "usage: repro <fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|ablations|chaos|tournament|all> \
          [--scale tiny|small|paper] [--seed N] [--window-ms N] [--jobs N] [--seeds N] [--check]"
     );
     ExitCode::FAILURE
@@ -47,7 +54,7 @@ fn usage() -> ExitCode {
 fn chaos_check() -> ExitCode {
     let scale = ExperimentScale::tiny();
     eprintln!(
-        "# chaos --check: {} fault seeds x 4 policies, jobs 1 vs 8",
+        "# chaos --check: {} fault seeds x 6 policies, jobs 1 vs 8",
         CHAOS_CHECK_SEEDS.len()
     );
     let serial = chaos(&scale, &CHAOS_CHECK_SEEDS, 1);
@@ -79,6 +86,47 @@ fn chaos_check() -> ExitCode {
         ExitCode::FAILURE
     } else {
         eprintln!("# chaos --check passed: all digests jobs-invariant, no violations");
+        ExitCode::SUCCESS
+    }
+}
+
+/// CI tournament gate: tiny scale, two seed replicates, the full
+/// six-policy × four-arena grid at `--jobs 1` and `--jobs 8`; any
+/// digest divergence, report divergence or invariant violation fails
+/// the process.
+fn tournament_check(seeds: u64) -> ExitCode {
+    let scale = ExperimentScale::tiny();
+    let seeds = seeds.max(2);
+    eprintln!("# tournament --check: 6 policies x 4 arenas x {seeds} seeds, jobs 1 vs 8");
+    let serial = tournament(&scale, seeds, 1);
+    let parallel = tournament(&scale, seeds, 8);
+    let mut failed = false;
+    let (a, b) = (serial.digests(), parallel.digests());
+    if a != b {
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            if x != y {
+                eprintln!("FAIL: run {i}: digest {x:#x} (jobs 1) != {y:#x} (jobs 8)");
+            }
+        }
+        failed = true;
+    }
+    if serial.render() != parallel.render() {
+        eprintln!("FAIL: rendered reports differ between jobs 1 and jobs 8");
+        failed = true;
+    }
+    for v in serial
+        .violations()
+        .iter()
+        .chain(parallel.violations().iter())
+    {
+        eprintln!("FAIL: invariant violation: {v}");
+        failed = true;
+    }
+    println!("{}", serial.render());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("# tournament --check passed: all digests jobs-invariant, no violations");
         ExitCode::SUCCESS
     }
 }
@@ -147,6 +195,33 @@ fn main() -> ExitCode {
                 return usage();
             }
         }
+    }
+
+    if which == "tournament" {
+        return if check {
+            tournament_check(opts.seeds)
+        } else {
+            // Three seeds by default so every table cell is mean±CI.
+            let seeds = if opts.seeds > 1 { opts.seeds } else { 3 };
+            eprintln!(
+                "# tournament: {} hosts, window {}, seed {}, jobs {}, seeds {seeds}",
+                scale.host_count(),
+                scale.window,
+                scale.seed,
+                opts.jobs,
+            );
+            let report = tournament(&scale, seeds, opts.jobs);
+            println!("{}", report.render());
+            let violations = report.violations();
+            for v in &violations {
+                eprintln!("invariant violation: {v}");
+            }
+            if violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        };
     }
 
     if which == "chaos" {

@@ -16,7 +16,7 @@
 
 use dcn_fabric::{FabricConfig, FabricSim, PolicyChoice};
 use dcn_net::{NodeId, Topology, TrafficClass};
-use dcn_sim::{par_map, FaultSchedule, SimDuration, SimRng, SimTime, TraceConfig, TraceEvent};
+use dcn_sim::{par_map, FaultSchedule, SimDuration, SimRng, SimTime, TraceConfig};
 use dcn_workload::{web_search_cdf, FlowSpec, PoissonTraffic};
 
 use crate::hybrid::{split_hosts, RDMA_PRIO, TCP_PRIO};
@@ -206,22 +206,13 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosPoint {
     }
 
     // (2) Trace totals reconcile exactly with the merged run counters.
+    // Victims come from the recorder's never-evicted aggregate set, not
+    // a ring scan: a long run can wrap the ring past the drop records,
+    // which would silently shrink the victim set and false-positive the
+    // unfinished ⊆ victims check below.
     let (totals, victim_flows) = sim
         .trace()
-        .with(|rec| {
-            let mut victims: std::collections::HashSet<u64> = std::collections::HashSet::new();
-            for record in rec.records() {
-                if let TraceEvent::Drop {
-                    flow,
-                    lossless: true,
-                    ..
-                } = record.event
-                {
-                    victims.insert(flow);
-                }
-            }
-            (rec.totals(), victims)
-        })
+        .with(|rec| (rec.totals(), rec.lossless_victims().clone()))
         .expect("chaos runs always trace");
     if totals.drops() != r.drops.lossy_packets + r.drops.lossless_packets {
         violations.push(format!(
@@ -416,9 +407,10 @@ impl ChaosReport {
     }
 }
 
-/// Runs the chaos sweep for every paper policy over `fault_seeds`.
+/// Runs the chaos sweep for every arena policy (all six) over
+/// `fault_seeds`.
 pub fn chaos(scale: &ExperimentScale, fault_seeds: &[u64], jobs: usize) -> ChaosReport {
-    let policies = crate::paper_policies();
+    let policies = crate::all_policies();
     let mut cells: Vec<ChaosConfig> = Vec::new();
     for &policy in &policies {
         cells.push(ChaosConfig::new(scale.clone(), policy, None));

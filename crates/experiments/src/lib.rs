@@ -36,6 +36,7 @@ mod incast;
 mod report;
 mod scale;
 mod sweep;
+mod tournament;
 
 pub use ablations::{
     ablations, ablations_opts, ablations_with, standard_variants, AblationReport, AblationVariant,
@@ -57,6 +58,9 @@ pub use scale::ExperimentScale;
 pub use sweep::{
     fmt_stat, run_hybrid_cells, run_incast_cells, HybridSeedStats, IncastSeedStats, SweepOptions,
 };
+pub use tournament::{
+    tournament, TournamentReport, TournamentRow, TOURNAMENT_FANOUT, TOURNAMENT_FAULT_SEEDS,
+};
 
 /// The four policies every comparison sweeps, in the paper's order.
 pub fn paper_policies() -> Vec<dcn_fabric::PolicyChoice> {
@@ -67,4 +71,16 @@ pub fn paper_policies() -> Vec<dcn_fabric::PolicyChoice> {
         PolicyChoice::abm(),
         PolicyChoice::dt2(),
     ]
+}
+
+/// The full six-policy arena: the paper's four plus the extended
+/// policies (Occamy's preemptive eviction, BShare's delay-target
+/// sharing). This is the lineup the tournament, the chaos battery and
+/// the invariant test suites sweep.
+pub fn all_policies() -> Vec<dcn_fabric::PolicyChoice> {
+    use dcn_fabric::PolicyChoice;
+    let mut v = paper_policies();
+    v.push(PolicyChoice::occamy());
+    v.push(PolicyChoice::bshare());
+    v
 }

@@ -1,0 +1,401 @@
+//! The policy tournament: all six buffer-management policies compete
+//! across four arenas — the fig. 7 hybrid mix, a websearch-heavy
+//! variant, the incast deep-dive and the chaos fault battery — each
+//! replicated over multiple seeds, reported as a Pareto table of
+//! p99 slowdown vs goodput vs pause frames vs fault degradation.
+//!
+//! The tournament rides the existing sweep engine: every `(policy,
+//! replicate)` pair is one independent cell fanned through
+//! [`run_hybrid_cells`] / [`run_incast_cells`] / [`run_chaos_cells`],
+//! so the jobs-invariance contract carries over verbatim — the same
+//! tournament specification renders a byte-identical report (and the
+//! same per-cell digests) at any `--jobs` value. `repro tournament
+//! --check` pins exactly that.
+
+use dcn_fabric::RunResults;
+use dcn_metrics::SeedStats;
+use dcn_sim::SimDuration;
+
+use crate::chaos::{run_chaos_cells, ChaosConfig};
+use crate::hybrid::HybridConfig;
+use crate::incast::IncastConfig;
+use crate::report::{fmt_f64, Table};
+use crate::scale::ExperimentScale;
+use crate::sweep::{fmt_stat, run_hybrid_cells, run_incast_cells, SweepOptions};
+
+/// Fault seeds the tournament's chaos arena injects (a prefix of
+/// [`crate::CHAOS_CHECK_SEEDS`], kept short: the full battery is
+/// `repro chaos`'s job).
+pub const TOURNAMENT_FAULT_SEEDS: [u64; 2] = [11, 23];
+
+/// Responders per incast query in the incast arena (the paper's
+/// headline fanout).
+pub const TOURNAMENT_FANOUT: usize = 5;
+
+/// One `(arena, policy)` row: per-replicate samples of every reported
+/// metric, the digests of all underlying runs, and any invariant
+/// violations the battery collected.
+#[derive(Debug, Clone)]
+pub struct TournamentRow {
+    /// Arena name (`hybrid` / `websearch` / `incast` / `chaos`).
+    pub arena: &'static str,
+    /// Policy label (DT / DT2 / ABM / L2BM / Occamy / BShare).
+    pub label: String,
+    /// Lossless-class p99 FCT slowdown per replicate (incast arena:
+    /// p99 over the incast flows; chaos arena: mean over fault cells).
+    pub p99_slowdown: Vec<f64>,
+    /// Delivered goodput in Gbit/s per replicate.
+    pub goodput_gbps: Vec<f64>,
+    /// PFC pause frames per replicate (chaos arena: mean over fault
+    /// cells).
+    pub pause_frames: Vec<f64>,
+    /// Chaos arena only: goodput delta under faults relative to the
+    /// same replicate's zero-fault baseline, in percent (≤ 0 is a
+    /// degradation). Empty for the other arenas.
+    pub fault_delta_pct: Vec<f64>,
+    /// Digests of every underlying run, in cell order — the byte-level
+    /// jobs-invariance witness.
+    pub digests: Vec<u64>,
+    /// Invariant violations (empty = the battery passed).
+    pub violations: Vec<String>,
+}
+
+impl TournamentRow {
+    fn new(arena: &'static str, label: String) -> Self {
+        TournamentRow {
+            arena,
+            label,
+            p99_slowdown: Vec::new(),
+            goodput_gbps: Vec::new(),
+            pause_frames: Vec::new(),
+            fault_delta_pct: Vec::new(),
+            digests: Vec::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Mean of a metric's finite replicate samples (`NaN` if none).
+    fn mean(samples: &[f64]) -> f64 {
+        let finite: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            f64::NAN
+        } else {
+            finite.iter().sum::<f64>() / finite.len() as f64
+        }
+    }
+}
+
+/// Renders one metric column cell: `mean±CI` over the replicates, the
+/// bare mean with a single replicate, `-` with no finite sample.
+fn cell(samples: &[f64]) -> String {
+    match SeedStats::from_samples(samples) {
+        Some(s) => fmt_stat(Some(&s), fmt_f64(s.mean)),
+        None => "-".into(),
+    }
+}
+
+/// Computes delivered goodput (completed flows' payload over the
+/// traffic window) in Gbit/s.
+fn goodput_gbps(results: &RunResults, window: SimDuration) -> f64 {
+    let delivered: u64 = results.fct.records().iter().map(|x| x.size.as_u64()).sum();
+    delivered as f64 * 8.0 / window.as_secs_f64() / 1e9
+}
+
+/// The tournament result: rows grouped arena-major in policy order.
+#[derive(Debug, Clone)]
+pub struct TournamentReport {
+    /// All `(arena, policy)` rows.
+    pub rows: Vec<TournamentRow>,
+    /// Seed replicates each cell ran.
+    pub seeds: u64,
+}
+
+impl TournamentReport {
+    /// Every invariant violation across all rows (empty = pass).
+    pub fn violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for row in &self.rows {
+            for v in &row.violations {
+                out.push(format!("{}/{}: {v}", row.arena, row.label));
+            }
+        }
+        out
+    }
+
+    /// All run digests in row order — compared across `--jobs` values
+    /// by `repro tournament --check`.
+    pub fn digests(&self) -> Vec<u64> {
+        self.rows.iter().flat_map(|r| r.digests.clone()).collect()
+    }
+
+    /// Policies on the Pareto front of one arena, judged on replicate
+    /// means: lower p99 slowdown, higher goodput, fewer pause frames
+    /// (and, in the chaos arena, smaller goodput degradation) — a
+    /// policy is dropped only if another is at least as good on every
+    /// axis and strictly better on one.
+    pub fn pareto_front(&self, arena: &str) -> Vec<String> {
+        let rows: Vec<&TournamentRow> = self.rows.iter().filter(|r| r.arena == arena).collect();
+        let axes = |r: &TournamentRow| -> Vec<f64> {
+            // All axes oriented "smaller is better".
+            let mut v = vec![
+                TournamentRow::mean(&r.p99_slowdown),
+                -TournamentRow::mean(&r.goodput_gbps),
+                TournamentRow::mean(&r.pause_frames),
+            ];
+            if !r.fault_delta_pct.is_empty() {
+                v.push(-TournamentRow::mean(&r.fault_delta_pct));
+            }
+            v
+        };
+        let dominates = |a: &[f64], b: &[f64]| -> bool {
+            a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+        };
+        rows.iter()
+            .filter(|r| {
+                let mine = axes(r);
+                mine.iter().all(|v| v.is_finite())
+                    && !rows
+                        .iter()
+                        .any(|other| other.label != r.label && dominates(&axes(other), &mine))
+            })
+            .map(|r| r.label.clone())
+            .collect()
+    }
+
+    /// Renders the Pareto table plus per-arena front summaries.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&[
+            "arena",
+            "policy",
+            "p99 slowdown",
+            "goodput Gbps",
+            "pause frames",
+            "fault Δ%",
+            "violations",
+        ]);
+        for row in &self.rows {
+            t.row(vec![
+                row.arena.to_string(),
+                row.label.clone(),
+                cell(&row.p99_slowdown),
+                cell(&row.goodput_gbps),
+                cell(&row.pause_frames),
+                if row.fault_delta_pct.is_empty() {
+                    "-".into()
+                } else {
+                    cell(&row.fault_delta_pct)
+                },
+                row.violations.len().to_string(),
+            ]);
+        }
+        let mut out = format!(
+            "tournament: 6 policies x 4 arenas x {} seed(s)\n{}",
+            self.seeds,
+            t.render()
+        );
+        let mut arenas: Vec<&'static str> = Vec::new();
+        for row in &self.rows {
+            if !arenas.contains(&row.arena) {
+                arenas.push(row.arena);
+            }
+        }
+        for arena in arenas {
+            out.push_str(&format!(
+                "pareto front [{arena}]: {}\n",
+                self.pareto_front(arena).join(", ")
+            ));
+        }
+        out
+    }
+}
+
+/// Reseeds a scale for replicate `rep` (the sweep engine's convention:
+/// `seed + rep`, so replicate 0 is the historical single-seed run).
+fn reseed(scale: &ExperimentScale, rep: u64) -> ExperimentScale {
+    let mut s = scale.clone();
+    s.seed = s.seed.wrapping_add(rep);
+    s
+}
+
+/// Runs the full tournament: all six policies over the four arenas,
+/// each `(policy, arena)` cell replicated `seeds` times, fanned over
+/// `jobs` workers. Row order (and therefore the rendered report and
+/// the digest vector) depends only on the specification.
+pub fn tournament(scale: &ExperimentScale, seeds: u64, jobs: usize) -> TournamentReport {
+    let seeds = seeds.max(1);
+    let n = seeds as usize;
+    let policies = crate::all_policies();
+    let opts = SweepOptions::new(jobs, 1);
+    let mut rows: Vec<TournamentRow> = Vec::new();
+
+    // Hybrid arenas: the fig. 7 mix (RDMA 0.4) at moderate and
+    // websearch-heavy TCP load.
+    for (arena, tcp_load) in [("hybrid", 0.4), ("websearch", 0.8)] {
+        let mut cells = Vec::new();
+        for &policy in &policies {
+            for rep in 0..seeds {
+                cells.push(HybridConfig {
+                    scale: reseed(scale, rep),
+                    policy,
+                    rdma_load: 0.4,
+                    tcp_load,
+                });
+            }
+        }
+        let points = run_hybrid_cells(&cells, &opts);
+        for (pi, &policy) in policies.iter().enumerate() {
+            let mut row = TournamentRow::new(arena, policy.label());
+            for p in &points[pi * n..(pi + 1) * n] {
+                row.p99_slowdown.push(p.rdma_p99_slowdown);
+                row.goodput_gbps
+                    .push(goodput_gbps(&p.results, scale.window));
+                row.pause_frames.push(p.pause_frames as f64);
+                row.digests.push(p.results.digest());
+                if p.lossless_drops != 0 {
+                    row.violations.push(format!(
+                        "{} lossless drops in a fault-free run",
+                        p.lossless_drops
+                    ));
+                }
+            }
+            rows.push(row);
+        }
+    }
+
+    // Incast arena: paper §IV-B defaults at the headline fanout,
+    // clamped so the fanout fits the scale's RDMA host pool (the
+    // workload requires strictly more responder candidates than N).
+    {
+        let fanout = TOURNAMENT_FANOUT.min(scale.host_count() / 2 - 1).max(1);
+        let mut cells = Vec::new();
+        for &policy in &policies {
+            for rep in 0..seeds {
+                cells.push(IncastConfig::paper_defaults(
+                    reseed(scale, rep),
+                    policy,
+                    fanout,
+                ));
+            }
+        }
+        let points = run_incast_cells(&cells, &opts);
+        for (pi, &policy) in policies.iter().enumerate() {
+            let mut row = TournamentRow::new("incast", policy.label());
+            for p in &points[pi * n..(pi + 1) * n] {
+                row.p99_slowdown.push(p.incast_p99_slowdown);
+                row.goodput_gbps
+                    .push(goodput_gbps(&p.results, scale.window));
+                row.pause_frames.push(p.pause_frames as f64);
+                row.digests.push(p.results.digest());
+                if p.lossless_drops != 0 {
+                    row.violations.push(format!(
+                        "{} lossless drops in a fault-free run",
+                        p.lossless_drops
+                    ));
+                }
+            }
+            rows.push(row);
+        }
+    }
+
+    // Chaos arena: per replicate, a zero-fault baseline plus one cell
+    // per fault seed; the reported metrics come from the fault cells,
+    // the degradation is relative to the same replicate's baseline.
+    {
+        let block = 1 + TOURNAMENT_FAULT_SEEDS.len();
+        let mut cells = Vec::new();
+        for &policy in &policies {
+            for rep in 0..seeds {
+                let s = reseed(scale, rep);
+                cells.push(ChaosConfig::new(s.clone(), policy, None));
+                for &fault in &TOURNAMENT_FAULT_SEEDS {
+                    cells.push(ChaosConfig::new(s.clone(), policy, Some(fault)));
+                }
+            }
+        }
+        let points = run_chaos_cells(&cells, jobs);
+        for (pi, &policy) in policies.iter().enumerate() {
+            let mut row = TournamentRow::new("chaos", policy.label());
+            for rep in 0..n {
+                let at = (pi * n + rep) * block;
+                let base = &points[at];
+                let faulted = &points[at + 1..at + block];
+                row.p99_slowdown.push(TournamentRow::mean(
+                    &faulted
+                        .iter()
+                        .map(|p| p.rdma_p99_slowdown)
+                        .collect::<Vec<f64>>(),
+                ));
+                let chaos_goodput = TournamentRow::mean(
+                    &faulted.iter().map(|p| p.goodput_gbps).collect::<Vec<f64>>(),
+                );
+                row.goodput_gbps.push(chaos_goodput);
+                row.pause_frames.push(TournamentRow::mean(
+                    &faulted
+                        .iter()
+                        .map(|p| p.pause_frames as f64)
+                        .collect::<Vec<f64>>(),
+                ));
+                row.fault_delta_pct
+                    .push((chaos_goodput - base.goodput_gbps) / base.goodput_gbps * 100.0);
+                for p in std::iter::once(base).chain(faulted.iter()) {
+                    row.digests.push(p.digest);
+                    for v in &p.violations {
+                        row.violations.push(format!("seed {:?}: {v}", p.fault_seed));
+                    }
+                }
+            }
+            rows.push(row);
+        }
+    }
+
+    TournamentReport { rows, seeds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_tournament_covers_all_cells_and_passes_battery() {
+        let r = tournament(&ExperimentScale::tiny(), 1, 4);
+        assert_eq!(r.rows.len(), 4 * 6, "4 arenas x 6 policies");
+        assert_eq!(r.violations(), Vec::<String>::new());
+        let labels: Vec<&str> = r.rows[..6].iter().map(|x| x.label.as_str()).collect();
+        assert_eq!(labels, ["L2BM", "DT", "ABM", "DT2", "Occamy", "BShare"]);
+        // Chaos rows carry a degradation sample per replicate; the
+        // others do not.
+        assert!(r
+            .rows
+            .iter()
+            .filter(|x| x.arena == "chaos")
+            .all(|x| x.fault_delta_pct.len() == 1));
+        assert!(r
+            .rows
+            .iter()
+            .filter(|x| x.arena != "chaos")
+            .all(|x| x.fault_delta_pct.is_empty()));
+        let rendered = r.render();
+        assert!(rendered.contains("pareto front [hybrid]"));
+        assert!(rendered.contains("Occamy"));
+    }
+
+    #[test]
+    fn pareto_front_drops_dominated_rows() {
+        let mk = |label: &str, p99: f64, goodput: f64, pause: f64| {
+            let mut row = TournamentRow::new("hybrid", label.into());
+            row.p99_slowdown.push(p99);
+            row.goodput_gbps.push(goodput);
+            row.pause_frames.push(pause);
+            row
+        };
+        let r = TournamentReport {
+            rows: vec![
+                mk("A", 2.0, 10.0, 5.0),
+                mk("B", 3.0, 9.0, 6.0), // dominated by A
+                mk("C", 1.5, 8.0, 7.0), // better p99, worse elsewhere
+            ],
+            seeds: 1,
+        };
+        assert_eq!(r.pareto_front("hybrid"), ["A", "C"]);
+    }
+}

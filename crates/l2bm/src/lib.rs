@@ -49,10 +49,12 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+mod bshare;
 mod config;
 mod policy;
 mod sojourn;
 
+pub use bshare::{BShareConfig, BSharePolicy};
 pub use config::{L2bmConfig, Normalization};
 pub use policy::L2bmPolicy;
 pub use sojourn::SojournModule;

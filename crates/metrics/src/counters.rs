@@ -87,6 +87,11 @@ pub struct DropCounters {
     pub lossless_packets: u64,
     /// Lossless bytes dropped — should stay zero.
     pub lossless_bytes: u64,
+    /// Packets preemptively evicted by the buffer policy (a subset of
+    /// `lossy_packets`: every eviction is also recorded as a lossy drop).
+    pub evicted_packets: u64,
+    /// Bytes preemptively evicted (subset of `lossy_bytes`).
+    pub evicted_bytes: u64,
 }
 
 impl DropCounters {
@@ -107,12 +112,24 @@ impl DropCounters {
         self.lossless_bytes += size.as_u64();
     }
 
+    /// Records a preemptive eviction. The evicted packet is lossy by
+    /// construction, so this *also* counts it as a lossy drop — the
+    /// eviction counters are a refinement, not a parallel total, which
+    /// keeps `lossy + lossless == trace drops()` reconciliation exact.
+    pub fn record_evicted(&mut self, size: Bytes) {
+        self.record_lossy(size);
+        self.evicted_packets += 1;
+        self.evicted_bytes += size.as_u64();
+    }
+
     /// Adds another counter set into this one.
     pub fn merge(&mut self, other: &DropCounters) {
         self.lossy_packets += other.lossy_packets;
         self.lossy_bytes += other.lossy_bytes;
         self.lossless_packets += other.lossless_packets;
         self.lossless_bytes += other.lossless_bytes;
+        self.evicted_packets += other.evicted_packets;
+        self.evicted_bytes += other.evicted_bytes;
     }
 }
 
@@ -229,6 +246,20 @@ mod tests {
         let mut e = DropCounters::new();
         e.merge(&d);
         assert_eq!(e.lossy_bytes, 1_500);
+    }
+
+    #[test]
+    fn eviction_refines_lossy_total() {
+        let mut d = DropCounters::new();
+        d.record_evicted(Bytes::new(1_000));
+        assert_eq!(d.evicted_packets, 1);
+        assert_eq!(d.evicted_bytes, 1_000);
+        assert_eq!(d.lossy_packets, 1, "eviction is also a lossy drop");
+        assert_eq!(d.lossy_bytes, 1_000);
+        let mut e = DropCounters::new();
+        e.merge(&d);
+        assert_eq!(e.evicted_packets, 1);
+        assert_eq!(e.lossy_packets, 1);
     }
 
     #[test]

@@ -46,6 +46,10 @@ pub enum TraceDropCause {
     /// The packet was corrupted in flight by an injected bit-error-rate
     /// fault and discarded at the receiver.
     Corrupted,
+    /// The packet was already enqueued but was preemptively evicted by
+    /// the buffer policy to admit a higher-value arrival (Occamy-style
+    /// preemption). Only lossy packets are ever evicted.
+    Evicted,
 }
 
 impl TraceDropCause {
@@ -58,6 +62,7 @@ impl TraceDropCause {
             TraceDropCause::LinkDown => "link_down",
             TraceDropCause::NoRoute => "no_route",
             TraceDropCause::Corrupted => "corrupted",
+            TraceDropCause::Evicted => "evicted",
         }
     }
 }
@@ -467,6 +472,8 @@ pub struct TraceTotals {
     pub drops_no_route: u64,
     /// Drops recorded with cause [`TraceDropCause::Corrupted`].
     pub drops_corrupted: u64,
+    /// Drops recorded with cause [`TraceDropCause::Evicted`].
+    pub drops_evicted: u64,
     /// PFC pause edges recorded.
     pub pfc_pauses: u64,
     /// PFC resume edges recorded.
@@ -490,6 +497,7 @@ impl TraceTotals {
             + self.drops_link_down
             + self.drops_no_route
             + self.drops_corrupted
+            + self.drops_evicted
     }
 }
 
@@ -500,6 +508,7 @@ pub struct FlightRecorder {
     ring: VecDeque<TraceRecord>,
     evicted: u64,
     totals: TraceTotals,
+    lossless_victims: std::collections::BTreeSet<u64>,
 }
 
 impl FlightRecorder {
@@ -513,6 +522,7 @@ impl FlightRecorder {
             ring: VecDeque::with_capacity(cap.min(1 << 16)),
             evicted: 0,
             totals: TraceTotals::default(),
+            lossless_victims: std::collections::BTreeSet::new(),
         }
     }
 
@@ -540,14 +550,25 @@ impl FlightRecorder {
             return;
         }
         match event {
-            TraceEvent::Drop { cause, .. } => match cause {
-                TraceDropCause::AdmissionDeniedIngress => self.totals.drops_ingress += 1,
-                TraceDropCause::AdmissionDeniedEgress => self.totals.drops_egress += 1,
-                TraceDropCause::HeadroomExhausted => self.totals.drops_headroom += 1,
-                TraceDropCause::LinkDown => self.totals.drops_link_down += 1,
-                TraceDropCause::NoRoute => self.totals.drops_no_route += 1,
-                TraceDropCause::Corrupted => self.totals.drops_corrupted += 1,
-            },
+            TraceEvent::Drop {
+                cause,
+                flow,
+                lossless,
+                ..
+            } => {
+                match cause {
+                    TraceDropCause::AdmissionDeniedIngress => self.totals.drops_ingress += 1,
+                    TraceDropCause::AdmissionDeniedEgress => self.totals.drops_egress += 1,
+                    TraceDropCause::HeadroomExhausted => self.totals.drops_headroom += 1,
+                    TraceDropCause::LinkDown => self.totals.drops_link_down += 1,
+                    TraceDropCause::NoRoute => self.totals.drops_no_route += 1,
+                    TraceDropCause::Corrupted => self.totals.drops_corrupted += 1,
+                    TraceDropCause::Evicted => self.totals.drops_evicted += 1,
+                }
+                if lossless {
+                    self.lossless_victims.insert(flow);
+                }
+            }
             TraceEvent::PfcPause { .. } => self.totals.pfc_pauses += 1,
             TraceEvent::PfcResume { .. } => self.totals.pfc_resumes += 1,
             TraceEvent::RtoFire { .. } => self.totals.rto_fires += 1,
@@ -586,6 +607,15 @@ impl FlightRecorder {
     /// Aggregate totals (never evicted).
     pub fn totals(&self) -> TraceTotals {
         self.totals
+    }
+
+    /// Flows that lost at least one lossless-class packet, maintained
+    /// outside the ring like [`Self::totals`]. The record-scan
+    /// alternative silently loses victims once the ring wraps — the
+    /// chaos battery's unfinished ⊆ victims check needs the exact set
+    /// regardless of run length.
+    pub fn lossless_victims(&self) -> &std::collections::BTreeSet<u64> {
+        &self.lossless_victims
     }
 
     /// The configuration.
@@ -852,6 +882,45 @@ mod tests {
             TraceEvent::TcpExitRecovery { flow: 1 }, // no queue — kept
         );
         assert_eq!(rec.len(), 2);
+    }
+
+    #[test]
+    fn lossless_victim_set_survives_ring_wrap() {
+        let mut rec = FlightRecorder::new(TraceConfig {
+            enabled: true,
+            capacity: 4,
+            flows: None,
+            queues: None,
+        });
+        rec.record(
+            SimTime::ZERO,
+            TraceEvent::Drop {
+                node: 0,
+                in_port: 0,
+                prio: 3,
+                flow: 7,
+                seq: 0,
+                size: 1_048,
+                lossless: true,
+                cause: TraceDropCause::LinkDown,
+            },
+        );
+        // Flood the ring until the drop record is long gone.
+        for i in 0..32 {
+            rec.record(SimTime::from_nanos(i), enq(1, i as u32));
+        }
+        assert!(rec.evicted() > 0, "the wrap must actually happen");
+        assert!(
+            rec.records()
+                .all(|r| !matches!(r.event, TraceEvent::Drop { .. })),
+            "the drop record itself must be evicted for this test to bite"
+        );
+        assert_eq!(
+            rec.lossless_victims().iter().copied().collect::<Vec<u64>>(),
+            [7],
+            "the aggregate victim set must outlive the ring"
+        );
+        assert_eq!(rec.totals().drops_link_down, 1);
     }
 
     #[test]

@@ -60,7 +60,7 @@ mod switch;
 
 pub use config::{EcnConfig, SwitchConfig};
 pub use mmu::{Charge, MmuState, Pool, QueueIndex};
-pub use policy::{AbmPolicy, BufferPolicy, DtPolicy};
+pub use policy::{AbmPolicy, BufferPolicy, DtPolicy, OccamyPolicy};
 pub use queue::{EgressPort, InFlight, QueuedPacket};
 pub use switch::{
     DropReason, PfcEmit, ReceiveOutcome, ReceiveResult, SharedMemorySwitch, TxCompleteResult,

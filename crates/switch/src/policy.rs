@@ -61,6 +61,32 @@ pub trait BufferPolicy: Debug {
     ) {
         let _ = (mmu, now, q_out, paused);
     }
+
+    /// Plans a preemptive eviction after admission has rejected an
+    /// arrival: given the rejected packet (ingress queue `q_in`,
+    /// intended egress queue `q_out`, `size` wire bytes), names the
+    /// egress queue whose *newest* packet should be evicted to make
+    /// room, or `None` to let the drop stand. The switch pops the
+    /// victim queue's tail, reverses its MMU charge, and re-tests
+    /// admission, calling the hook again while the arrival still does
+    /// not fit (bounded by a per-arrival eviction cap). Only lossy
+    /// packets are ever evicted — a victim whose tail turns out to be
+    /// lossless aborts the attempt.
+    ///
+    /// The default implementation returns `None`, which keeps every
+    /// non-preemptive policy on a rejection path byte-identical to a
+    /// build without the hook: no extra events, no extra RNG draws.
+    fn plan_eviction(
+        &self,
+        mmu: &MmuState,
+        now: SimTime,
+        q_in: QueueIndex,
+        q_out: QueueIndex,
+        size: Bytes,
+    ) -> Option<QueueIndex> {
+        let _ = (mmu, now, q_in, q_out, size);
+        None
+    }
 }
 
 /// Classic Dynamic Threshold (Choudhury & Hahne): every queue's threshold
@@ -186,6 +212,106 @@ impl BufferPolicy for AbmPolicy {
     }
 }
 
+/// Occamy-style preemptive buffer management: a DT-shaped threshold
+/// (`α × (B − Q(t))`) plus *preemption* — when an arrival is rejected,
+/// the policy names the most buffer-hogging unprotected egress queue and
+/// the switch evicts that queue's newest packet to make room, repeating
+/// until the arrival fits or no eligible victim remains.
+///
+/// Victim selection is a deterministic scan in flat queue order
+/// (`port × priority`): the candidate with the most egress-queued bytes
+/// wins, ties going to the lowest flat index. Two guards keep preemption
+/// from eating itself:
+///
+/// * priorities in the *protected* set (the lossless/RDMA classes) are
+///   never selected, and
+/// * when the arrival's own egress queue is itself evictable, a victim
+///   must hold *strictly more* bytes than it — a queue cannot churn its
+///   peers to grow past them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccamyPolicy {
+    alpha: f64,
+    /// Bit `i` set ⇔ priority `i` is never selected as an eviction victim.
+    protected: u8,
+}
+
+impl OccamyPolicy {
+    /// Creates an Occamy policy with control factor `alpha` and no
+    /// protected priorities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive and finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        OccamyPolicy {
+            alpha,
+            protected: 0,
+        }
+    }
+
+    /// Marks `priorities` as never-evictable (the lossless classes).
+    pub fn with_protected_priorities(mut self, priorities: &[dcn_net::Priority]) -> Self {
+        for p in priorities {
+            self.protected |= 1 << p.index();
+        }
+        self
+    }
+
+    /// The control factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Whether `priority` is exempt from eviction.
+    pub fn is_protected(&self, priority: dcn_net::Priority) -> bool {
+        self.protected & (1 << priority.index()) != 0
+    }
+}
+
+impl BufferPolicy for OccamyPolicy {
+    fn name(&self) -> &str {
+        "Occamy"
+    }
+
+    fn pfc_threshold(&self, mmu: &MmuState, _q: QueueIndex, _now: SimTime) -> Bytes {
+        mmu.shared_remaining().scale(self.alpha)
+    }
+
+    fn plan_eviction(
+        &self,
+        mmu: &MmuState,
+        _now: SimTime,
+        _q_in: QueueIndex,
+        q_out: QueueIndex,
+        _size: Bytes,
+    ) -> Option<QueueIndex> {
+        // The bar a victim must clear: non-empty, and deeper than the
+        // arrival's own queue when that queue could itself be evicted.
+        let own = if self.is_protected(q_out.priority) {
+            Bytes::ZERO
+        } else {
+            mmu.egress_bytes(q_out)
+        };
+        let mut best: Option<(Bytes, QueueIndex)> = None;
+        for port in 0..mmu.port_count() {
+            for priority in dcn_net::Priority::all() {
+                if self.is_protected(priority) {
+                    continue;
+                }
+                let q = QueueIndex::new(dcn_net::PortId::new(port as u16), priority);
+                let bytes = mmu.egress_bytes(q);
+                // Strict `>` on both bars keeps the first (lowest flat
+                // index) queue on ties — the documented determinism rule.
+                if bytes > own && best.is_none_or(|(b, _)| bytes > b) {
+                    best = Some((bytes, q));
+                }
+            }
+        }
+        best.map(|(_, q)| q)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +390,89 @@ mod tests {
         assert_eq!(
             abm.pfc_threshold(&m, q(0, 3), SimTime::ZERO),
             dt.pfc_threshold(&m, q(0, 3), SimTime::ZERO)
+        );
+    }
+
+    /// Charges `bytes` into egress queue `eq` (ingress chosen disjointly).
+    fn fill_egress(m: &mut MmuState, eq: QueueIndex, bytes: u64) {
+        let c = m.plan_charge(q(0, eq.priority.as_u8()), Bytes::new(bytes), Pool::Shared);
+        m.charge(q(0, eq.priority.as_u8()), eq, c);
+    }
+
+    #[test]
+    fn occamy_threshold_matches_dt() {
+        let m = mmu();
+        let occ = OccamyPolicy::new(0.5);
+        let dt = DtPolicy::new(0.5);
+        assert_eq!(
+            occ.pfc_threshold(&m, q(0, 3), SimTime::ZERO),
+            dt.pfc_threshold(&m, q(0, 3), SimTime::ZERO)
+        );
+    }
+
+    #[test]
+    fn occamy_picks_deepest_unprotected_queue() {
+        let mut m = mmu();
+        let occ = OccamyPolicy::new(0.5).with_protected_priorities(&[Priority::new(3)]);
+        fill_egress(&mut m, q(1, 1), 5_000);
+        fill_egress(&mut m, q(2, 1), 9_000);
+        fill_egress(&mut m, q(2, 3), 50_000); // deepest, but protected
+        let victim = occ.plan_eviction(&m, SimTime::ZERO, q(0, 3), q(3, 3), Bytes::new(1_000));
+        assert_eq!(victim, Some(q(2, 1)), "deepest lossy queue wins");
+    }
+
+    #[test]
+    fn occamy_returns_none_on_empty_switch() {
+        let m = mmu();
+        let occ = OccamyPolicy::new(0.5);
+        assert_eq!(
+            occ.plan_eviction(&m, SimTime::ZERO, q(0, 1), q(1, 1), Bytes::new(1_000)),
+            None
+        );
+    }
+
+    #[test]
+    fn occamy_requires_victim_deeper_than_own_evictable_queue() {
+        let mut m = mmu();
+        let occ = OccamyPolicy::new(0.5);
+        fill_egress(&mut m, q(1, 1), 9_000);
+        fill_egress(&mut m, q(2, 1), 5_000);
+        // Arrival bound for the deepest queue itself: nothing is deeper.
+        assert_eq!(
+            occ.plan_eviction(&m, SimTime::ZERO, q(0, 1), q(1, 1), Bytes::new(1_000)),
+            None
+        );
+        // Arrival bound for the shallower queue: the deep one is fair game.
+        assert_eq!(
+            occ.plan_eviction(&m, SimTime::ZERO, q(0, 1), q(2, 1), Bytes::new(1_000)),
+            Some(q(1, 1))
+        );
+    }
+
+    #[test]
+    fn occamy_tie_breaks_to_lowest_flat_index() {
+        let mut m = mmu();
+        let occ = OccamyPolicy::new(0.5);
+        fill_egress(&mut m, q(2, 1), 5_000);
+        fill_egress(&mut m, q(1, 1), 5_000);
+        let victim = occ.plan_eviction(&m, SimTime::ZERO, q(0, 3), q(3, 3), Bytes::new(1_000));
+        assert_eq!(victim, Some(q(1, 1)));
+    }
+
+    #[test]
+    fn non_preemptive_policies_never_plan_evictions() {
+        let mut m = mmu();
+        fill_egress(&mut m, q(1, 1), 9_000);
+        let at = SimTime::ZERO;
+        let dt = DtPolicy::new(0.125);
+        let abm = AbmPolicy::new(0.5);
+        assert_eq!(
+            dt.plan_eviction(&m, at, q(0, 1), q(2, 1), Bytes::new(1_000)),
+            None
+        );
+        assert_eq!(
+            abm.plan_eviction(&m, at, q(0, 1), q(2, 1), Bytes::new(1_000)),
+            None
         );
     }
 

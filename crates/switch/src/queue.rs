@@ -160,6 +160,21 @@ impl EgressPort {
         Some(qp)
     }
 
+    /// Pops the *tail* of one priority FIFO — the newest queued packet,
+    /// the one a preemptive eviction removes. Evicting from the tail
+    /// never reorders the survivors and never touches the in-flight
+    /// record (a packet already serializing cannot be recalled), so the
+    /// scheduler state after an eviction is exactly as if the evicted
+    /// packet had never been admitted.
+    pub fn pop_back(&mut self, priority: Priority) -> Option<QueuedPacket> {
+        let ix = priority.index();
+        let qp = self.queues[ix].pop_back()?;
+        if self.queues[ix].is_empty() {
+            self.nonempty &= !(1 << ix);
+        }
+        Some(qp)
+    }
+
     /// Pushes a packet back at the *front* of its priority FIFO — the
     /// inverse of [`EgressPort::pop_front`], used when a split revokes a
     /// train leg that has not started serializing. Revoking legs in
@@ -356,6 +371,32 @@ mod tests {
         let t = train.start_next(|_| false).unwrap().seq;
         assert_eq!(s, t, "round-robin resumes identically");
         assert_eq!(s, 50, "rr_next sits just past the served priority");
+    }
+
+    #[test]
+    fn pop_back_evicts_newest_and_clears_bit() {
+        let mut p = EgressPort::new();
+        for seq in 1..=3 {
+            p.enqueue(qp(3, seq));
+        }
+        assert_eq!(p.pop_back(Priority::new(3)).unwrap().packet.seq, 3);
+        assert_eq!(p.pop_back(Priority::new(3)).unwrap().packet.seq, 2);
+        assert_eq!(p.sole_nonempty(), Some(Priority::new(3)));
+        assert_eq!(p.pop_back(Priority::new(3)).unwrap().packet.seq, 1);
+        assert_eq!(p.sole_nonempty(), None, "nonempty bit cleared");
+        assert!(p.pop_back(Priority::new(3)).is_none());
+        assert!(p.start_next(|_| false).is_none());
+    }
+
+    #[test]
+    fn pop_back_leaves_in_flight_untouched() {
+        let mut p = EgressPort::new();
+        p.enqueue(qp(3, 1));
+        p.enqueue(qp(3, 2));
+        assert_eq!(p.start_next(|_| false).unwrap().seq, 1);
+        assert_eq!(p.pop_back(Priority::new(3)).unwrap().packet.seq, 2);
+        assert!(!p.is_idle(), "serializing packet cannot be evicted");
+        assert_eq!(p.finish_tx().seq, 1);
     }
 
     #[test]

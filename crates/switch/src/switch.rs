@@ -88,6 +88,12 @@ pub struct TxCompleteResult {
     pub pfc: Option<PfcEmit>,
 }
 
+/// Upper bound on preemptive evictions a single arrival may trigger — a
+/// termination backstop for the plan/evict/re-test admission loop (the
+/// loop normally ends much earlier, when the arrival fits or the policy
+/// stops naming victims).
+const MAX_EVICTIONS_PER_ARRIVAL: u32 = 32;
+
 /// An output-queued shared-memory switch with PFC and a pluggable
 /// buffer-management policy. See the crate docs for the protocol between
 /// the switch and the event loop.
@@ -200,7 +206,6 @@ impl SharedMemorySwitch {
         let q_in = QueueIndex::new(in_port, packet.priority);
         let q_out = QueueIndex::new(out_port, packet.priority);
         let size = packet.size;
-        let threshold = self.policy.pfc_threshold(&self.mmu, q_in, now);
         // Copy the identifiers the trace closures need up front, so the
         // closures capture only `Copy` locals and never borrow `self` or
         // the packet (which is mutated and ultimately moved below).
@@ -223,55 +228,71 @@ impl SharedMemorySwitch {
         };
 
         // --- admission ------------------------------------------------
-        let plan = self.mmu.plan_charge(q_in, size, Pool::Shared);
-        let fits_shared = plan.pooled == Bytes::ZERO
-            || (self.mmu.ingress_shared(q_in) + plan.pooled <= threshold
-                && plan.pooled <= self.mmu.shared_remaining());
+        // A preemptive policy (Occamy) may evict already-queued lossy
+        // packets to admit an arrival the thresholds would reject; every
+        // non-preemptive policy returns `None` from `plan_eviction`, so
+        // this loop runs exactly once for them and the rejection path is
+        // byte-identical to the pre-hook switch (zero extra events, zero
+        // extra RNG draws).
+        let mut evictions = 0u32;
+        let charge = loop {
+            let threshold = self.policy.pfc_threshold(&self.mmu, q_in, now);
+            let plan = self.mmu.plan_charge(q_in, size, Pool::Shared);
+            let fits_shared = plan.pooled == Bytes::ZERO
+                || (self.mmu.ingress_shared(q_in) + plan.pooled <= threshold
+                    && plan.pooled <= self.mmu.shared_remaining());
 
-        let charge = match packet.class {
-            TrafficClass::Lossless => {
-                if fits_shared {
-                    plan
-                } else if plan.pooled <= self.mmu.headroom_available(q_in) {
-                    self.mmu.plan_charge(q_in, size, Pool::Headroom)
-                } else {
-                    self.drop_counters.record_lossless(size);
-                    self.trace
-                        .record_with(now, || trace_drop(TraceDropCause::HeadroomExhausted));
-                    return ReceiveResult {
-                        outcome: ReceiveOutcome::Dropped(DropReason::HeadroomExhausted),
-                        pfc: None,
-                        tx: None,
-                    };
+            let rejection = match packet.class {
+                TrafficClass::Lossless => {
+                    if fits_shared {
+                        break plan;
+                    } else if plan.pooled <= self.mmu.headroom_available(q_in) {
+                        break self.mmu.plan_charge(q_in, size, Pool::Headroom);
+                    } else {
+                        DropReason::HeadroomExhausted
+                    }
                 }
+                TrafficClass::Lossy => {
+                    if !fits_shared {
+                        DropReason::IngressLossy
+                    } else {
+                        let t_egress = self
+                            .mmu
+                            .shared_remaining()
+                            .scale(self.cfg.egress_alpha_lossy);
+                        if self.mmu.egress_bytes(q_out) + size > t_egress {
+                            DropReason::EgressLossy
+                        } else {
+                            break plan;
+                        }
+                    }
+                }
+            };
+
+            // Rejected: let a preemptive policy make room, then re-test.
+            if evictions >= MAX_EVICTIONS_PER_ARRIVAL || !self.try_evict(now, q_in, q_out, size) {
+                let cause = match rejection {
+                    DropReason::HeadroomExhausted => {
+                        self.drop_counters.record_lossless(size);
+                        TraceDropCause::HeadroomExhausted
+                    }
+                    DropReason::IngressLossy => {
+                        self.drop_counters.record_lossy(size);
+                        TraceDropCause::AdmissionDeniedIngress
+                    }
+                    DropReason::EgressLossy => {
+                        self.drop_counters.record_lossy(size);
+                        TraceDropCause::AdmissionDeniedEgress
+                    }
+                };
+                self.trace.record_with(now, || trace_drop(cause));
+                return ReceiveResult {
+                    outcome: ReceiveOutcome::Dropped(rejection),
+                    pfc: None,
+                    tx: None,
+                };
             }
-            TrafficClass::Lossy => {
-                if !fits_shared {
-                    self.drop_counters.record_lossy(size);
-                    self.trace
-                        .record_with(now, || trace_drop(TraceDropCause::AdmissionDeniedIngress));
-                    return ReceiveResult {
-                        outcome: ReceiveOutcome::Dropped(DropReason::IngressLossy),
-                        pfc: None,
-                        tx: None,
-                    };
-                }
-                let t_out = self
-                    .mmu
-                    .shared_remaining()
-                    .scale(self.cfg.egress_alpha_lossy);
-                if self.mmu.egress_bytes(q_out) + size > t_out {
-                    self.drop_counters.record_lossy(size);
-                    self.trace
-                        .record_with(now, || trace_drop(TraceDropCause::AdmissionDeniedEgress));
-                    return ReceiveResult {
-                        outcome: ReceiveOutcome::Dropped(DropReason::EgressLossy),
-                        pfc: None,
-                        tx: None,
-                    };
-                }
-                plan
-            }
+            evictions += 1;
         };
 
         // --- commit -----------------------------------------------------
@@ -344,6 +365,59 @@ impl SharedMemorySwitch {
             pfc,
             tx,
         }
+    }
+
+    /// Attempts one policy-planned preemptive eviction to make room for
+    /// a rejected arrival (`q_in`/`q_out`/`size`): asks the policy for a
+    /// victim egress queue, pops that queue's *newest* packet, reverses
+    /// its MMU charge and records an `Evicted` drop. Returns whether a
+    /// packet was actually evicted.
+    ///
+    /// Only lossy packets may be evicted; a victim whose tail is
+    /// lossless is restored untouched and the attempt aborts. Because
+    /// `pause_sent` is only ever set by lossless arrivals, an evicted
+    /// (lossy) packet's ingress queue never holds an outstanding XOFF,
+    /// so eviction never needs to emit XON.
+    fn try_evict(
+        &mut self,
+        now: SimTime,
+        q_in: QueueIndex,
+        q_out: QueueIndex,
+        size: Bytes,
+    ) -> bool {
+        let Some(victim) = self.policy.plan_eviction(&self.mmu, now, q_in, q_out, size) else {
+            return false;
+        };
+        let Some(qp) = self.ports[victim.port.index()].pop_back(victim.priority) else {
+            // The victim queue's remaining MMU bytes belong to a packet
+            // already serializing, which cannot be recalled.
+            return false;
+        };
+        if qp.packet.class.is_lossless() {
+            self.ports[victim.port.index()].enqueue(qp);
+            return false;
+        }
+        let v_in = QueueIndex::new(qp.in_port, qp.packet.priority);
+        let v_size = qp.packet.size;
+        self.mmu.discharge(now, v_in, victim, qp.charge);
+        self.policy.on_dequeue(&self.mmu, now, v_in, victim, v_size);
+        self.drop_counters.record_evicted(v_size);
+        let t_node = self.id.index() as u32;
+        let t_in = qp.in_port.index() as u16;
+        let t_prio = qp.packet.priority.index() as u8;
+        let t_flow = qp.packet.flow.as_u64();
+        let t_seq = qp.packet.seq;
+        self.trace.record_with(now, || TraceEvent::Drop {
+            node: t_node,
+            in_port: t_in,
+            prio: t_prio,
+            flow: t_flow,
+            seq: t_seq,
+            size: v_size.as_u64(),
+            lossless: false,
+            cause: TraceDropCause::Evicted,
+        });
+        true
     }
 
     /// Completes the in-flight transmission on `port`: discharges the
@@ -1090,6 +1164,153 @@ mod tests {
         let totals = trace.with(|r| r.totals()).unwrap();
         assert_eq!(totals.drops_no_route, 1);
         assert_eq!(totals.drops(), 1);
+    }
+
+    fn occamy_switch(buffer: Bytes) -> SharedMemorySwitch {
+        let cfg = SwitchConfig {
+            total_buffer: buffer,
+            headroom_per_queue: Bytes::new(8_000),
+            ..SwitchConfig::default()
+        };
+        SharedMemorySwitch::new(
+            NodeId::new(0),
+            cfg,
+            vec![BitRate::from_gbps(25); 4],
+            Box::new(
+                crate::policy::OccamyPolicy::new(0.5)
+                    .with_protected_priorities(&[Priority::new(3)]),
+            ),
+            42,
+        )
+    }
+
+    #[test]
+    fn occamy_evicts_lossy_backlog_to_admit_lossless() {
+        use dcn_sim::{TraceConfig, TraceHandle};
+        let mut sw = occamy_switch(Bytes::new(10_000));
+        let trace = TraceHandle::from_config(&TraceConfig::enabled());
+        sw.set_trace(trace.clone());
+        // Fill the shared pool with lossy backlog on port 1 (first
+        // packet goes in flight; the rest queue).
+        let mut lossy_admitted = 0u64;
+        for i in 0..10 {
+            if sw
+                .receive(SimTime::ZERO, lossy_pkt(i), PortId::new(0), PortId::new(1))
+                .admitted()
+            {
+                lossy_admitted += 1;
+            }
+        }
+        assert!(lossy_admitted >= 3, "need a queued lossy backlog");
+        // Exhaust the lossless queue's headroom so arrivals hit the
+        // rejection path where preemption kicks in.
+        let mut evicted_seen = 0u64;
+        for i in 0..24 {
+            sw.receive(
+                SimTime::ZERO,
+                lossless_pkt(i),
+                PortId::new(2),
+                PortId::new(1),
+            );
+            evicted_seen = sw.drop_counters().evicted_packets;
+            if evicted_seen > 0 {
+                break;
+            }
+        }
+        assert!(
+            evicted_seen > 0,
+            "preemption must evict lossy backlog for lossless arrivals"
+        );
+        assert_eq!(
+            sw.drop_counters().lossless_packets,
+            0,
+            "eviction made room before any lossless drop"
+        );
+        sw.mmu().check_conservation().unwrap();
+        let totals = trace.with(|r| r.totals()).unwrap();
+        assert_eq!(totals.drops_evicted, sw.drop_counters().evicted_packets);
+        assert_eq!(
+            totals.drops(),
+            sw.drop_counters().lossy_packets + sw.drop_counters().lossless_packets,
+            "evictions reconcile: counted once in trace, once in lossy"
+        );
+    }
+
+    #[test]
+    fn eviction_then_drain_conserves_buffer() {
+        let mut sw = occamy_switch(Bytes::new(10_000));
+        let mut t = SimTime::ZERO;
+        for i in 0..10 {
+            sw.receive(t, lossy_pkt(i), PortId::new(0), PortId::new(1));
+            t += SimDuration::from_nanos(30);
+        }
+        for i in 0..16 {
+            sw.receive(t, lossless_pkt(i), PortId::new(2), PortId::new(1));
+            sw.mmu().check_conservation().unwrap();
+            t += SimDuration::from_nanos(30);
+        }
+        assert!(sw.drop_counters().evicted_packets > 0);
+        // Drain to empty: every surviving charge reverses exactly once.
+        loop {
+            t += SimDuration::from_nanos(400);
+            if sw.tx_complete(t, PortId::new(1)).next.is_none() {
+                break;
+            }
+            sw.mmu().check_conservation().unwrap();
+        }
+        assert_eq!(sw.occupancy(), Bytes::ZERO);
+        sw.mmu().check_conservation().unwrap();
+    }
+
+    #[test]
+    fn eviction_never_touches_lossless_packets() {
+        // Occamy with *no* protected priorities: the switch-level guard
+        // alone must keep lossless packets unevictable.
+        let cfg = SwitchConfig {
+            total_buffer: Bytes::new(10_000),
+            headroom_per_queue: Bytes::new(8_000),
+            ..SwitchConfig::default()
+        };
+        let mut sw = SharedMemorySwitch::new(
+            NodeId::new(0),
+            cfg,
+            vec![BitRate::from_gbps(25); 4],
+            Box::new(crate::policy::OccamyPolicy::new(0.125)),
+            42,
+        );
+        // Only lossless backlog exists; lossy arrivals that get rejected
+        // must not evict it.
+        for i in 0..8 {
+            sw.receive(
+                SimTime::ZERO,
+                lossless_pkt(i),
+                PortId::new(0),
+                PortId::new(1),
+            );
+        }
+        let queued = sw.occupancy();
+        for i in 0..10 {
+            sw.receive(SimTime::ZERO, lossy_pkt(i), PortId::new(2), PortId::new(1));
+        }
+        assert_eq!(sw.drop_counters().evicted_packets, 0);
+        assert!(sw.occupancy() >= queued, "lossless backlog untouched");
+        sw.mmu().check_conservation().unwrap();
+    }
+
+    #[test]
+    fn non_preemptive_rejection_path_is_unchanged() {
+        // DT on the eviction-hook switch must behave exactly as before:
+        // same drops, no evictions, no extra trace events.
+        use dcn_sim::{TraceConfig, TraceHandle};
+        let mut sw = small_switch(0.125, Bytes::new(10_000));
+        let trace = TraceHandle::from_config(&TraceConfig::enabled());
+        sw.set_trace(trace.clone());
+        for i in 0..10 {
+            sw.receive(SimTime::ZERO, lossy_pkt(i), PortId::new(0), PortId::new(1));
+        }
+        assert!(sw.drop_counters().lossy_packets > 0);
+        assert_eq!(sw.drop_counters().evicted_packets, 0);
+        assert_eq!(trace.with(|r| r.totals()).unwrap().drops_evicted, 0);
     }
 
     #[test]

@@ -1,15 +1,19 @@
 //! Buffer-conservation property battery: a full [`SharedMemorySwitch`]
 //! under seeded random hybrid traffic must keep the MMU's aggregate
 //! counters equal to the per-queue sums after *every* charge and
-//! discharge — for all four paper policies.
+//! discharge — for all six arena policies, including Occamy whose
+//! preemptive evictions interleave a discharge inside the admission of
+//! another packet.
 //!
-//! 4 policies × 16 seeded cases = 64 cases; each failure message
-//! carries the policy and case seed for replay.
+//! 6 policies × 16 seeded cases; each failure message carries the
+//! policy and case seed for replay.
 
 use dcn_net::{FlowId, NodeId, Packet, PortId, Priority, TrafficClass};
 use dcn_sim::{BitRate, Bytes, SimDuration, SimRng, SimTime};
-use dcn_switch::{AbmPolicy, BufferPolicy, DtPolicy, QueueIndex, SharedMemorySwitch, SwitchConfig};
-use l2bm::{L2bmConfig, L2bmPolicy};
+use dcn_switch::{
+    AbmPolicy, BufferPolicy, DtPolicy, OccamyPolicy, QueueIndex, SharedMemorySwitch, SwitchConfig,
+};
+use l2bm::{BShareConfig, BSharePolicy, L2bmConfig, L2bmPolicy};
 
 const N_PORTS: u16 = 4;
 const CASES_PER_POLICY: u64 = 16;
@@ -24,6 +28,16 @@ fn policies() -> Vec<(&'static str, PolicyFactory)> {
         (
             "L2BM",
             Box::new(|| Box::new(L2bmPolicy::new(L2bmConfig::default())) as _),
+        ),
+        (
+            "Occamy",
+            Box::new(|| {
+                Box::new(OccamyPolicy::new(0.5).with_protected_priorities(&[Priority::new(3)])) as _
+            }),
+        ),
+        (
+            "BShare",
+            Box::new(|| Box::new(BSharePolicy::new(BShareConfig::default())) as _),
         ),
     ]
 }
@@ -148,4 +162,89 @@ fn conservation_holds_for_all_policies_under_random_traffic() {
             run_case(label, make(), 0x5EED_0000 + case);
         }
     }
+}
+
+#[test]
+fn conservation_holds_across_evict_then_admit_sequences() {
+    // Directed at the eviction path: queue a lossy backlog behind one
+    // egress port, then push lossless arrivals until Occamy evicts to
+    // admit them. Conservation is asserted after every receive (which
+    // may internally discharge a victim and charge the newcomer in one
+    // step), and the run must actually exercise evictions.
+    let cfg = SwitchConfig {
+        total_buffer: Bytes::new(12_000),
+        headroom_per_queue: Bytes::new(6_000),
+        ..SwitchConfig::default()
+    };
+    let mut sw = SharedMemorySwitch::new(
+        NodeId::new(0),
+        cfg,
+        vec![BitRate::from_gbps(25); N_PORTS as usize],
+        Box::new(OccamyPolicy::new(0.5).with_protected_priorities(&[Priority::new(3)])),
+        7,
+    );
+    let mut t = SimTime::ZERO;
+    let lossy = |seq: u64| {
+        Packet::data(
+            FlowId::new(2),
+            NodeId::new(100),
+            NodeId::new(101),
+            Priority::new(1),
+            TrafficClass::Lossy,
+            seq,
+            Bytes::new(1_200),
+            Bytes::new(48),
+        )
+    };
+    let lossless = |seq: u64| {
+        Packet::data(
+            FlowId::new(1),
+            NodeId::new(100),
+            NodeId::new(101),
+            Priority::new(3),
+            TrafficClass::Lossless,
+            seq,
+            Bytes::new(1_200),
+            Bytes::new(48),
+        )
+    };
+    // Build the lossy backlog on egress port 1 from ingress 0.
+    for seq in 0..8 {
+        t += SimDuration::from_nanos(50);
+        sw.receive(t, lossy(seq), PortId::new(0), PortId::new(1));
+        assert_conserved(&sw, &format!("lossy backlog seq {seq}"));
+    }
+    // Lossless pressure from another ingress port: the early arrivals
+    // fit the shared pool or headroom; the later ones force evictions
+    // of the queued lossy backlog (the lossy packet already serializing
+    // cannot be recalled, which bounds how far this can go).
+    for seq in 0..7 {
+        t += SimDuration::from_nanos(50);
+        sw.receive(t, lossless(seq), PortId::new(2), PortId::new(3));
+        assert_conserved(&sw, &format!("lossless arrival seq {seq}"));
+    }
+    assert!(
+        sw.drop_counters().evicted_packets > 0,
+        "the sequence must exercise the eviction path"
+    );
+    assert_eq!(
+        sw.drop_counters().lossless_packets,
+        0,
+        "evictions shield the lossless class"
+    );
+    // Drain the two transmitting egress ports; conservation at every
+    // departure, empty at the end.
+    for port in [1u16, 3] {
+        let mut i = 0;
+        loop {
+            t += SimDuration::from_nanos(400);
+            let done = sw.tx_complete(t, PortId::new(port));
+            assert_conserved(&sw, &format!("drain port {port} step {i}"));
+            i += 1;
+            if done.next.is_none() {
+                break;
+            }
+        }
+    }
+    assert_eq!(sw.occupancy(), Bytes::ZERO, "switch fully drained");
 }

@@ -7,7 +7,7 @@
 //! `dcn-bench --bin sweep -- --check`; this test keeps it in the
 //! plain `cargo test` tier-1 suite.
 
-use dcn_experiments::{fig7_with, table2_with, ExperimentScale, SweepOptions};
+use dcn_experiments::{fig7_with, table2_with, tournament, ExperimentScale, SweepOptions};
 
 fn fig7_digests(jobs: usize, seeds: u64) -> (Vec<u64>, String) {
     let report = fig7_with(
@@ -56,4 +56,19 @@ fn table2_render_is_thread_count_invariant() {
     let a = table2_with(&ExperimentScale::tiny(), &loads, &opts_1).render();
     let b = table2_with(&ExperimentScale::tiny(), &loads, &opts_8).render();
     assert_eq!(a, b);
+}
+
+#[test]
+fn tournament_is_thread_count_invariant() {
+    // The six-policy tournament mixes three cell kinds (hybrid, incast,
+    // chaos) in one harness; every underlying run digest and the
+    // rendered Pareto table must be byte-identical at jobs 1 vs 8, and
+    // the invariant battery must pass on both.
+    let scale = ExperimentScale::tiny();
+    let serial = tournament(&scale, 1, 1);
+    let parallel = tournament(&scale, 1, 8);
+    assert_eq!(serial.digests(), parallel.digests());
+    assert_eq!(serial.render(), parallel.render());
+    assert_eq!(serial.violations(), Vec::<String>::new());
+    assert_eq!(parallel.violations(), Vec::<String>::new());
 }

@@ -1,4 +1,4 @@
-//! PFC safety invariants over a full traced fabric run, for all four
+//! PFC safety invariants over a full traced fabric run, for all six
 //! policies:
 //!
 //! * every `PfcResume` edge is preceded by a matching `PfcPause` on the
@@ -87,6 +87,8 @@ fn pfc_edges_match_and_lossless_never_drops_while_paused() {
         PolicyChoice::dt(),
         PolicyChoice::dt2(),
         PolicyChoice::abm(),
+        PolicyChoice::occamy(),
+        PolicyChoice::bshare(),
     ] {
         let label = policy.label();
         let (events, pause_frames, resume_frames, lossless_drops) = run_traced(policy);

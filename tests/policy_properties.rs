@@ -6,9 +6,11 @@
 
 use dcn_net::{PortId, Priority};
 use dcn_sim::{BitRate, Bytes, SimDuration, SimRng, SimTime};
-use dcn_switch::{AbmPolicy, BufferPolicy, DtPolicy, MmuState, Pool, QueueIndex, SwitchConfig};
+use dcn_switch::{
+    AbmPolicy, BufferPolicy, DtPolicy, MmuState, OccamyPolicy, Pool, QueueIndex, SwitchConfig,
+};
 use l2bm::analysis::{steady_state_occupancy, steady_state_thresholds};
-use l2bm::{L2bmConfig, L2bmPolicy, SojournModule};
+use l2bm::{BShareConfig, BSharePolicy, L2bmConfig, L2bmPolicy, SojournModule};
 
 const N_PORTS: usize = 8;
 const CASES: u64 = 64;
@@ -330,6 +332,161 @@ fn dt_threshold_decreases_as_buffer_fills() {
                 "case {case}: DT threshold must be non-increasing as Q grows"
             );
             last = t;
+        }
+    }
+}
+
+#[test]
+fn all_six_policy_thresholds_are_bounded() {
+    // The arena-wide bound: no policy may ever grant a queue more than
+    // the remaining shared pool, whatever MMU state random schedules
+    // reach. (Tighter per-policy bounds are asserted elsewhere; this is
+    // the battery invariant all six share.)
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x9000 + case);
+        let ops = random_ops(&mut rng, 150);
+        let (m, _) = apply_ops(&ops);
+        let now = SimTime::from_micros(50);
+        let policies: Vec<Box<dyn BufferPolicy>> = vec![
+            Box::new(DtPolicy::new(0.125)),
+            Box::new(DtPolicy::new(0.5)),
+            Box::new(AbmPolicy::new(0.5)),
+            Box::new(L2bmPolicy::new(L2bmConfig::default())),
+            Box::new(OccamyPolicy::new(0.5).with_protected_priorities(&[Priority::new(3)])),
+            Box::new(BSharePolicy::new(BShareConfig::default())),
+        ];
+        for p in &policies {
+            for port in 0..N_PORTS as u16 {
+                for prio in 0..8u8 {
+                    let t = p.pfc_threshold(&m, qix(port, prio), now);
+                    assert!(
+                        t <= m.shared_remaining(),
+                        "case {case}: {} grants {t:?} above remaining {:?}",
+                        p.name(),
+                        m.shared_remaining()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bshare_incremental_weight_matches_naive_recomputation() {
+    // BShare's admission-path weight reads the incrementally-maintained
+    // aggregate delay; the reference reads the full rescan. Arbitrary
+    // interleavings of enqueue / dequeue / pause / resume with time
+    // advancing between steps must keep them within float tolerance.
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0xA000 + case);
+        let cfg = SwitchConfig {
+            reserved_per_queue: Bytes::new(1_000),
+            headroom_per_queue: Bytes::from_kb(50),
+            ..SwitchConfig::default()
+        };
+        let mut m = MmuState::new(&cfg, vec![BitRate::from_gbps(25); N_PORTS]);
+        let mut policy = BSharePolicy::new(BShareConfig::default());
+        let mut queued: Vec<(QueueIndex, QueueIndex, dcn_switch::Charge)> = Vec::new();
+        let mut t = SimTime::ZERO;
+        let steps = 80 + rng.below(80);
+        for step in 0..steps {
+            t += SimDuration::from_nanos(rng.below(20_000));
+            match rng.below(4) {
+                0 | 1 => {
+                    let op = random_ops(&mut rng, 1)[0];
+                    let qi = qix(op.in_port, op.prio);
+                    let qo = qix(op.out_port, op.prio);
+                    let c = m.plan_charge(qi, Bytes::new(op.size), Pool::Shared);
+                    m.charge(qi, qo, c);
+                    policy.on_enqueue(&m, t, qi, qo, c.total());
+                    queued.push((qi, qo, c));
+                }
+                2 => {
+                    if !queued.is_empty() {
+                        let ix = rng.below(queued.len() as u64) as usize;
+                        let (qi, qo, c) = queued.remove(ix);
+                        m.discharge(t, qi, qo, c);
+                        policy.on_dequeue(&m, t, qi, qo, c.total());
+                    }
+                }
+                _ => {
+                    let qo = qix(rng.below(N_PORTS as u64) as u16, rng.below(8) as u8);
+                    let paused = rng.below(2) == 1;
+                    if m.set_egress_paused(qo, paused) {
+                        policy.on_egress_pause_changed(&m, t, qo, paused);
+                    }
+                }
+            }
+            // Probe a handful of random queues at the current instant.
+            for _ in 0..4 {
+                let q = qix(rng.below(N_PORTS as u64) as u16, rng.below(8) as u8);
+                let inc = policy.weight(q, t);
+                let naive = policy.weight_naive(q, t);
+                assert!(
+                    (inc - naive).abs() <= 1e-9,
+                    "case {case} step {step}: incremental {inc} vs naive {naive} at {q:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Reference Occamy victim rule: argmax egress backlog over the flat
+/// queue order (port outer, priority inner), skipping protected
+/// priorities, requiring strictly more backlog than the arriving
+/// packet's own (unprotected) egress queue; first-seen wins ties.
+fn occamy_reference_victim(
+    m: &MmuState,
+    policy: &OccamyPolicy,
+    q_out: QueueIndex,
+) -> Option<QueueIndex> {
+    let own = if policy.is_protected(q_out.priority) {
+        Bytes::ZERO
+    } else {
+        m.egress_bytes(q_out)
+    };
+    let mut best: Option<(Bytes, QueueIndex)> = None;
+    for port in 0..m.port_count() {
+        for prio in Priority::all() {
+            if policy.is_protected(prio) {
+                continue;
+            }
+            let q = QueueIndex::new(PortId::new(port as u16), prio);
+            let b = m.egress_bytes(q);
+            if b > own && best.is_none_or(|(bb, _)| b > bb) {
+                best = Some((b, q));
+            }
+        }
+    }
+    best.map(|(_, q)| q)
+}
+
+#[test]
+fn occamy_victim_matches_reference_scan() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0xB000 + case);
+        let ops = random_ops(&mut rng, 150);
+        let (m, _) = apply_ops(&ops);
+        // Random protection mask: none, the RDMA priority, or two.
+        let protected: Vec<Priority> = match rng.below(3) {
+            0 => vec![],
+            1 => vec![Priority::new(3)],
+            _ => vec![
+                Priority::new(rng.below(8) as u8),
+                Priority::new(rng.below(8) as u8),
+            ],
+        };
+        let policy = OccamyPolicy::new(0.5).with_protected_priorities(&protected);
+        let now = SimTime::from_micros(10);
+        for _ in 0..16 {
+            let q_in = qix(rng.below(N_PORTS as u64) as u16, rng.below(8) as u8);
+            let q_out = qix(rng.below(N_PORTS as u64) as u16, rng.below(8) as u8);
+            let size = Bytes::new(64 + rng.below(1_936));
+            assert_eq!(
+                policy.plan_eviction(&m, now, q_in, q_out, size),
+                occamy_reference_victim(&m, &policy, q_out),
+                "case {case}: victim diverged for q_out {q_out:?} protected {protected:?}"
+            );
         }
     }
 }
