@@ -23,6 +23,14 @@
 //! 8 fixed fault seeds × 6 policies at `--jobs 1` and `--jobs 8`,
 //! failing on any digest divergence or invariant violation.
 //!
+//! `repro irn` runs the lossless-vs-lossy universe comparison: the
+//! six-policy × {DCQCN, IRN} grid on the healthy hybrid mix, then the
+//! fault-resilience table (identical sampled fault schedules in both
+//! universes, counting the flows IRN rescues that DCQCN strands).
+//! `repro irn --check` is the CI gate: tiny scale at `--jobs 1` and
+//! `--jobs 8`, failing on digest divergence, a drifted IRN golden
+//! digest, any battery violation, or zero rescued flows.
+//!
 //! `repro tournament` runs the six-policy arena — hybrid, websearch-
 //! heavy, incast and chaos cells, multi-seed — and renders the Pareto
 //! table (p99 slowdown / goodput / pause frames / fault degradation,
@@ -35,17 +43,106 @@ use std::process::ExitCode;
 
 use dcn_experiments::{
     ablations_opts, chaos, fig10_with, fig11_with, fig3a_with, fig3b_with, fig7_with, fig8_with,
-    fig9_with, standard_variants, table2_with, tournament, ExperimentScale, SweepOptions,
-    CHAOS_CHECK_SEEDS, FIG11_FANOUTS, TABLE2_LOADS,
+    fig9_with, irn_grid, irn_resilience, standard_variants, table2_with, tournament,
+    ExperimentScale, SweepOptions, CHAOS_CHECK_SEEDS, FIG11_FANOUTS, TABLE2_LOADS,
 };
 use dcn_sim::SimDuration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|ablations|chaos|tournament|all> \
+        "usage: repro <fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|ablations|chaos|irn|tournament|all> \
          [--scale tiny|small|paper] [--seed N] [--window-ms N] [--jobs N] [--seeds N] [--check]"
     );
     ExitCode::FAILURE
+}
+
+/// Golden digest of the tiny-scale IRN universe cell (L2BM policy,
+/// zero faults) asserted by `repro irn --check`: pins the IRN
+/// transport's behavior the same way the DCQCN goldens pin the
+/// lossless path.
+const IRN_TINY_GOLDEN_DIGEST: u64 = 0xa67c_8a7f_b276_895c;
+
+/// CI lossy-RDMA gate: the healthy six-policy × two-transport grid and
+/// the 8-fault-seed DCQCN↔IRN comparison at tiny scale, run at
+/// `--jobs 1` and `--jobs 8`. Fails on digest divergence, any battery
+/// violation, a drifted IRN golden digest, or a fault set where the
+/// lossy universe rescues nothing (the whole point of IRN).
+fn irn_check() -> ExitCode {
+    let scale = ExperimentScale::tiny();
+    eprintln!(
+        "# irn --check: 6 policies x 2 transports + {} fault seeds, jobs 1 vs 8",
+        CHAOS_CHECK_SEEDS.len()
+    );
+    let mut failed = false;
+
+    let grid_serial = irn_grid(&scale, 1);
+    let grid_parallel = irn_grid(&scale, 8);
+    for (a, b) in grid_serial.points.iter().zip(grid_parallel.points.iter()) {
+        if a.digest != b.digest {
+            eprintln!(
+                "FAIL: grid {}/{}: digest {:#x} (jobs 1) != {:#x} (jobs 8)",
+                a.label, a.transport, a.digest, b.digest
+            );
+            failed = true;
+        }
+    }
+    if let Some(p) = grid_serial
+        .points
+        .iter()
+        .find(|p| p.label == "L2BM" && p.transport == "IRN")
+    {
+        if p.digest != IRN_TINY_GOLDEN_DIGEST {
+            eprintln!(
+                "FAIL: tiny IRN golden digest drifted: {:#x} != {IRN_TINY_GOLDEN_DIGEST:#x}",
+                p.digest
+            );
+            failed = true;
+        }
+    }
+
+    let res_serial = irn_resilience(&scale, &CHAOS_CHECK_SEEDS, 1);
+    let res_parallel = irn_resilience(&scale, &CHAOS_CHECK_SEEDS, 8);
+    for (a, b) in res_serial
+        .dcqcn
+        .iter()
+        .chain(res_serial.irn.iter())
+        .zip(res_parallel.dcqcn.iter().chain(res_parallel.irn.iter()))
+    {
+        if a.digest != b.digest {
+            eprintln!(
+                "FAIL: resilience {}/{} seed {:?}: digest {:#x} (jobs 1) != {:#x} (jobs 8)",
+                a.label, a.transport, a.fault_seed, a.digest, b.digest
+            );
+            failed = true;
+        }
+    }
+    for v in grid_serial
+        .violations()
+        .iter()
+        .chain(grid_parallel.violations().iter())
+        .chain(res_serial.violations().iter())
+        .chain(res_parallel.violations().iter())
+    {
+        eprintln!("FAIL: invariant violation: {v}");
+        failed = true;
+    }
+    let rescued: usize = res_serial.rescued().iter().map(|&(_, n)| n).sum();
+    if rescued == 0 {
+        eprintln!("FAIL: no DCQCN-stranded flow was rescued by IRN across any fault seed");
+        failed = true;
+    }
+
+    println!("{}", grid_serial.render());
+    println!("{}", res_serial.render());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        eprintln!(
+            "# irn --check passed: digests jobs-invariant, golden pinned, \
+             {rescued} flows rescued, no violations"
+        );
+        ExitCode::SUCCESS
+    }
 }
 
 /// CI chaos gate: the fixed fault seeds × every policy at tiny scale,
@@ -213,6 +310,30 @@ fn main() -> ExitCode {
             let report = tournament(&scale, seeds, opts.jobs);
             println!("{}", report.render());
             let violations = report.violations();
+            for v in &violations {
+                eprintln!("invariant violation: {v}");
+            }
+            if violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if which == "irn" {
+        return if check {
+            irn_check()
+        } else {
+            let grid = irn_grid(&scale, opts.jobs);
+            println!("{}", grid.render());
+            let res = irn_resilience(&scale, &CHAOS_CHECK_SEEDS, opts.jobs);
+            println!("{}", res.render());
+            let violations: Vec<String> = grid
+                .violations()
+                .into_iter()
+                .chain(res.violations())
+                .collect();
             for v in &violations {
                 eprintln!("invariant violation: {v}");
             }

@@ -244,9 +244,14 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosPoint {
     }
 
     // (3) No silent defects: injected faults must never hit the
-    // defensive wiring-defect paths.
+    // defensive wiring-defect paths, and no DCQCN sender may ever be
+    // stranded with zero credit — wire loss makes flows *victims*,
+    // not stranded senders, so a nonzero count is a pacing bug.
     if totals.defects != 0 {
         violations.push(format!("{} defect events recorded", totals.defects));
+    }
+    if r.rdma_stranded != 0 {
+        violations.push(format!("{} stranded DCQCN senders", r.rdma_stranded));
     }
 
     // (4) Scheduler-timer parity: wheel timers fire at their exact

@@ -33,6 +33,7 @@ mod chaos;
 mod figures;
 mod hybrid;
 mod incast;
+mod irn;
 mod report;
 mod scale;
 mod sweep;
@@ -53,6 +54,9 @@ pub use figures::{
 };
 pub use hybrid::{run_hybrid, HybridConfig, HybridPoint};
 pub use incast::{run_incast, IncastConfig, IncastPoint};
+pub use irn::{
+    irn_grid, irn_resilience, run_irn_cell, IrnCellConfig, IrnGrid, IrnPoint, IrnResilience,
+};
 pub use report::{fmt_bytes, fmt_f64, Table};
 pub use scale::ExperimentScale;
 pub use sweep::{

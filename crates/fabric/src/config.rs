@@ -3,7 +3,7 @@
 
 use dcn_sim::{FaultSchedule, SimDuration, TraceConfig};
 use dcn_switch::{AbmPolicy, BufferPolicy, DtPolicy, OccamyPolicy, SwitchConfig};
-use dcn_transport::{DcqcnConfig, DctcpConfig};
+use dcn_transport::{DcqcnConfig, DctcpConfig, IrnConfig};
 use l2bm::{BShareConfig, BSharePolicy, L2bmConfig, L2bmPolicy};
 
 /// Which PFC-threshold policy every switch runs — the four columns of
@@ -130,6 +130,37 @@ impl TrainConfig {
     }
 }
 
+/// Which transport the fabric's RDMA flows run — the two universes of
+/// the lossless-vs-lossy resilience comparison.
+///
+/// A flow spec declares *what* it is (`TrafficClass::Lossless` = RDMA);
+/// this selector decides *how* that RDMA is carried. With
+/// [`RdmaTransport::Irn`], lossless-class specs get IRN endpoints and
+/// their packets ride the droppable `LossyRdma` class: no PFC, switch-
+/// and receiver-generated NACKs, go-back-N retransmission and a backed-
+/// off RTO. FCT/slowdown reports still group these flows as RDMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RdmaTransport {
+    /// Lossless RDMA: DCQCN rate control over PFC-protected queues
+    /// (the paper's universe). The default — a config that never
+    /// selects [`RdmaTransport::Irn`] is byte-identical to a build
+    /// without IRN support.
+    #[default]
+    Dcqcn,
+    /// Lossy RDMA: IRN-style NACK/retransmission without PFC.
+    Irn,
+}
+
+impl RdmaTransport {
+    /// Display label for experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            RdmaTransport::Dcqcn => "DCQCN",
+            RdmaTransport::Irn => "IRN",
+        }
+    }
+}
+
 /// Full configuration of a [`crate::FabricSim`].
 #[derive(Debug, Clone)]
 pub struct FabricConfig {
@@ -141,6 +172,18 @@ pub struct FabricConfig {
     pub dctcp: DctcpConfig,
     /// DCQCN tunables (lossless flows).
     pub dcqcn: DcqcnConfig,
+    /// Which transport carries RDMA (lossless-class) flow specs.
+    pub rdma_transport: RdmaTransport,
+    /// IRN tunables (used when [`FabricConfig::rdma_transport`] is
+    /// [`RdmaTransport::Irn`]).
+    pub irn: IrnConfig,
+    /// Opt-in RDMA-flow liveness watchdog: if an unfinished RDMA flow
+    /// (either transport) makes no receiver progress over a whole
+    /// interval, a `FlowStalled` trace event is recorded and the run's
+    /// `flow_stalls` defect counter bumped — once per stall episode.
+    /// `None` (the default) arms no timers and adds no events, keeping
+    /// legacy digests byte-identical.
+    pub flow_watchdog: Option<SimDuration>,
     /// Buffer-occupancy sampling period (paper: 1 ms). `None` disables
     /// sampling.
     pub sample_interval: Option<SimDuration>,
@@ -167,6 +210,9 @@ impl Default for FabricConfig {
             policy: PolicyChoice::dt(),
             dctcp: DctcpConfig::default(),
             dcqcn: DcqcnConfig::default(),
+            rdma_transport: RdmaTransport::default(),
+            irn: IrnConfig::default(),
+            flow_watchdog: None,
             sample_interval: Some(SimDuration::from_millis(1)),
             seed: 1,
             trace: TraceConfig::default(),
@@ -198,6 +244,15 @@ mod tests {
         assert_eq!(PolicyChoice::l2bm().build().name(), "L2BM");
         assert_eq!(PolicyChoice::occamy().build().name(), "Occamy");
         assert_eq!(PolicyChoice::bshare().build().name(), "BShare");
+    }
+
+    #[test]
+    fn rdma_transport_defaults_to_dcqcn() {
+        let cfg = FabricConfig::default();
+        assert_eq!(cfg.rdma_transport, RdmaTransport::Dcqcn);
+        assert!(cfg.flow_watchdog.is_none());
+        assert_eq!(RdmaTransport::Dcqcn.label(), "DCQCN");
+        assert_eq!(RdmaTransport::Irn.label(), "IRN");
     }
 
     #[test]

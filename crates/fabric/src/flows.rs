@@ -1,12 +1,15 @@
-//! Per-flow transport runtime: one DCTCP or DCQCN endpoint pair, and
-//! the dense flow-id → flow-index table the per-packet hot path uses.
+//! Per-flow transport runtime: one DCTCP, DCQCN or IRN endpoint pair,
+//! and the dense flow-id → flow-index table the per-packet hot path
+//! uses.
 
 use dcn_net::{FlowId, TrafficClass};
 use dcn_sim::{SimDuration, SimTime, TimerHandle};
-use dcn_transport::{DcqcnReceiver, DcqcnSender, DctcpReceiver, DctcpSender};
+use dcn_transport::{
+    DcqcnReceiver, DcqcnSender, DctcpReceiver, DctcpSender, IrnReceiver, IrnSender,
+};
 use dcn_workload::FlowSpec;
 
-/// The sender/receiver pair of one flow, typed by traffic class.
+/// The sender/receiver pair of one flow, typed by transport.
 #[derive(Debug)]
 pub enum FlowRuntime {
     /// A lossy flow: DCTCP endpoints.
@@ -23,6 +26,15 @@ pub enum FlowRuntime {
         /// Receiver (notification point).
         receiver: DcqcnReceiver,
     },
+    /// A lossy-RDMA flow: IRN endpoints (NACK-driven retransmission,
+    /// no PFC). Selected by [`crate::RdmaTransport::Irn`] for
+    /// lossless-class specs; the packets ride `TrafficClass::LossyRdma`.
+    Irn {
+        /// Sender state machine.
+        sender: IrnSender,
+        /// Receiver state machine.
+        receiver: IrnReceiver,
+    },
 }
 
 /// Wheel-timer handles owned by one flow's sender. Each slot is the
@@ -32,12 +44,15 @@ pub enum FlowRuntime {
 /// pending-event population bounded for long-lived flows.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FlowTimers {
-    /// DCTCP retransmission deadline.
+    /// DCTCP/IRN retransmission deadline.
     pub rto: Option<TimerHandle>,
     /// DCQCN α-decay timer.
     pub alpha: Option<TimerHandle>,
     /// DCQCN rate-increase timer.
     pub rate: Option<TimerHandle>,
+    /// Opt-in RDMA liveness-watchdog deadline (see
+    /// [`crate::FabricConfig::flow_watchdog`]).
+    pub flow_watchdog: Option<TimerHandle>,
 }
 
 /// A flow plus its lifecycle bookkeeping.
@@ -55,6 +70,13 @@ pub struct FlowState {
     /// route is healthy so a mid-run link failure cannot poison the
     /// slowdown denominator of flows that finish after it.
     pub ideal: SimDuration,
+    /// Receiver progress (in-order bytes) seen at the last liveness-
+    /// watchdog fire. Only meaningful while the watchdog is armed.
+    pub watchdog_progress: u64,
+    /// Whether the current no-progress episode has already been
+    /// counted; cleared when progress resumes, so a flow stalling twice
+    /// counts two stall episodes, not one per watchdog fire.
+    pub stall_flagged: bool,
 }
 
 impl FlowState {
@@ -68,6 +90,9 @@ impl FlowState {
             FlowRuntime::Rdma { sender, receiver } => {
                 !sender.has_more() && receiver.finished_at().is_some()
             }
+            FlowRuntime::Irn { sender, receiver } => {
+                sender.is_completed() && receiver.finished_at().is_some()
+            }
         }
     }
 
@@ -76,6 +101,17 @@ impl FlowState {
         match &self.runtime {
             FlowRuntime::Tcp { receiver, .. } => receiver.finished_at(),
             FlowRuntime::Rdma { receiver, .. } => receiver.finished_at(),
+            FlowRuntime::Irn { receiver, .. } => receiver.finished_at(),
+        }
+    }
+
+    /// In-order bytes delivered to the receiver so far (the liveness
+    /// watchdog's progress measure, comparable across transports).
+    pub fn received(&self) -> u64 {
+        match &self.runtime {
+            FlowRuntime::Tcp { receiver, .. } => receiver.received(),
+            FlowRuntime::Rdma { receiver, .. } => receiver.received(),
+            FlowRuntime::Irn { receiver, .. } => receiver.received(),
         }
     }
 

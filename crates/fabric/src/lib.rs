@@ -48,7 +48,7 @@ mod host;
 mod results;
 mod world;
 
-pub use config::{FabricConfig, PolicyChoice, TrainConfig};
+pub use config::{FabricConfig, PolicyChoice, RdmaTransport, TrainConfig};
 pub use flows::{FlowRuntime, FlowState, FlowTable};
 pub use host::Host;
 pub use results::{RunResults, TrainStats};

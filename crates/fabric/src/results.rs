@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use dcn_metrics::{DropCounters, FctSet, OccupancySeries, PfcCounters};
+use dcn_metrics::{DropCounters, FctSet, IrnCounters, OccupancySeries, PfcCounters};
 use dcn_net::NodeId;
 use dcn_sim::QueueStats;
 
@@ -44,6 +44,18 @@ pub struct RunResults {
     pub queue: QueueStats,
     /// Packet-train coalescing counters (zero when trains are off).
     pub trains: TrainStats,
+    /// IRN (lossy RDMA) transport counters. All zero — and excluded
+    /// from [`RunResults::digest`] — when no flow ran the IRN
+    /// transport, so legacy digests are unchanged by IRN support.
+    pub irn: IrnCounters,
+    /// DCQCN senders found stranded (unsent bytes, no pacing event) —
+    /// a transport-liveness defect that must stay zero; asserted by the
+    /// golden-digest and chaos checks. Not part of the digest.
+    pub rdma_stranded: u64,
+    /// Liveness-watchdog stall episodes on RDMA flows (zero unless
+    /// [`crate::FabricConfig::flow_watchdog`] is set). Not part of the
+    /// digest.
+    pub flow_stalls: u64,
 }
 
 impl RunResults {
@@ -104,6 +116,19 @@ impl RunResults {
             }
         }
         mix(self.unfinished_flows as u64);
+        // IRN counters join the fingerprint only when the run actually
+        // carried IRN flows: a DCQCN-only run mixes nothing here and
+        // keeps its pre-IRN digest byte-identical.
+        if self.irn.flows > 0 {
+            mix(self.irn.flows);
+            mix(self.irn.nacks_switch);
+            mix(self.irn.nacks_receiver);
+            mix(self.irn.retransmitted_packets);
+            mix(self.irn.retransmitted_bytes);
+            mix(self.irn.rto_fires);
+            mix(self.drops.lossy_rdma_packets);
+            mix(self.drops.lossy_rdma_bytes);
+        }
         if include_events {
             mix(self.events_processed);
         }
@@ -126,6 +151,20 @@ mod tests {
         assert_ne!(r.digest(), empty.digest());
         let mut r = RunResults::default();
         r.drops.lossy_packets = 1;
+        assert_ne!(r.digest(), empty.digest());
+    }
+
+    #[test]
+    fn irn_counters_only_digest_when_irn_flows_ran() {
+        let empty = RunResults::default();
+        // Phantom IRN activity with zero IRN flows (impossible in a real
+        // run) must not perturb the digest: the gate is the flow count.
+        let mut r = RunResults::default();
+        r.irn.nacks_switch = 5;
+        r.rdma_stranded = 2;
+        r.flow_stalls = 3;
+        assert_eq!(r.digest(), empty.digest());
+        r.irn.flows = 1;
         assert_ne!(r.digest(), empty.digest());
     }
 }

@@ -5,7 +5,7 @@
 //! the dense banked [`FlowTable`] and occupancy sampling through a
 //! node-indexed `Vec` — see DESIGN.md §3.5.
 
-use dcn_metrics::{DropCounters, FctRecord, OccupancySeries};
+use dcn_metrics::{DropCounters, FctRecord, IrnCounters, OccupancySeries};
 use dcn_net::{
     FlowId, LinkEnd, LinkId, NodeId, Packet, PacketKind, PfcFrame, PortId, Priority, RoutingTable,
     Topology, TrafficClass,
@@ -16,11 +16,12 @@ use dcn_sim::{
 };
 use dcn_switch::{PfcEmit, QueueIndex, SharedMemorySwitch, TxStart};
 use dcn_transport::{
-    DcqcnReceiver, DcqcnSender, DctcpReceiver, DctcpSender, RpTimerKind, TcpEvent,
+    DcqcnReceiver, DcqcnSender, DctcpReceiver, DctcpSender, IrnReceiver, IrnSender, RpTimerKind,
+    TcpEvent,
 };
 use dcn_workload::FlowSpec;
 
-use crate::config::FabricConfig;
+use crate::config::{FabricConfig, RdmaTransport};
 use crate::flows::{FlowRuntime, FlowState, FlowTable, FlowTimers};
 use crate::host::{Host, Train, TrainLeg};
 use crate::results::{RunResults, TrainStats};
@@ -77,10 +78,18 @@ pub enum Event {
         /// The flow.
         flow: FlowId,
     },
-    /// A DCTCP retransmission timer. Armed on the timing wheel through
-    /// a [`TimerHandle`]; a firing timer is live by construction
-    /// because every re-arm cancels the previous deadline.
+    /// A DCTCP or IRN retransmission timer. Armed on the timing wheel
+    /// through a [`TimerHandle`]; a firing timer is live by
+    /// construction because every re-arm cancels the previous deadline.
     Rto {
+        /// The flow.
+        flow: FlowId,
+    },
+    /// An RDMA-flow liveness-watchdog deadline (opt-in via
+    /// [`crate::FabricConfig::flow_watchdog`]): compare the receiver's
+    /// progress with the previous fire; no progress on an unfinished
+    /// flow flags a stall episode.
+    FlowWatchdog {
         /// The flow.
         flow: FlowId,
     },
@@ -160,6 +169,13 @@ pub struct World {
     outs_scratch: Vec<Packet>,
     /// Packet-train coalescing counters (all zero when trains are off).
     train_stats: TrainStats,
+    /// IRN transport counters (all zero in a DCQCN-only run).
+    irn: IrnCounters,
+    /// DCQCN senders found stranded (see [`World::handle_rdma_pace`]) —
+    /// a liveness defect that must stay zero.
+    rdma_stranded: u64,
+    /// Liveness-watchdog stall episodes across all RDMA flows.
+    flow_stalls: u64,
     /// Deliveries orphaned by a train split, keyed `(flow, seq,
     /// fire-time)`. The revoked leg's packet went back to the NIC
     /// queue, so when its already-scheduled `Deliver` fires it is
@@ -241,6 +257,9 @@ impl World {
             watchdog_timers,
             outs_scratch: Vec::new(),
             train_stats: TrainStats::default(),
+            irn: IrnCounters::new(),
+            rdma_stranded: 0,
+            flow_stalls: 0,
             suppressed_delivers: Vec::new(),
         }
     }
@@ -277,6 +296,9 @@ impl World {
             "duplicate flow id {}",
             spec.id
         );
+        // The spec declares *what* the flow is; `cfg.rdma_transport`
+        // decides *how* RDMA is carried. A `LossyRdma` spec class
+        // requests IRN explicitly, regardless of the fabric default.
         let runtime = match spec.class {
             TrafficClass::Lossy => FlowRuntime::Tcp {
                 sender: DctcpSender::new(
@@ -289,7 +311,7 @@ impl World {
                 ),
                 receiver: DctcpReceiver::new(spec.id, spec.dst, spec.src, spec.priority, spec.size),
             },
-            TrafficClass::Lossless => {
+            TrafficClass::Lossless if self.cfg.rdma_transport == RdmaTransport::Dcqcn => {
                 let rate = self.topo.link(self.topo.node(spec.src).ports[0]).rate;
                 FlowRuntime::Rdma {
                     sender: DcqcnSender::new(
@@ -310,9 +332,24 @@ impl World {
                     ),
                 }
             }
+            TrafficClass::Lossless | TrafficClass::LossyRdma => FlowRuntime::Irn {
+                sender: IrnSender::new(
+                    self.cfg.irn,
+                    spec.id,
+                    spec.src,
+                    spec.dst,
+                    spec.priority,
+                    spec.size,
+                ),
+                receiver: IrnReceiver::new(spec.id, spec.dst, spec.src, spec.priority, spec.size),
+            },
         };
+        let is_irn = matches!(runtime, FlowRuntime::Irn { .. });
+        if is_irn {
+            self.irn.flows += 1;
+        }
         let ix = self.flows.len();
-        let ideal = self.ideal_fct(&spec);
+        let ideal = self.ideal_fct(&spec, is_irn);
         self.flow_ix.insert(spec.id, ix);
         self.flows.push(FlowState {
             spec,
@@ -320,6 +357,8 @@ impl World {
             timers: FlowTimers::default(),
             recorded: false,
             ideal,
+            watchdog_progress: 0,
+            stall_flagged: false,
         });
         self.counted_done.push(false);
         ix
@@ -330,10 +369,16 @@ impl World {
     /// at the bottleneck link. Evaluated at registration time, while
     /// every route is healthy; panicking here on a disconnected endpoint
     /// is a configuration error, not a runtime fault.
-    fn ideal_fct(&self, spec: &FlowSpec) -> SimDuration {
-        let (mtu, header) = match spec.class {
-            TrafficClass::Lossy => (self.cfg.dctcp.mss, self.cfg.dctcp.header),
-            TrafficClass::Lossless => (self.cfg.dcqcn.mtu, self.cfg.dcqcn.header),
+    fn ideal_fct(&self, spec: &FlowSpec, is_irn: bool) -> SimDuration {
+        let (mtu, header) = if is_irn {
+            (self.cfg.irn.mtu, self.cfg.irn.header)
+        } else {
+            match spec.class {
+                TrafficClass::Lossy => (self.cfg.dctcp.mss, self.cfg.dctcp.header),
+                TrafficClass::Lossless | TrafficClass::LossyRdma => {
+                    (self.cfg.dcqcn.mtu, self.cfg.dcqcn.header)
+                }
+            }
         };
         let n_pkts = spec.size.div_ceil_by(Bytes::new(mtu));
         let total_wire = spec.size + header * n_pkts;
@@ -638,6 +683,29 @@ impl World {
                     self.host_inject(now, spec.src, p, q);
                 }
             }
+            FlowRuntime::Irn { sender, .. } => {
+                let mut burst = std::mem::take(&mut self.outs_scratch);
+                sender.take_ready(now, &mut burst);
+                let rto = sender.rto();
+                self.flows[ix].timers.rto =
+                    Some(q.schedule_timer_after(now, rto, Event::Rto { flow: spec.id }));
+                for p in burst.drain(..) {
+                    self.host_inject(now, spec.src, p, q);
+                }
+                self.outs_scratch = burst;
+            }
+        }
+        // Opt-in liveness watchdog covers RDMA flows of both universes
+        // (DCQCN and IRN); DCTCP's own RTO machinery already guarantees
+        // liveness for the lossy class.
+        if let Some(interval) = self.cfg.flow_watchdog {
+            if !matches!(self.flows[ix].runtime, FlowRuntime::Tcp { .. }) {
+                self.flows[ix].timers.flow_watchdog = Some(q.schedule_timer_after(
+                    now,
+                    interval,
+                    Event::FlowWatchdog { flow: spec.id },
+                ));
+            }
         }
     }
 
@@ -665,7 +733,15 @@ impl World {
         if let Some(tx) = res.tx {
             self.schedule_switch_tx(now, node, tx, q);
         }
-        // Drops need no action here: lossy transports recover via
+        if let Some(nack) = res.nack {
+            // An out-of-order lossy-RDMA arrival: the switch generated an
+            // IRN NACK toward the sender. Inject it here as if it entered
+            // on the same port the offending data packet used. Recursion
+            // is depth-1: only Data packets trigger NACK generation.
+            self.irn.nacks_switch += 1;
+            self.switch_receive(now, node, in_port, nack, q);
+        }
+        // Other drops need no action here: lossy transports recover via
         // dup-ACKs/RTO, and lossless drops are counted as config failures.
     }
 
@@ -684,6 +760,7 @@ impl World {
         let mut rearm_rto: Option<SimDuration> = None;
         let mut cancel_rto = false;
         let mut arm_rp: Option<(SimDuration, SimDuration)> = None;
+        let mut irn_watermark: Option<u64> = None;
 
         match (&mut self.flows[ix].runtime, packet.kind) {
             (FlowRuntime::Tcp { receiver, .. }, PacketKind::Data) => {
@@ -743,6 +820,48 @@ impl World {
                     outs.push(cnp);
                 }
             }
+            (FlowRuntime::Irn { receiver, .. }, PacketKind::Data) => {
+                let fb = receiver.on_data(now, packet.seq, packet.payload, packet.ecn.is_ce());
+                if let PacketKind::Nack { nack_seq, .. } = fb.kind {
+                    // A new gap at the receiver that no switch on the
+                    // path spotted first (e.g. the loss was on the
+                    // last hop).
+                    self.irn.nacks_receiver += 1;
+                    let t_flow = packet.flow.as_u64();
+                    let t_node = host.index() as u32;
+                    self.trace.record_with(now, || TraceEvent::IrnNack {
+                        flow: t_flow,
+                        nack_seq,
+                        node: t_node,
+                        from_switch: false,
+                    });
+                }
+                outs.push(fb);
+            }
+            (FlowRuntime::Irn { sender, .. }, PacketKind::Ack { cumulative_ack, .. }) => {
+                irn_watermark = Some(sender.snd_max());
+                let action = sender.on_ack(now, cumulative_ack, &mut outs);
+                if action.rearm_timer {
+                    rearm_rto = Some(sender.rto());
+                } else if action.completed {
+                    cancel_rto = true;
+                }
+            }
+            (
+                FlowRuntime::Irn { sender, .. },
+                PacketKind::Nack {
+                    nack_seq,
+                    cumulative_ack,
+                },
+            ) => {
+                irn_watermark = Some(sender.snd_max());
+                let action = sender.on_nack(now, nack_seq, cumulative_ack, &mut outs);
+                if action.rearm_timer {
+                    rearm_rto = Some(sender.rto());
+                } else if action.completed {
+                    cancel_rto = true;
+                }
+            }
             (FlowRuntime::Rdma { sender, .. }, PacketKind::Cnp) => {
                 if sender.on_cnp(now) {
                     let cfg = sender.config();
@@ -773,6 +892,9 @@ impl World {
             }
         }
 
+        if let Some(watermark) = irn_watermark {
+            self.count_irn_retransmits(now, &outs, watermark);
+        }
         self.record_if_finished(ix);
         self.update_done(ix);
 
@@ -823,6 +945,27 @@ impl World {
         self.outs_scratch = outs;
     }
 
+    /// Counts and traces the retransmissions in an IRN sender's output
+    /// burst: any data packet at a sequence below the sender's pre-call
+    /// `snd_max` re-covers previously sent bytes. Called with the burst
+    /// produced by `on_ack`/`on_nack`/`on_timeout`, so every counted
+    /// retransmission is causally downstream of a NACK or RTO event —
+    /// the invariant the flight-recorder causality check verifies.
+    fn count_irn_retransmits(&mut self, now: SimTime, outs: &[Packet], watermark: u64) {
+        for p in outs {
+            if p.is_data() && p.seq < watermark {
+                self.irn.retransmitted_packets += 1;
+                self.irn.retransmitted_bytes += p.payload.as_u64();
+                let t_flow = p.flow.as_u64();
+                let t_seq = p.seq;
+                self.trace.record_with(now, || TraceEvent::IrnRetransmit {
+                    flow: t_flow,
+                    seq: t_seq,
+                });
+            }
+        }
+    }
+
     fn handle_rdma_pace(&mut self, now: SimTime, flow: FlowId, q: &mut EventQueue<Event>) {
         let Some(ix) = self.flow_ix.get(flow) else {
             return;
@@ -849,6 +992,7 @@ impl World {
                 sender.snd_nxt(),
             );
             if stranded {
+                self.rdma_stranded += 1;
                 let t_flow = flow.as_u64();
                 let snd_nxt = sender.snd_nxt();
                 self.trace.record_with(now, || TraceEvent::RdmaStranded {
@@ -867,18 +1011,33 @@ impl World {
         let spec = self.flows[ix].spec;
         // Firing consumed the wheel entry; the stored handle is dead.
         self.flows[ix].timers.rto = None;
-        let FlowRuntime::Tcp { sender, .. } = &mut self.flows[ix].runtime else {
-            return;
-        };
         let mut outs = std::mem::take(&mut self.outs_scratch);
-        let action = sender.on_timeout(now, &mut outs);
-        if action.rearm_timer {
-            // A wheel timer only fires while live, so every arrival
-            // here is a real timeout; this records exactly the RTOs
-            // that actually fired.
-            let rto = sender.rto();
+        // A wheel timer only fires while live, so every arrival here is
+        // a real timeout; `fired` records exactly the RTOs that fired.
+        let mut fired: Option<(SimDuration, u32)> = None;
+        let mut irn_watermark: Option<u64> = None;
+        match &mut self.flows[ix].runtime {
+            FlowRuntime::Tcp { sender, .. } => {
+                let action = sender.on_timeout(now, &mut outs);
+                if action.rearm_timer {
+                    fired = Some((sender.rto(), sender.backoff()));
+                }
+            }
+            FlowRuntime::Irn { sender, .. } => {
+                irn_watermark = Some(sender.snd_max());
+                let action = sender.on_timeout(now, &mut outs);
+                if action.rearm_timer {
+                    fired = Some((sender.rto(), sender.backoff()));
+                    self.irn.rto_fires += 1;
+                }
+            }
+            FlowRuntime::Rdma { .. } => {
+                self.outs_scratch = outs;
+                return;
+            }
+        }
+        if let Some((rto, backoff)) = fired {
             let t_flow = flow.as_u64();
-            let backoff = sender.backoff();
             self.trace.record_with(now, || TraceEvent::RtoFire {
                 flow: t_flow,
                 backoff,
@@ -886,10 +1045,48 @@ impl World {
             });
             self.flows[ix].timers.rto = Some(q.schedule_timer_after(now, rto, Event::Rto { flow }));
         }
+        if let Some(watermark) = irn_watermark {
+            self.count_irn_retransmits(now, &outs, watermark);
+        }
         for p in outs.drain(..) {
             self.host_inject(now, spec.src, p, q);
         }
         self.outs_scratch = outs;
+    }
+
+    /// Opt-in RDMA liveness watchdog: fires every `flow_watchdog`
+    /// interval per unfinished RDMA flow, comparing receiver progress
+    /// against the previous fire. A whole interval with zero new
+    /// in-order bytes is one stall *episode* — counted once, and again
+    /// only after progress resumes and stalls anew.
+    fn handle_flow_watchdog(&mut self, now: SimTime, flow: FlowId, q: &mut EventQueue<Event>) {
+        let Some(ix) = self.flow_ix.get(flow) else {
+            return;
+        };
+        // Firing consumed the wheel entry; the stored handle is dead.
+        self.flows[ix].timers.flow_watchdog = None;
+        if self.flows[ix].is_done() {
+            return;
+        }
+        let received = self.flows[ix].received();
+        if received > self.flows[ix].watchdog_progress {
+            self.flows[ix].watchdog_progress = received;
+            self.flows[ix].stall_flagged = false;
+        } else if !self.flows[ix].stall_flagged {
+            self.flows[ix].stall_flagged = true;
+            self.flow_stalls += 1;
+            let t_flow = flow.as_u64();
+            self.trace.record_with(now, || TraceEvent::FlowStalled {
+                flow: t_flow,
+                received,
+            });
+        }
+        let interval = self
+            .cfg
+            .flow_watchdog
+            .expect("watchdog fired while disabled");
+        self.flows[ix].timers.flow_watchdog =
+            Some(q.schedule_timer_after(now, interval, Event::FlowWatchdog { flow }));
     }
 
     fn handle_rp_timer(
@@ -948,6 +1145,7 @@ impl World {
         match packet.class {
             TrafficClass::Lossless => self.wire_drops.record_lossless(packet.size),
             TrafficClass::Lossy => self.wire_drops.record_lossy(packet.size),
+            TrafficClass::LossyRdma => self.wire_drops.record_lossy_rdma(packet.size),
         }
         let t_node = node.index() as u32;
         let t_port = in_port.index() as u16;
@@ -1228,6 +1426,7 @@ impl Simulation for World {
             }
             Event::RdmaPace { flow } => self.handle_rdma_pace(now, flow, q),
             Event::Rto { flow } => self.handle_rto(now, flow, q),
+            Event::FlowWatchdog { flow } => self.handle_flow_watchdog(now, flow, q),
             Event::RpTimer { flow, kind } => self.handle_rp_timer(now, flow, kind, q),
             Event::Sample => self.handle_sample(now, q),
             Event::Fault { fault } => self.apply_fault(now, fault, q),
@@ -1362,6 +1561,9 @@ impl FabricSim {
             unfinished_flows: self.world.flow_count() - self.world.done_flows(),
             queue: self.queue.stats(),
             trains: self.world.train_stats,
+            irn: self.world.irn,
+            rdma_stranded: self.world.rdma_stranded,
+            flow_stalls: self.world.flow_stalls,
             ..RunResults::default()
         };
         for rec in &self.world.fct {
@@ -1404,7 +1606,7 @@ mod tests {
             start: SimTime::from_micros(start_us),
             class,
             priority: match class {
-                TrafficClass::Lossless => Priority::new(3),
+                TrafficClass::Lossless | TrafficClass::LossyRdma => Priority::new(3),
                 TrafficClass::Lossy => Priority::new(1),
             },
         }
@@ -1695,5 +1897,172 @@ mod tests {
         let r = sim.results();
         assert!(r.pause_frames() > 0, "small buffer must trigger PFC");
         assert_eq!(r.drops.lossless_packets, 0, "headroom must cover in-flight");
+    }
+
+    fn irn_sim(policy: PolicyChoice, hosts: usize, buffer_kb: u64) -> FabricSim {
+        let topo =
+            Topology::single_switch(hosts, BitRate::from_gbps(25), SimDuration::from_micros(1));
+        let cfg = FabricConfig {
+            policy,
+            rdma_transport: RdmaTransport::Irn,
+            switch: dcn_switch::SwitchConfig {
+                total_buffer: Bytes::from_kb(buffer_kb),
+                ..Default::default()
+            },
+            sample_interval: None,
+            trace: dcn_sim::TraceConfig::enabled(),
+            ..FabricConfig::default()
+        };
+        FabricSim::new(topo, cfg)
+    }
+
+    #[test]
+    fn one_irn_flow_completes_near_ideal() {
+        let mut sim = irn_sim(PolicyChoice::dt(), 2, 1_000);
+        sim.add_flow(spec(1, 0, 1, 100_000, TrafficClass::Lossless, 0));
+        assert!(sim.run_until_done(SimTime::from_millis(50)));
+        let r = sim.results();
+        assert_eq!(r.fct.len(), 1);
+        assert_eq!(r.irn.flows, 1, "lossless spec must run IRN endpoints");
+        let slow = r.fct.records()[0].slowdown();
+        assert!(slow < 1.6, "uncongested IRN flow slowdown {slow}");
+        // Clean path: nothing lost, nothing NACKed, nothing retransmitted,
+        // and crucially no PFC — lossy RDMA never pauses.
+        assert_eq!(r.irn.nacks(), 0);
+        assert_eq!(r.irn.retransmitted_packets, 0);
+        assert_eq!(r.irn.rto_fires, 0);
+        assert_eq!(r.pause_frames(), 0);
+        assert_eq!(r.drops.lossy_rdma_packets, 0);
+    }
+
+    #[test]
+    fn irn_incast_recovers_from_drops_without_pfc() {
+        // 8-into-1 over a buffer small enough to overflow: the lossless
+        // universe would PFC-pause its way through; the IRN universe
+        // must instead drop, NACK, retransmit, and still finish.
+        let mut sim = irn_sim(PolicyChoice::l2bm(), 9, 64);
+        for i in 0..8 {
+            sim.add_flow(spec(i, i as u32, 8, 250_000, TrafficClass::Lossless, 0));
+        }
+        assert!(sim.run_until_done(SimTime::from_millis(500)));
+        let r = sim.results();
+        assert_eq!(r.fct.len(), 8, "every IRN flow must complete");
+        assert_eq!(r.irn.flows, 8);
+        assert_eq!(r.pause_frames(), 0, "lossy RDMA must never PFC-pause");
+        assert!(
+            r.drops.lossy_rdma_packets > 0,
+            "incast over 64 KB must overflow"
+        );
+        assert!(r.irn.nacks() > 0, "drops must trigger NACKs");
+        assert!(r.irn.retransmitted_packets > 0, "NACKs must repair holes");
+        assert_eq!(r.rdma_stranded, 0);
+
+        // Flight-recorder reconciliation: trace totals match counters.
+        let totals = sim.trace().with(|rec| rec.totals()).expect("enabled");
+        assert_eq!(totals.irn_nacks, r.irn.nacks());
+        assert_eq!(totals.irn_retransmits, r.irn.retransmitted_packets);
+        assert_eq!(
+            totals.drops(),
+            r.drops.lossy_packets + r.drops.lossless_packets,
+            "lossy-RDMA drops are a refinement of the lossy total"
+        );
+    }
+
+    #[test]
+    fn irn_retransmissions_are_causally_preceded_by_nack_or_rto() {
+        // Satellite invariant at fabric level: every IrnRetransmit in
+        // the trace is preceded by an IrnNack for the same flow (with a
+        // nack_seq at or below the retransmitted seq — GBN resends from
+        // the hole) or by an RtoFire for that flow.
+        use std::collections::HashSet;
+        let mut sim = irn_sim(PolicyChoice::dt(), 9, 64);
+        for i in 0..8 {
+            sim.add_flow(spec(i, i as u32, 8, 250_000, TrafficClass::Lossless, 0));
+        }
+        assert!(sim.run_until_done(SimTime::from_millis(500)));
+        let r = sim.results();
+        assert!(r.irn.retransmitted_packets > 0, "scenario must retransmit");
+        let unexplained = sim
+            .trace()
+            .with(|rec| {
+                let mut nacked: HashSet<(u64, u64)> = HashSet::new();
+                let mut rto_fired: HashSet<u64> = HashSet::new();
+                let mut unexplained = 0u64;
+                for record in rec.records() {
+                    match record.event {
+                        TraceEvent::IrnNack { flow, nack_seq, .. } => {
+                            nacked.insert((flow, nack_seq));
+                        }
+                        TraceEvent::RtoFire { flow, .. } => {
+                            rto_fired.insert(flow);
+                        }
+                        TraceEvent::IrnRetransmit { flow, seq } => {
+                            let by_nack = nacked.iter().any(|&(f, ns)| f == flow && ns <= seq);
+                            if !by_nack && !rto_fired.contains(&flow) {
+                                unexplained += 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                unexplained
+            })
+            .expect("enabled");
+        assert_eq!(unexplained, 0, "orphan retransmissions in trace");
+    }
+
+    #[test]
+    fn flow_watchdog_is_quiet_on_healthy_runs_and_counts_stalls() {
+        // Healthy run, watchdog armed: no stall episodes, no defects.
+        let topo = Topology::single_switch(3, BitRate::from_gbps(25), SimDuration::from_micros(1));
+        let cfg = FabricConfig {
+            flow_watchdog: Some(SimDuration::from_micros(500)),
+            sample_interval: None,
+            ..FabricConfig::default()
+        };
+        let mut sim = FabricSim::new(topo, cfg);
+        sim.add_flow(spec(1, 0, 2, 400_000, TrafficClass::Lossless, 0));
+        assert!(sim.run_until_done(SimTime::from_millis(50)));
+        assert_eq!(sim.results().flow_stalls, 0);
+
+        // A flow whose path dies mid-transfer and never heals: the
+        // DCQCN sender keeps pacing into a black hole; the watchdog is
+        // the only thing that notices — exactly one episode.
+        let topo = Topology::single_switch(3, BitRate::from_gbps(25), SimDuration::from_micros(1));
+        let link = topo.node(dcn_net::NodeId::new(0)).ports[0].index() as u32;
+        let mut faults = dcn_sim::FaultSchedule::none();
+        faults.push(
+            SimTime::from_micros(100),
+            dcn_sim::FaultEvent::LinkDown { link },
+        );
+        let cfg = FabricConfig {
+            flow_watchdog: Some(SimDuration::from_micros(500)),
+            sample_interval: None,
+            faults,
+            ..FabricConfig::default()
+        };
+        let mut sim = FabricSim::new(topo, cfg);
+        sim.add_flow(spec(1, 0, 2, 400_000, TrafficClass::Lossless, 0));
+        assert!(!sim.run_until_done(SimTime::from_millis(20)));
+        let r = sim.results();
+        assert_eq!(r.unfinished_flows, 1);
+        assert_eq!(r.flow_stalls, 1, "one stall episode, counted once");
+    }
+
+    #[test]
+    fn default_config_carries_no_irn_state_into_results() {
+        // With the default DCQCN transport and no watchdog, a run's
+        // results must be indistinguishable from a build without IRN
+        // support: zero IRN counters, no stranding, no stalls — so the
+        // digest gate (`irn.flows > 0`) never opens.
+        let mut sim = single_switch_sim(PolicyChoice::dt(), 3);
+        sim.add_flow(spec(1, 0, 2, 100_000, TrafficClass::Lossless, 0));
+        sim.add_flow(spec(2, 1, 2, 100_000, TrafficClass::Lossy, 0));
+        assert!(sim.run_until_done(SimTime::from_millis(50)));
+        let r = sim.results();
+        assert_eq!(r.irn, dcn_metrics::IrnCounters::new());
+        assert_eq!(r.rdma_stranded, 0);
+        assert_eq!(r.flow_stalls, 0);
+        assert_eq!(r.drops.lossy_rdma_packets, 0);
     }
 }

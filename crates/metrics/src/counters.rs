@@ -92,6 +92,12 @@ pub struct DropCounters {
     pub evicted_packets: u64,
     /// Bytes preemptively evicted (subset of `lossy_bytes`).
     pub evicted_bytes: u64,
+    /// Lossy-RDMA (IRN) packets dropped — a subset of `lossy_packets`,
+    /// split out so the resilience grid can attribute drops to the
+    /// retransmitting transport rather than to TCP.
+    pub lossy_rdma_packets: u64,
+    /// Lossy-RDMA bytes dropped (subset of `lossy_bytes`).
+    pub lossy_rdma_bytes: u64,
 }
 
 impl DropCounters {
@@ -122,6 +128,17 @@ impl DropCounters {
         self.evicted_bytes += size.as_u64();
     }
 
+    /// Records a lossy-RDMA (IRN) drop. Like [`record_evicted`], this is
+    /// a refinement of the lossy totals: the packet also counts as a
+    /// lossy drop, so `lossy + lossless == trace drops()` stays exact.
+    ///
+    /// [`record_evicted`]: DropCounters::record_evicted
+    pub fn record_lossy_rdma(&mut self, size: Bytes) {
+        self.record_lossy(size);
+        self.lossy_rdma_packets += 1;
+        self.lossy_rdma_bytes += size.as_u64();
+    }
+
     /// Adds another counter set into this one.
     pub fn merge(&mut self, other: &DropCounters) {
         self.lossy_packets += other.lossy_packets;
@@ -130,6 +147,49 @@ impl DropCounters {
         self.lossless_bytes += other.lossless_bytes;
         self.evicted_packets += other.evicted_packets;
         self.evicted_bytes += other.evicted_bytes;
+        self.lossy_rdma_packets += other.lossy_rdma_packets;
+        self.lossy_rdma_bytes += other.lossy_rdma_bytes;
+    }
+}
+
+/// Per-run IRN (lossy RDMA) transport counters: NACK generation split by
+/// origin, retransmission volume and RTO fires. All zero when no flow
+/// runs the IRN transport, which keeps legacy digests unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IrnCounters {
+    /// Flows that ran the IRN transport.
+    pub flows: u64,
+    /// NACKs generated by switches observing out-of-order transits.
+    pub nacks_switch: u64,
+    /// NACKs generated by receivers.
+    pub nacks_receiver: u64,
+    /// Data packets retransmitted (NACK- or RTO-triggered).
+    pub retransmitted_packets: u64,
+    /// Flow bytes retransmitted.
+    pub retransmitted_bytes: u64,
+    /// Retransmission timeouts that fired on IRN flows.
+    pub rto_fires: u64,
+}
+
+impl IrnCounters {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        IrnCounters::default()
+    }
+
+    /// Total NACKs from both origins.
+    pub fn nacks(&self) -> u64 {
+        self.nacks_switch + self.nacks_receiver
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &IrnCounters) {
+        self.flows += other.flows;
+        self.nacks_switch += other.nacks_switch;
+        self.nacks_receiver += other.nacks_receiver;
+        self.retransmitted_packets += other.retransmitted_packets;
+        self.retransmitted_bytes += other.retransmitted_bytes;
+        self.rto_fires += other.rto_fires;
     }
 }
 
@@ -260,6 +320,37 @@ mod tests {
         e.merge(&d);
         assert_eq!(e.evicted_packets, 1);
         assert_eq!(e.lossy_packets, 1);
+    }
+
+    #[test]
+    fn lossy_rdma_refines_lossy_total() {
+        let mut d = DropCounters::new();
+        d.record_lossy_rdma(Bytes::new(1_048));
+        assert_eq!(d.lossy_rdma_packets, 1);
+        assert_eq!(d.lossy_rdma_bytes, 1_048);
+        assert_eq!(d.lossy_packets, 1, "lossy-RDMA drop is also a lossy drop");
+        let mut e = DropCounters::new();
+        e.merge(&d);
+        assert_eq!(e.lossy_rdma_packets, 1);
+        assert_eq!(e.lossy_packets, 1);
+    }
+
+    #[test]
+    fn irn_counters_merge_and_total() {
+        let mut a = IrnCounters::new();
+        a.flows = 2;
+        a.nacks_switch = 3;
+        a.nacks_receiver = 1;
+        a.retransmitted_packets = 4;
+        a.retransmitted_bytes = 4_000;
+        a.rto_fires = 1;
+        let mut b = IrnCounters::new();
+        b.nacks_receiver = 2;
+        b.merge(&a);
+        assert_eq!(b.flows, 2);
+        assert_eq!(b.nacks(), 6);
+        assert_eq!(b.retransmitted_bytes, 4_000);
+        assert_eq!(b.rto_fires, 1);
     }
 
     #[test]

@@ -22,6 +22,6 @@ mod counters;
 mod fct;
 mod stats;
 
-pub use counters::{DropCounters, OccupancySeries, PfcCounters};
+pub use counters::{DropCounters, IrnCounters, OccupancySeries, PfcCounters};
 pub use fct::{FctRecord, FctSet};
 pub use stats::{percentile, Cdf, ErrorBarStats, SeedStats};

@@ -127,12 +127,23 @@ pub enum TrafficClass {
     Lossless,
     /// Lossy traffic: dropped when it exceeds buffer thresholds.
     Lossy,
+    /// Lossy RDMA (IRN-style): droppable like [`TrafficClass::Lossy`] —
+    /// no PFC protection, evictable — but switches track per-flow
+    /// sequence progress on these packets and generate NACKs toward the
+    /// sender when an out-of-order arrival exposes a gap, so the
+    /// transport recovers by retransmission instead of pausing.
+    LossyRdma,
 }
 
 impl TrafficClass {
     /// Whether this class is lossless.
     pub const fn is_lossless(self) -> bool {
         matches!(self, TrafficClass::Lossless)
+    }
+
+    /// Whether this class is IRN-style lossy RDMA.
+    pub const fn is_lossy_rdma(self) -> bool {
+        matches!(self, TrafficClass::LossyRdma)
     }
 }
 
@@ -141,6 +152,7 @@ impl fmt::Display for TrafficClass {
         match self {
             TrafficClass::Lossless => write!(f, "lossless"),
             TrafficClass::Lossy => write!(f, "lossy"),
+            TrafficClass::LossyRdma => write!(f, "lossy-rdma"),
         }
     }
 }

@@ -37,6 +37,8 @@ mod topology;
 
 pub use ids::{FlowId, NodeId, PortId, Priority, TrafficClass};
 pub use link::{Link, LinkEnd, LinkId, NotAttached};
-pub use packet::{EcnCodepoint, Packet, PacketKind, PfcFrame, ACK_SIZE, CNP_SIZE, PFC_FRAME_SIZE};
+pub use packet::{
+    EcnCodepoint, Packet, PacketKind, PfcFrame, ACK_SIZE, CNP_SIZE, NACK_SIZE, PFC_FRAME_SIZE,
+};
 pub use routing::RoutingTable;
 pub use topology::{ClosConfig, Node, NodeKind, Topology};

@@ -219,6 +219,34 @@ pub enum TraceEvent {
         /// The priority that was stuck paused.
         prio: u8,
     },
+    /// An IRN NACK was generated for a lossy-RDMA sequence gap — by a
+    /// switch observing an out-of-order transit, or by the receiver.
+    IrnNack {
+        /// Flow id.
+        flow: u64,
+        /// First byte of the gap being NACKed.
+        nack_seq: u64,
+        /// Node that generated the NACK.
+        node: u32,
+        /// `true` when a switch generated it, `false` for the receiver.
+        from_switch: bool,
+    },
+    /// An IRN sender retransmitted a data segment (seq below its
+    /// first-transmission high-water mark) in response to a NACK or RTO.
+    IrnRetransmit {
+        /// Flow id.
+        flow: u64,
+        /// Byte offset of the retransmitted segment.
+        seq: u64,
+    },
+    /// The flow liveness watchdog found an RDMA flow with unfinished
+    /// payload and no receiver progress over a whole watchdog interval.
+    FlowStalled {
+        /// Flow id.
+        flow: u64,
+        /// In-order bytes received when the stall was flagged.
+        received: u64,
+    },
     /// An internal inconsistency was detected and survived (instead of
     /// panicking): an unattached link lookup, an unexpected packet kind,
     /// etc. Must stay zero in healthy runs; under injected faults it
@@ -251,6 +279,9 @@ impl TraceEvent {
             TraceEvent::RdmaRate { .. } => "rdma_rate",
             TraceEvent::RdmaStranded { .. } => "rdma_stranded",
             TraceEvent::PfcWatchdogFired { .. } => "pfc_watchdog_fired",
+            TraceEvent::IrnNack { .. } => "irn_nack",
+            TraceEvent::IrnRetransmit { .. } => "irn_retransmit",
+            TraceEvent::FlowStalled { .. } => "flow_stalled",
             TraceEvent::Defect { .. } => "defect",
         }
     }
@@ -268,7 +299,10 @@ impl TraceEvent {
             | TraceEvent::TcpExitRecovery { flow, .. }
             | TraceEvent::RtoFire { flow, .. }
             | TraceEvent::RdmaRate { flow, .. }
-            | TraceEvent::RdmaStranded { flow, .. } => Some(flow),
+            | TraceEvent::RdmaStranded { flow, .. }
+            | TraceEvent::IrnNack { flow, .. }
+            | TraceEvent::IrnRetransmit { flow, .. }
+            | TraceEvent::FlowStalled { flow, .. } => Some(flow),
             // PFC edges, watchdog fires and defects are diagnostics, not
             // flow-scoped — they always pass flow filters.
             TraceEvent::PfcPause { .. }
@@ -406,6 +440,21 @@ impl TraceEvent {
             TraceEvent::RdmaStranded { flow, snd_nxt } => {
                 format!("{{\"t\":{t},\"ev\":\"{k}\",\"flow\":{flow},\"snd_nxt\":{snd_nxt}}}")
             }
+            TraceEvent::IrnNack {
+                flow,
+                nack_seq,
+                node,
+                from_switch,
+            } => format!(
+                "{{\"t\":{t},\"ev\":\"{k}\",\"flow\":{flow},\"nack_seq\":{nack_seq},\
+                 \"node\":{node},\"from_switch\":{from_switch}}}"
+            ),
+            TraceEvent::IrnRetransmit { flow, seq } => {
+                format!("{{\"t\":{t},\"ev\":\"{k}\",\"flow\":{flow},\"seq\":{seq}}}")
+            }
+            TraceEvent::FlowStalled { flow, received } => {
+                format!("{{\"t\":{t},\"ev\":\"{k}\",\"flow\":{flow},\"received\":{received}}}")
+            }
         }
     }
 }
@@ -484,6 +533,12 @@ pub struct TraceTotals {
     pub rdma_stranded: u64,
     /// PFC watchdog force-resumes recorded.
     pub watchdog_fires: u64,
+    /// IRN NACKs generated (switch- and receiver-origin combined).
+    pub irn_nacks: u64,
+    /// IRN data retransmissions recorded.
+    pub irn_retransmits: u64,
+    /// Flow liveness-watchdog stall flags recorded.
+    pub flow_stalls: u64,
     /// Defect events recorded (must stay zero in healthy runs).
     pub defects: u64,
 }
@@ -574,6 +629,9 @@ impl FlightRecorder {
             TraceEvent::RtoFire { .. } => self.totals.rto_fires += 1,
             TraceEvent::RdmaStranded { .. } => self.totals.rdma_stranded += 1,
             TraceEvent::PfcWatchdogFired { .. } => self.totals.watchdog_fires += 1,
+            TraceEvent::IrnNack { .. } => self.totals.irn_nacks += 1,
+            TraceEvent::IrnRetransmit { .. } => self.totals.irn_retransmits += 1,
+            TraceEvent::FlowStalled { .. } => self.totals.flow_stalls += 1,
             TraceEvent::Defect { .. } => self.totals.defects += 1,
             _ => {}
         }
@@ -1077,6 +1135,57 @@ mod tests {
             }
             .queue(),
             Some((3, 1, 3))
+        );
+    }
+
+    #[test]
+    fn irn_events_count_into_totals_and_serialize() {
+        let mut rec = FlightRecorder::new(TraceConfig::enabled());
+        rec.record(
+            SimTime::from_nanos(1),
+            TraceEvent::IrnNack {
+                flow: 7,
+                nack_seq: 3_000,
+                node: 2,
+                from_switch: true,
+            },
+        );
+        rec.record(
+            SimTime::from_nanos(2),
+            TraceEvent::IrnNack {
+                flow: 7,
+                nack_seq: 3_000,
+                node: 9,
+                from_switch: false,
+            },
+        );
+        rec.record(
+            SimTime::from_nanos(3),
+            TraceEvent::IrnRetransmit {
+                flow: 7,
+                seq: 3_000,
+            },
+        );
+        rec.record(
+            SimTime::from_nanos(4),
+            TraceEvent::FlowStalled {
+                flow: 8,
+                received: 12_000,
+            },
+        );
+        let t = rec.totals();
+        assert_eq!(t.irn_nacks, 2);
+        assert_eq!(t.irn_retransmits, 1);
+        assert_eq!(t.flow_stalls, 1);
+        let dump = rec.to_jsonl();
+        assert!(dump.contains("\"ev\":\"irn_nack\""), "{dump}");
+        assert!(dump.contains("\"from_switch\":true"), "{dump}");
+        assert!(dump.contains("\"ev\":\"irn_retransmit\""), "{dump}");
+        assert!(dump.contains("\"ev\":\"flow_stalled\""), "{dump}");
+        assert_eq!(
+            TraceEvent::IrnRetransmit { flow: 7, seq: 0 }.flow(),
+            Some(7),
+            "IRN events are flow-scoped"
         );
     }
 

@@ -1,6 +1,8 @@
 //! The shared-memory switch: admission, PFC, ECN and scheduling.
 
-use dcn_net::{NodeId, Packet, PfcFrame, PortId, TrafficClass};
+use std::collections::HashMap;
+
+use dcn_net::{FlowId, NodeId, Packet, PfcFrame, PortId, TrafficClass};
 use dcn_sim::{
     BitRate, Bytes, SimDuration, SimRng, SimTime, TraceDropCause, TraceEvent, TraceHandle,
 };
@@ -67,6 +69,10 @@ pub struct ReceiveResult {
     pub pfc: Option<PfcEmit>,
     /// A transmission to start, if the egress port was idle.
     pub tx: Option<TxStart>,
+    /// An IRN NACK toward the flow's sender, generated when a lossy-RDMA
+    /// data arrival exposed a sequence gap (a drop at some upstream hop).
+    /// The event loop injects it into this switch for normal forwarding.
+    pub nack: Option<Packet>,
 }
 
 impl ReceiveResult {
@@ -114,6 +120,12 @@ pub struct SharedMemorySwitch {
     pause_generation: Vec<u64>,
     pfc_counters: PfcCounters,
     drop_counters: DropCounters,
+    /// Per-flow next-expected sequence offset of lossy-RDMA (IRN) data
+    /// transiting this switch, updated on *every* arrival — admitted or
+    /// dropped — so a gap opened by a drop at an upstream hop is
+    /// detected here and NACKed toward the sender. Lookup-only (never
+    /// iterated), so a hash map cannot perturb determinism.
+    irn_expected: HashMap<FlowId, u64>,
     rng: SimRng,
     trace: TraceHandle,
 }
@@ -147,6 +159,7 @@ impl SharedMemorySwitch {
             pause_generation: vec![0; n * dcn_net::Priority::COUNT],
             pfc_counters: PfcCounters::new(),
             drop_counters: DropCounters::new(),
+            irn_expected: HashMap::new(),
             rng: SimRng::seed_from_u64(seed ^ (id.index() as u64).wrapping_mul(0xA5A5_5A5A)),
             trace: TraceHandle::disabled(),
         }
@@ -227,6 +240,40 @@ impl SharedMemorySwitch {
             cause,
         };
 
+        // --- IRN gap detection (lossy RDMA only) ------------------------
+        // Runs before admission, on every arrival: a drop at an upstream
+        // hop shows up here as a sequence jump, and the switch — like an
+        // IRN-aware receiver NIC — NACKs the first missing byte toward
+        // the sender. The high-water mark then jumps past the gap so one
+        // loss episode produces one NACK from this switch.
+        let nack = if packet.class.is_lossy_rdma() && packet.is_data() {
+            let end = packet.seq + packet.payload.as_u64();
+            let expected = self.irn_expected.entry(packet.flow).or_insert(0);
+            let gap = packet.seq > *expected;
+            let nack_seq = *expected;
+            *expected = (*expected).max(end);
+            if gap {
+                self.trace.record_with(now, || TraceEvent::IrnNack {
+                    flow: t_flow,
+                    nack_seq,
+                    node: t_node,
+                    from_switch: true,
+                });
+                Some(Packet::nack(
+                    packet.flow,
+                    packet.dst,
+                    packet.src,
+                    packet.priority,
+                    nack_seq,
+                    0,
+                ))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
         // --- admission ------------------------------------------------
         // A preemptive policy (Occamy) may evict already-queued lossy
         // packets to admit an arrival the thresholds would reject; every
@@ -252,7 +299,7 @@ impl SharedMemorySwitch {
                         DropReason::HeadroomExhausted
                     }
                 }
-                TrafficClass::Lossy => {
+                TrafficClass::Lossy | TrafficClass::LossyRdma => {
                     if !fits_shared {
                         DropReason::IngressLossy
                     } else {
@@ -277,11 +324,11 @@ impl SharedMemorySwitch {
                         TraceDropCause::HeadroomExhausted
                     }
                     DropReason::IngressLossy => {
-                        self.drop_counters.record_lossy(size);
+                        self.record_droppable(packet.class, size);
                         TraceDropCause::AdmissionDeniedIngress
                     }
                     DropReason::EgressLossy => {
-                        self.drop_counters.record_lossy(size);
+                        self.record_droppable(packet.class, size);
                         TraceDropCause::AdmissionDeniedEgress
                     }
                 };
@@ -290,6 +337,7 @@ impl SharedMemorySwitch {
                     outcome: ReceiveOutcome::Dropped(rejection),
                     pfc: None,
                     tx: None,
+                    nack,
                 };
             }
             evictions += 1;
@@ -301,7 +349,9 @@ impl SharedMemorySwitch {
         // ECN marking on the egress queue depth after enqueue.
         let ecn_marked = if packet.is_data() {
             let ecn = match packet.class {
-                TrafficClass::Lossless => &self.cfg.ecn_lossless,
+                // Lossy RDMA shares the RDMA queues and their shallow
+                // marking curve even though it is droppable.
+                TrafficClass::Lossless | TrafficClass::LossyRdma => &self.cfg.ecn_lossless,
                 TrafficClass::Lossy => &self.cfg.ecn_lossy,
             };
             let p = ecn.mark_probability(self.mmu.egress_bytes(q_out));
@@ -364,6 +414,17 @@ impl SharedMemorySwitch {
             outcome: ReceiveOutcome::Admitted { ecn_marked },
             pfc,
             tx,
+            nack,
+        }
+    }
+
+    /// Records a drop of a droppable-class packet, splitting lossy-RDMA
+    /// drops out as a refinement of the lossy totals.
+    fn record_droppable(&mut self, class: TrafficClass, size: Bytes) {
+        if class.is_lossy_rdma() {
+            self.drop_counters.record_lossy_rdma(size);
+        } else {
+            self.drop_counters.record_lossy(size);
         }
     }
 
@@ -402,6 +463,11 @@ impl SharedMemorySwitch {
         self.mmu.discharge(now, v_in, victim, qp.charge);
         self.policy.on_dequeue(&self.mmu, now, v_in, victim, v_size);
         self.drop_counters.record_evicted(v_size);
+        if qp.packet.class.is_lossy_rdma() {
+            // Refine the eviction (already a lossy drop) by class too.
+            self.drop_counters.lossy_rdma_packets += 1;
+            self.drop_counters.lossy_rdma_bytes += v_size.as_u64();
+        }
         let t_node = self.id.index() as u32;
         let t_in = qp.in_port.index() as u16;
         let t_prio = qp.packet.priority.index() as u8;
@@ -561,7 +627,7 @@ impl SharedMemorySwitch {
             self.policy.on_dequeue(&self.mmu, now, q_in, q_out, size);
             match qp.packet.class {
                 TrafficClass::Lossless => self.drop_counters.record_lossless(size),
-                TrafficClass::Lossy => self.drop_counters.record_lossy(size),
+                class => self.record_droppable(class, size),
             }
             let t_in = qp.in_port.index() as u16;
             let t_prio = qp.packet.priority.index() as u8;
@@ -618,7 +684,7 @@ impl SharedMemorySwitch {
     ) {
         match packet.class {
             TrafficClass::Lossless => self.drop_counters.record_lossless(packet.size),
-            TrafficClass::Lossy => self.drop_counters.record_lossy(packet.size),
+            class => self.record_droppable(class, packet.size),
         }
         let t_node = self.id.index() as u32;
         let t_in = in_port.index() as u16;
@@ -1311,6 +1377,102 @@ mod tests {
         assert!(sw.drop_counters().lossy_packets > 0);
         assert_eq!(sw.drop_counters().evicted_packets, 0);
         assert_eq!(trace.with(|r| r.totals()).unwrap().drops_evicted, 0);
+    }
+
+    fn lossy_rdma_pkt(seq: u64) -> Packet {
+        Packet::data(
+            FlowId::new(3),
+            NodeId::new(100),
+            NodeId::new(101),
+            Priority::new(3),
+            TrafficClass::LossyRdma,
+            seq,
+            Bytes::new(MTU_PAYLOAD),
+            Bytes::new(HDR),
+        )
+    }
+
+    #[test]
+    fn lossy_rdma_gap_emits_one_nack_per_episode() {
+        use dcn_net::PacketKind;
+        use dcn_sim::{TraceConfig, TraceHandle};
+        let mut sw = small_switch(0.5, Bytes::from_mb(4));
+        let trace = TraceHandle::from_config(&TraceConfig::enabled());
+        sw.set_trace(trace.clone());
+        // In-order arrivals: no NACK.
+        for seq in [0, MTU_PAYLOAD] {
+            let r = sw.receive(
+                SimTime::ZERO,
+                lossy_rdma_pkt(seq),
+                PortId::new(0),
+                PortId::new(1),
+            );
+            assert!(r.admitted());
+            assert!(r.nack.is_none());
+        }
+        // Segment 2 lost upstream: segment 3 arrives, exposing the gap.
+        let r = sw.receive(
+            SimTime::ZERO,
+            lossy_rdma_pkt(3 * MTU_PAYLOAD),
+            PortId::new(0),
+            PortId::new(1),
+        );
+        let nack = r.nack.expect("gap must be NACKed");
+        assert_eq!(nack.class, TrafficClass::LossyRdma);
+        // Addressed receiver→sender so normal routing carries it back.
+        assert_eq!(nack.src, NodeId::new(101));
+        assert_eq!(nack.dst, NodeId::new(100));
+        assert_eq!(
+            nack.kind,
+            PacketKind::Nack {
+                nack_seq: 2 * MTU_PAYLOAD,
+                cumulative_ack: 0
+            }
+        );
+        // The same episode does not re-NACK on the next in-order packet,
+        // and a retransmission filling the hole does not NACK either.
+        let r = sw.receive(
+            SimTime::ZERO,
+            lossy_rdma_pkt(4 * MTU_PAYLOAD),
+            PortId::new(0),
+            PortId::new(1),
+        );
+        assert!(r.nack.is_none());
+        let r = sw.receive(
+            SimTime::ZERO,
+            lossy_rdma_pkt(2 * MTU_PAYLOAD),
+            PortId::new(0),
+            PortId::new(1),
+        );
+        assert!(r.nack.is_none(), "retransmission below high-water");
+        assert_eq!(trace.with(|r| r.totals()).unwrap().irn_nacks, 1);
+    }
+
+    #[test]
+    fn lossy_rdma_drops_refine_lossy_counters_without_pfc() {
+        let mut sw = small_switch(0.125, Bytes::new(10_000));
+        let mut dropped = 0;
+        for i in 0..10 {
+            let r = sw.receive(
+                SimTime::ZERO,
+                lossy_rdma_pkt(i * MTU_PAYLOAD),
+                PortId::new(0),
+                PortId::new(1),
+            );
+            assert!(r.pfc.is_none(), "lossy RDMA must never pause");
+            if !r.admitted() {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0, "overflow must drop lossy RDMA");
+        assert_eq!(sw.pfc_counters().pause_frames(), 0);
+        assert_eq!(sw.drop_counters().lossy_rdma_packets, dropped);
+        assert_eq!(
+            sw.drop_counters().lossy_packets,
+            dropped,
+            "lossy-RDMA drops also count in the lossy total"
+        );
+        assert_eq!(sw.drop_counters().lossless_packets, 0);
     }
 
     #[test]

@@ -1,11 +1,12 @@
-//! Transport protocols for the hybrid DCN: DCTCP (lossy TCP) and DCQCN
-//! (lossless RDMA).
+//! Transport protocols for the hybrid DCN: DCTCP (lossy TCP), DCQCN
+//! (lossless RDMA) and IRN (lossy RDMA).
 //!
 //! The paper's evaluation runs DCTCP on the TCP/lossy class and DCQCN on
 //! the RDMA/lossless class (§IV), both reacting to ECN set by the
-//! switches. This crate implements both as passive state machines: the
-//! fabric event loop feeds them arrivals/timers and transmits the
-//! packets they emit.
+//! switches. This crate implements them — plus IRN-style lossy RDMA for
+//! the lossless-vs-lossy resilience comparison — as passive state
+//! machines: the fabric event loop feeds them arrivals/timers and
+//! transmits the packets they emit.
 //!
 //! * [`DctcpSender`] / [`DctcpReceiver`] — window-based congestion
 //!   control with the DCTCP fraction-of-marked-bytes `α`, slow start,
@@ -14,8 +15,12 @@
 //!   receiver (NP) reflects CE marks as CNPs at most once per 50 µs, the
 //!   sender (RP) multiplicatively cuts on CNP and recovers through
 //!   fast-recovery / additive-increase / hyper-increase stages.
+//! * [`IrnSender`] / [`IrnReceiver`] — lossy RDMA: a fixed BDP-bounded
+//!   window, NACK-driven go-back-N or selective-repeat recovery and an
+//!   exponentially backed-off RTO; packets ride the droppable
+//!   `LossyRdma` class, so no PFC is ever generated for them.
 //!
-//! Both senders are deterministic; all pacing/timers surface as explicit
+//! All senders are deterministic; all pacing/timers surface as explicit
 //! "call me back at T" values the event loop schedules.
 //!
 //! # Example
@@ -46,6 +51,8 @@
 
 mod dcqcn;
 mod dctcp;
+mod irn;
 
 pub use dcqcn::{DcqcnConfig, DcqcnReceiver, DcqcnSender, RpTimerKind};
 pub use dctcp::{AckAction, DctcpConfig, DctcpReceiver, DctcpSender, TcpEvent};
+pub use irn::{irn_feedback_cum, IrnConfig, IrnReceiver, IrnRecovery, IrnSender};

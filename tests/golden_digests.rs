@@ -24,6 +24,7 @@ fn hybrid_small_golden_digest_is_unchanged() {
     assert_eq!(p.results.events_processed, 930_146, "event count drifted");
     assert_eq!(p.results.digest(), 0x972d_5f4e_f9da_3109, "digest drifted");
     assert_eq!(p.results.drops.evicted_packets, 0, "no policy evicts here");
+    assert_eq!(p.results.rdma_stranded, 0, "no DCQCN sender may strand");
 }
 
 #[test]
@@ -36,6 +37,7 @@ fn incast_small_golden_digest_is_unchanged() {
     assert_eq!(p.results.events_processed, 857_321, "event count drifted");
     assert_eq!(p.results.digest(), 0xfc40_bd96_0ecc_5a10, "digest drifted");
     assert_eq!(p.results.drops.evicted_packets, 0, "no policy evicts here");
+    assert_eq!(p.results.rdma_stranded, 0, "no DCQCN sender may strand");
 }
 
 #[test]
@@ -49,4 +51,5 @@ fn hybrid_paper_golden_digest_is_unchanged() {
     });
     assert_eq!(p.results.events_processed, 7_464_811, "event count drifted");
     assert_eq!(p.results.digest(), 0x07ab_b15b_a35b_844d, "digest drifted");
+    assert_eq!(p.results.rdma_stranded, 0, "no DCQCN sender may strand");
 }

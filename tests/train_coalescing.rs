@@ -22,7 +22,7 @@ fn flow(id: u64, src: u32, dst: u32, size: u64, class: TrafficClass, start_ns: u
         start: SimTime::from_nanos(start_ns),
         class,
         priority: match class {
-            TrafficClass::Lossless => Priority::new(3),
+            TrafficClass::Lossless | TrafficClass::LossyRdma => Priority::new(3),
             TrafficClass::Lossy => Priority::new(1),
         },
     }
