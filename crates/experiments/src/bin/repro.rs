@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--scale tiny|small|paper] [--seed N] [--window-ms N]
-//!                    [--jobs N] [--seeds N]
+//!                    [--jobs N] [--seeds N] [--shards N|auto]
 //!
 //! experiments: fig3a fig3b fig7 table2 fig8 fig9 fig10 fig11 all
 //! ```
@@ -15,6 +15,12 @@
 //! (`--jobs 0` = all available cores); the output is bit-identical at
 //! any thread count. `--seeds N` replicates every cell over N seeds and
 //! reports `mean ± 95% CI` per table cell.
+//!
+//! `--shards N` parallelizes each *single run* on the spatially sharded
+//! executor with up to N threads (clamped to the fabric's ToR count;
+//! `auto` = all available cores). Results stay byte-identical to the
+//! serial engine at every shard count. Composes with `--jobs`: jobs
+//! parallelize across sweep cells, shards within each cell.
 //!
 //! `repro chaos` runs the failure-resilience sweep: the hybrid workload
 //! under sampled fault schedules (link flaps, corruption windows, stuck
@@ -51,7 +57,8 @@ use dcn_sim::SimDuration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|ablations|chaos|irn|tournament|all> \
-         [--scale tiny|small|paper] [--seed N] [--window-ms N] [--jobs N] [--seeds N] [--check]"
+         [--scale tiny|small|paper] [--seed N] [--window-ms N] [--jobs N] [--seeds N] \
+         [--shards N|auto] [--check]"
     );
     ExitCode::FAILURE
 }
@@ -237,12 +244,26 @@ fn main() -> ExitCode {
     let mut scale = ExperimentScale::small();
     let mut opts = SweepOptions::default();
     let mut check = false;
+    let mut shards: Option<usize> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--check" => {
                 check = true;
                 i += 1;
+            }
+            "--shards" => {
+                let Some(v) = args.get(i + 1) else {
+                    return usage();
+                };
+                shards = match v.as_str() {
+                    "auto" => Some(dcn_sim::effective_jobs(0)),
+                    n => match n.parse::<usize>() {
+                        Ok(n) if n >= 1 => Some(n),
+                        _ => return usage(),
+                    },
+                };
+                i += 2;
             }
             "--jobs" => {
                 let Some(v) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
@@ -292,6 +313,11 @@ fn main() -> ExitCode {
                 return usage();
             }
         }
+    }
+    if let Some(n) = shards {
+        // Applied last so `--shards` composes with `--scale` in any
+        // flag order.
+        scale = scale.with_shards(n);
     }
 
     if which == "tournament" {

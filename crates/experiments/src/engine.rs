@@ -1,0 +1,31 @@
+//! Serial-vs-sharded engine dispatch shared by the experiment runners.
+
+use dcn_fabric::{FabricConfig, FabricSim, RunResults, ShardedFabricSim};
+use dcn_net::Topology;
+use dcn_sim::SimTime;
+use dcn_workload::FlowSpec;
+
+/// Runs `flows` on `topo` until `deadline`, on the engine
+/// [`crate::ExperimentScale::shards`] selects: the serial engine at
+/// `0`, the spatially sharded executor (clamped to the ToR count) at
+/// `n ≥ 1`. Results — including golden digests — are byte-identical
+/// across every choice.
+pub(crate) fn run_engine(
+    topo: Topology,
+    cfg: FabricConfig,
+    flows: Vec<FlowSpec>,
+    deadline: SimTime,
+    shards: usize,
+) -> RunResults {
+    if shards == 0 {
+        let mut sim = FabricSim::new(topo, cfg);
+        sim.add_flows(flows);
+        sim.run_until_done(deadline);
+        sim.results()
+    } else {
+        let mut sim = ShardedFabricSim::new(topo, cfg, shards);
+        sim.add_flows(flows);
+        sim.run_until_done(deadline);
+        sim.results()
+    }
+}

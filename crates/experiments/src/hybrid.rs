@@ -3,11 +3,12 @@
 //! traffic at a swept load, all inter-rack, and the four policies
 //! compete on RDMA/TCP tail FCT, buffer occupancy and PFC pause frames.
 
-use dcn_fabric::{FabricConfig, FabricSim, PolicyChoice, RunResults};
+use dcn_fabric::{FabricConfig, PolicyChoice, RunResults};
 use dcn_net::{NodeId, Priority, Topology, TrafficClass};
 use dcn_sim::{SimRng, SimTime};
 use dcn_workload::{web_search_cdf, PoissonTraffic};
 
+use crate::engine::run_engine;
 use crate::scale::ExperimentScale;
 
 /// One hybrid run's parameters.
@@ -124,18 +125,9 @@ pub fn run_hybrid(cfg: &HybridConfig) -> HybridPoint {
         train: cfg.scale.train,
         ..FabricConfig::default()
     };
-    let mut sim = FabricSim::new(topo, fabric_cfg);
-    sim.add_flows(flows);
+    let first_tor = topo.switches().next().expect("clos has switches");
     let deadline = SimTime::ZERO + cfg.scale.window + cfg.scale.drain;
-    sim.run_until_done(deadline);
-    let results = sim.results();
-
-    let first_tor = sim
-        .world()
-        .topology()
-        .switches()
-        .next()
-        .expect("clos has switches");
+    let results = run_engine(topo, fabric_cfg, flows, deadline, cfg.scale.shards);
     let tor_occupancy_p99 = results
         .occupancy
         .get(&first_tor)

@@ -4,12 +4,13 @@
 
 use std::collections::{HashMap, HashSet};
 
-use dcn_fabric::{FabricConfig, FabricSim, PolicyChoice, RunResults};
+use dcn_fabric::{FabricConfig, PolicyChoice, RunResults};
 use dcn_metrics::ErrorBarStats;
 use dcn_net::{Topology, TrafficClass};
 use dcn_sim::{Bytes, SimDuration, SimRng, SimTime};
 use dcn_workload::{web_search_cdf, IncastWorkload, PoissonTraffic};
 
+use crate::engine::run_engine;
 use crate::hybrid::{split_hosts, RDMA_PRIO, TCP_PRIO};
 use crate::scale::ExperimentScale;
 
@@ -120,11 +121,9 @@ pub fn run_incast(cfg: &IncastConfig) -> IncastPoint {
         train: cfg.scale.train,
         ..FabricConfig::default()
     };
-    let mut sim = FabricSim::new(topo, fabric_cfg);
-    sim.add_flows(flows);
+    let first_tor = topo.switches().next().expect("clos has switches");
     let deadline = SimTime::ZERO + cfg.scale.window + cfg.scale.drain;
-    sim.run_until_done(deadline);
-    let results = sim.results();
+    let results = run_engine(topo, fabric_cfg, flows, deadline, cfg.scale.shards);
 
     // Per-flow records of incast flows.
     let mut fct_by_flow: HashMap<dcn_net::FlowId, &dcn_metrics::FctRecord> =
@@ -160,12 +159,6 @@ pub fn run_incast(cfg: &IncastConfig) -> IncastPoint {
         }
     }
 
-    let first_tor = sim
-        .world()
-        .topology()
-        .switches()
-        .next()
-        .expect("clos has switches");
     let tor_occupancy_p99 = results
         .occupancy
         .get(&first_tor)

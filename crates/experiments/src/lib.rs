@@ -30,6 +30,7 @@
 
 mod ablations;
 mod chaos;
+mod engine;
 mod figures;
 mod hybrid;
 mod incast;

@@ -27,6 +27,13 @@ pub struct ExperimentScale {
     /// are behaviorally equivalent but not byte-identical to the golden
     /// digests (see [`TrainConfig`]).
     pub train: TrainConfig,
+    /// Worker shards for a single run. `0` (the default) uses the serial
+    /// engine; `n ≥ 1` uses the spatially sharded executor with at most
+    /// `n` threads (clamped to the ToR count), whose results — including
+    /// the golden digests — are byte-identical to the serial engine at
+    /// every shard count. `1` is the sharded oracle: the full stamp
+    /// machinery with no real parallelism.
+    pub shards: usize,
 }
 
 impl ExperimentScale {
@@ -40,6 +47,7 @@ impl ExperimentScale {
             seed: 42,
             total_buffer: Bytes::from_mb(4),
             train: TrainConfig::default(),
+            shards: 0,
         }
     }
 
@@ -53,6 +61,7 @@ impl ExperimentScale {
             seed: 42,
             total_buffer: Bytes::from_kb(500), // 4 MB × 16/128 hosts
             train: TrainConfig::default(),
+            shards: 0,
         }
     }
 
@@ -66,6 +75,7 @@ impl ExperimentScale {
             seed: 42,
             total_buffer: Bytes::from_kb(250), // 4 MB × 8/128 hosts
             train: TrainConfig::default(),
+            shards: 0,
         }
     }
 
@@ -101,6 +111,13 @@ impl ExperimentScale {
     /// Enables host-NIC packet-train coalescing with default limits.
     pub fn with_trains(mut self) -> Self {
         self.train = TrainConfig::enabled();
+        self
+    }
+
+    /// Selects the sharded executor with up to `shards` worker threads
+    /// (`0` restores the serial engine).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 }

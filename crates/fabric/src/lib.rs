@@ -46,12 +46,14 @@ mod config;
 mod flows;
 mod host;
 mod results;
+mod shard;
 mod world;
 
 pub use config::{FabricConfig, PolicyChoice, RdmaTransport, TrainConfig};
 pub use flows::{FlowRuntime, FlowState, FlowTable};
 pub use host::Host;
 pub use results::{RunResults, TrainStats};
+pub use shard::ShardedFabricSim;
 pub use world::{Event, FabricSim, World};
 
 /// Compile-time proof that per-cell fabric construction is `Send`-clean.

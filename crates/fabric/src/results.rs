@@ -56,6 +56,12 @@ pub struct RunResults {
     /// [`crate::FabricConfig::flow_watchdog`] is set). Not part of the
     /// digest.
     pub flow_stalls: u64,
+    /// Per-shard executor statistics from a sharded run (empty for the
+    /// serial engine). Diagnostics only — the values depend on how the
+    /// run was parallelized, so they are deliberately excluded from
+    /// [`RunResults::digest`], which must be identical at every shard
+    /// count.
+    pub shards: Vec<dcn_sim::ShardStats>,
 }
 
 impl RunResults {

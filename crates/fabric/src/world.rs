@@ -5,14 +5,16 @@
 //! the dense banked [`FlowTable`] and occupancy sampling through a
 //! node-indexed `Vec` — see DESIGN.md §3.5.
 
-use dcn_metrics::{DropCounters, FctRecord, IrnCounters, OccupancySeries};
+use std::sync::Arc;
+
+use dcn_metrics::{DropCounters, FctRecord, IrnCounters, OccupancySeries, PfcCounters};
 use dcn_net::{
-    FlowId, LinkEnd, LinkId, NodeId, Packet, PacketKind, PfcFrame, PortId, Priority, RoutingTable,
-    Topology, TrafficClass,
+    FlowId, LinkEnd, LinkId, NodeId, Packet, PacketKind, Partition, PfcFrame, PortId, Priority,
+    RoutingTable, Topology, TrafficClass,
 };
 use dcn_sim::{
     run_while, BitRate, Bytes, EventQueue, FaultEvent, SimDuration, SimRng, SimTime, Simulation,
-    TimerHandle, TraceDropCause, TraceEvent, TraceHandle,
+    Stamp, TimerHandle, TraceDropCause, TraceEvent, TraceHandle,
 };
 use dcn_switch::{PfcEmit, QueueIndex, SharedMemorySwitch, TxStart};
 use dcn_transport::{
@@ -131,6 +133,45 @@ pub enum Event {
     },
 }
 
+/// What a shard hands to a peer at a window barrier.
+#[derive(Debug)]
+pub(crate) enum HandoffPayload {
+    /// A fully formed event (a cross-shard `Deliver` or `PfcDeliver`).
+    Event(Event),
+    /// Arm the flow-liveness watchdog in the destination's shard (the
+    /// receiver state the watchdog measures lives there).
+    WatchdogArm {
+        /// The flow to watch.
+        flow: FlowId,
+    },
+}
+
+/// A stamped cross-shard message, generated during one window and
+/// admitted by `dest` at the next barrier. The stamp was drawn in
+/// emission order at the source, so the destination dispatches it at
+/// exactly the `(time, stamp)` key the serial engine would have used.
+#[derive(Debug)]
+pub(crate) struct Handoff {
+    /// Fire time (provably ≥ the next window's start).
+    pub(crate) at: SimTime,
+    /// Admission stamp carried verbatim across the shard boundary.
+    pub(crate) stamp: Stamp,
+    /// Receiving shard.
+    pub(crate) dest: u32,
+    /// The message.
+    pub(crate) payload: HandoffPayload,
+}
+
+/// Spatial-sharding context: which shard this world is, the global
+/// node→shard map, and the outbox of cross-shard messages generated in
+/// the current window. `None` for the serial engine.
+#[derive(Debug)]
+struct ShardCtx {
+    part: Arc<Partition>,
+    shard: u32,
+    outbox: Vec<Handoff>,
+}
+
 /// The complete simulated fabric.
 #[derive(Debug)]
 pub struct World {
@@ -152,9 +193,13 @@ pub struct World {
     link_up: Vec<bool>,
     /// Per-link bit-error rate (0.0 = clean), indexed like `link_up`.
     link_ber: Vec<f64>,
-    /// Drawn only while some link's `ber > 0`, so zero-fault runs make
-    /// no draws and stay byte-identical to a faultless build.
-    fault_rng: SimRng,
+    /// Corruption-loss RNG streams, one per `(link, direction)` so each
+    /// delivery direction draws from its own stream regardless of how
+    /// the fabric is sharded (indexed `link.index() * 2 + dir`, where
+    /// dir 0 receives at `link.a`). Only populated when the fault
+    /// schedule contains a corruption window — zero-fault runs make no
+    /// draws and allocate nothing.
+    fault_rng: Vec<SimRng>,
     /// Packets lost on the wire (dead link or corruption) — charged to
     /// the fabric, not any switch's admission counters.
     wire_drops: DropCounters,
@@ -176,6 +221,8 @@ pub struct World {
     rdma_stranded: u64,
     /// Liveness-watchdog stall episodes across all RDMA flows.
     flow_stalls: u64,
+    /// Spatial-sharding context (`None` for the serial engine).
+    shard: Option<ShardCtx>,
     /// Deliveries orphaned by a train split, keyed `(flow, seq,
     /// fire-time)`. The revoked leg's packet went back to the NIC
     /// queue, so when its already-scheduled `Deliver` fires it is
@@ -189,12 +236,45 @@ pub struct World {
 
 impl World {
     fn new(topo: Topology, cfg: FabricConfig) -> World {
+        World::build(topo, cfg, None)
+    }
+
+    /// Builds one shard's slice of the fabric: routing, topology and
+    /// link-fault state are replicated (they must mutate identically in
+    /// every shard), while switches and hosts are constructed only for
+    /// the nodes this shard owns.
+    pub(crate) fn new_sharded(
+        topo: Topology,
+        cfg: FabricConfig,
+        part: Arc<Partition>,
+        shard: u32,
+    ) -> World {
+        World::build(
+            topo,
+            cfg,
+            Some(ShardCtx {
+                part,
+                shard,
+                outbox: Vec::new(),
+            }),
+        )
+    }
+
+    fn build(topo: Topology, cfg: FabricConfig, shard: Option<ShardCtx>) -> World {
         let routes = RoutingTable::shortest_paths(&topo);
         let n = topo.node_count();
         let trace = TraceHandle::from_config(&cfg.trace);
+        let owned = |id: NodeId| {
+            shard
+                .as_ref()
+                .is_none_or(|ctx| ctx.part.shard_of(id) == ctx.shard as usize)
+        };
         let mut switches: Vec<Option<SharedMemorySwitch>> = (0..n).map(|_| None).collect();
         let mut hosts: Vec<Option<Host>> = (0..n).map(|_| None).collect();
         for node in topo.nodes() {
+            if !owned(node.id) {
+                continue;
+            }
             match node.kind {
                 dcn_net::NodeKind::Switch => {
                     let rates: Vec<BitRate> =
@@ -236,7 +316,27 @@ impl World {
             .collect();
         let link_up = vec![true; topo.links().len()];
         let link_ber = vec![0.0; topo.links().len()];
-        let fault_rng = SimRng::seed_from_u64(cfg.seed ^ 0xFA01_7EC7_ED00_C0DE);
+        // One independent stream per (link, direction): corruption draws
+        // then depend only on the receiving link end, never on how many
+        // other links are corrupting or how the fabric is sharded.
+        let has_corruption = cfg
+            .faults
+            .events()
+            .iter()
+            .any(|sf| matches!(sf.fault, FaultEvent::CorruptionStart { .. }));
+        let fault_rng = if has_corruption {
+            (0..topo.links().len() * 2)
+                .map(|i| {
+                    SimRng::seed_from_u64(
+                        cfg.seed
+                            ^ 0xFA01_7EC7_ED00_C0DE
+                            ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         World {
             topo,
             routes,
@@ -260,8 +360,17 @@ impl World {
             irn: IrnCounters::new(),
             rdma_stranded: 0,
             flow_stalls: 0,
+            shard,
             suppressed_delivers: Vec::new(),
         }
+    }
+
+    /// Whether this world simulates `node` (always true for the serial
+    /// engine; sharded worlds own a spatial slice of the topology).
+    fn owns(&self, node: NodeId) -> bool {
+        self.shard
+            .as_ref()
+            .is_none_or(|ctx| ctx.part.shard_of(node) == ctx.shard as usize)
     }
 
     /// The topology being simulated.
@@ -290,7 +399,7 @@ impl World {
         &self.trace
     }
 
-    fn register_flow(&mut self, spec: FlowSpec) -> usize {
+    pub(crate) fn register_flow(&mut self, spec: FlowSpec) -> usize {
         assert!(
             self.flow_ix.get(spec.id).is_none(),
             "duplicate flow id {}",
@@ -403,8 +512,43 @@ impl World {
         fill + bottleneck.tx_time(total_wire.saturating_sub(first_wire))
     }
 
+    /// Whether this world is responsible for counting flow `ix` toward
+    /// the done total. Exactly one shard counts each flow: the one
+    /// owning the endpoint whose local state flips at the same event
+    /// where the serial `is_done()` flips (see [`World::flow_done_proxy`]).
+    fn counts_done_here(&self, ix: usize) -> bool {
+        let Some(ctx) = &self.shard else {
+            return true;
+        };
+        let spec = &self.flows[ix].spec;
+        let counting = match self.flows[ix].runtime {
+            FlowRuntime::Rdma { .. } => spec.dst,
+            FlowRuntime::Tcp { .. } | FlowRuntime::Irn { .. } => spec.src,
+        };
+        ctx.part.shard_of(counting) == ctx.shard as usize
+    }
+
+    /// Completion as observable from the counting endpoint's half of the
+    /// flow. A DCQCN receiver only finishes after the sender drained
+    /// (there is no retransmission on the lossless path), and a DCTCP or
+    /// IRN sender only completes on the final cumulative ACK, which the
+    /// receiver emits after taking the last byte — so each proxy flips
+    /// at the *same event* as the serial two-sided `is_done()`, even
+    /// when the far endpoint is a never-touched replica in another
+    /// shard. The serial engine keeps the exact predicate.
+    fn flow_done_proxy(&self, ix: usize) -> bool {
+        if self.shard.is_none() {
+            return self.flows[ix].is_done();
+        }
+        match &self.flows[ix].runtime {
+            FlowRuntime::Rdma { receiver, .. } => receiver.finished_at().is_some(),
+            FlowRuntime::Tcp { sender, .. } => sender.is_completed(),
+            FlowRuntime::Irn { sender, .. } => sender.is_completed(),
+        }
+    }
+
     fn update_done(&mut self, ix: usize) {
-        if !self.counted_done[ix] && self.flows[ix].is_done() {
+        if !self.counted_done[ix] && self.counts_done_here(ix) && self.flow_done_proxy(ix) {
             self.counted_done[ix] = true;
             self.done_flows += 1;
         }
@@ -450,14 +594,41 @@ impl World {
         }
     }
 
+    /// Schedules `ev` (destined for `dest`) locally when this world owns
+    /// the node, otherwise stamps it with the pop's next emission stamp
+    /// and queues a handoff for the owner shard. Drawing the stamp in
+    /// emission order means the receiving shard admits the event at
+    /// exactly the `(time, stamp)` key the serial engine's `(time, seq)`
+    /// insertion would have produced.
+    fn schedule_or_handoff(
+        &mut self,
+        at: SimTime,
+        dest: NodeId,
+        ev: Event,
+        q: &mut EventQueue<Event>,
+    ) {
+        if self.owns(dest) {
+            q.schedule_at(at, ev);
+            return;
+        }
+        let stamp = q.next_child_stamp();
+        let ctx = self.shard.as_mut().expect("unowned node implies sharding");
+        ctx.outbox.push(Handoff {
+            at,
+            stamp,
+            dest: ctx.part.shard_of(dest) as u32,
+            payload: HandoffPayload::Event(ev),
+        });
+    }
+
     fn schedule_switch_tx(
-        &self,
+        &mut self,
         now: SimTime,
         node: NodeId,
         tx: TxStart,
         q: &mut EventQueue<Event>,
     ) {
-        let link = self.topo.link_at(node, tx.port);
+        let link = *self.topo.link_at(node, tx.port);
         // The TxComplete must be scheduled even on a wiring defect, or
         // the port would stay busy forever.
         q.schedule_after(
@@ -471,23 +642,33 @@ impl World {
         let Some(peer) = self.peer_or_defect(now, node, tx.port) else {
             return;
         };
-        q.schedule_after(
-            now,
-            tx.serialize + link.propagation,
+        self.schedule_or_handoff(
+            now + tx.serialize + link.propagation,
+            peer.node,
             Event::Deliver {
                 node: peer.node,
                 in_port: peer.port,
                 packet: tx.packet,
             },
+            q,
         );
     }
 
-    fn schedule_host_tx(&self, now: SimTime, host: NodeId, tx: TxStart, q: &mut EventQueue<Event>) {
+    fn schedule_host_tx(
+        &mut self,
+        now: SimTime,
+        host: NodeId,
+        tx: TxStart,
+        q: &mut EventQueue<Event>,
+    ) {
         let link = self.topo.link_at(host, PortId::new(0));
         q.schedule_after(now, tx.serialize, Event::HostTxComplete { host });
         let Some(peer) = self.peer_or_defect(now, host, PortId::new(0)) else {
             return;
         };
+        // A host's only link reaches its ToR, which the partition keeps
+        // in the same shard — host transmissions never cross.
+        debug_assert!(self.owns(peer.node), "host split from its ToR");
         q.schedule_after(
             now,
             tx.serialize + link.propagation,
@@ -499,21 +680,22 @@ impl World {
         );
     }
 
-    fn emit_pfc(&self, now: SimTime, node: NodeId, emit: PfcEmit, q: &mut EventQueue<Event>) {
-        let link = self.topo.link_at(node, emit.port);
+    fn emit_pfc(&mut self, now: SimTime, node: NodeId, emit: PfcEmit, q: &mut EventQueue<Event>) {
+        let link = *self.topo.link_at(node, emit.port);
         let Some(peer) = self.peer_or_defect(now, node, emit.port) else {
             return;
         };
         // PFC frames are tiny control frames that bypass data queues:
         // modelled with propagation delay only.
-        q.schedule_after(
-            now,
-            link.propagation,
+        self.schedule_or_handoff(
+            now + link.propagation,
+            peer.node,
             Event::PfcDeliver {
                 node: peer.node,
                 in_port: peer.port,
                 frame: emit.frame,
             },
+            q,
         );
     }
 
@@ -697,14 +879,29 @@ impl World {
         }
         // Opt-in liveness watchdog covers RDMA flows of both universes
         // (DCQCN and IRN); DCTCP's own RTO machinery already guarantees
-        // liveness for the lossy class.
+        // liveness for the lossy class. The watchdog measures receiver
+        // progress, so when the fabric is sharded the timer must live in
+        // the destination's shard — a flow whose endpoints straddle a
+        // boundary hands the arm across (legal because the sharded
+        // executor requires `interval ≥ lookahead`).
         if let Some(interval) = self.cfg.flow_watchdog {
             if !matches!(self.flows[ix].runtime, FlowRuntime::Tcp { .. }) {
-                self.flows[ix].timers.flow_watchdog = Some(q.schedule_timer_after(
-                    now,
-                    interval,
-                    Event::FlowWatchdog { flow: spec.id },
-                ));
+                if self.owns(spec.dst) {
+                    self.flows[ix].timers.flow_watchdog = Some(q.schedule_timer_after(
+                        now,
+                        interval,
+                        Event::FlowWatchdog { flow: spec.id },
+                    ));
+                } else {
+                    let stamp = q.next_child_stamp();
+                    let ctx = self.shard.as_mut().expect("unowned node implies sharding");
+                    ctx.outbox.push(Handoff {
+                        at: now + interval,
+                        stamp,
+                        dest: ctx.part.shard_of(spec.dst) as u32,
+                        payload: HandoffPayload::WatchdogArm { flow: spec.id },
+                    });
+                }
             }
         }
     }
@@ -1065,7 +1262,11 @@ impl World {
         };
         // Firing consumed the wheel entry; the stored handle is dead.
         self.flows[ix].timers.flow_watchdog = None;
-        if self.flows[ix].is_done() {
+        // The proxy, not `is_done()`: in a sharded world the far half of
+        // a straddling flow is an untouched replica (e.g. a never-sending
+        // sender) that would keep the exact predicate false forever and
+        // turn every finished flow into a phantom stall.
+        if self.flow_done_proxy(ix) {
             return;
         }
         let received = self.flows[ix].received();
@@ -1179,7 +1380,8 @@ impl World {
         in_port: PortId,
         packet: Packet,
     ) -> Option<Packet> {
-        let lid = self.topo.link_at(node, in_port).id.index();
+        let l = *self.topo.link_at(node, in_port);
+        let lid = l.id.index();
         if !self.link_up[lid] {
             self.wire_drop(now, node, in_port, &packet, TraceDropCause::LinkDown);
             return None;
@@ -1188,7 +1390,12 @@ impl World {
         if ber > 0.0 {
             let bits = (packet.size.as_u64() * 8).min(i32::MAX as u64) as i32;
             let survive = (1.0 - ber).powi(bits);
-            if self.fault_rng.uniform_f64() >= survive {
+            // Draw from this delivery direction's own stream: the draw
+            // sequence each packet sees is then independent of every
+            // other link's traffic, so serial and sharded runs corrupt
+            // the same packets.
+            let dir = usize::from(l.a.node != node);
+            if self.fault_rng[lid * 2 + dir].uniform_f64() >= survive {
                 self.wire_drop(now, node, in_port, &packet, TraceDropCause::Corrupted);
                 return None;
             }
@@ -1274,7 +1481,18 @@ impl World {
                 // pause thresholds, so forward any XONs it emits.
                 // Host endpoints need nothing: their transmissions are
                 // lost at delivery and transports recover via RTO.
-                for end in [l.a, l.b] {
+                // Faults are replicated into every shard but each shard
+                // discharges only the endpoints it owns; giving each
+                // endpoint its own emission lane keeps the stamps of
+                // endpoint-b's emissions ordered after endpoint-a's no
+                // matter which subset a shard emits.
+                for (lane, end) in [l.a, l.b].into_iter().enumerate() {
+                    if q.stamps_enabled() {
+                        q.set_stamp_lane(lane as u16);
+                    }
+                    if !self.owns(end.node) {
+                        continue;
+                    }
                     let emits = match self.switches[end.node.index()].as_mut() {
                         Some(sw) => sw.port_down(now, end.port),
                         None => Vec::new(),
@@ -1291,8 +1509,15 @@ impl World {
                 // Port renegotiation resets PFC state on both ends
                 // symmetrically: the switch forgets sent and received
                 // pauses on that port; a host clears all its pauses
-                // (they can only have come from this uplink).
-                for end in [l.a, l.b] {
+                // (they can only have come from this uplink). Lanes per
+                // endpoint for the same reason as the link-down arm.
+                for (lane, end) in [l.a, l.b].into_iter().enumerate() {
+                    if q.stamps_enabled() {
+                        q.set_stamp_lane(lane as u16);
+                    }
+                    if !self.owns(end.node) {
+                        continue;
+                    }
                     if self.switches[end.node.index()].is_some() {
                         // The reset forgets the port's pause state and any
                         // later pause starts a fresh generation, so every
@@ -1332,6 +1557,9 @@ impl World {
             }
             FaultEvent::PauseStuck { node, port, prio } => {
                 let target = NodeId::new(node);
+                if !self.owns(target) {
+                    return; // another shard injects this pause
+                }
                 let frame = PfcFrame::pause(Priority::new(prio));
                 match self.topo.node(target).kind {
                     dcn_net::NodeKind::Switch => {
@@ -1342,6 +1570,9 @@ impl World {
             }
             FaultEvent::PauseRelease { node, port, prio } => {
                 let target = NodeId::new(node);
+                if !self.owns(target) {
+                    return;
+                }
                 let frame = PfcFrame::resume(Priority::new(prio));
                 match self.topo.node(target).kind {
                     dcn_net::NodeKind::Switch => {
@@ -1354,6 +1585,192 @@ impl World {
             }
         }
     }
+
+    // ---- sharded-executor hooks (crate-internal) ----------------------
+
+    /// Drains the cross-shard messages generated since the last drain
+    /// (empty for the serial engine).
+    pub(crate) fn take_outbox(&mut self) -> Vec<Handoff> {
+        match &mut self.shard {
+            Some(ctx) => std::mem::take(&mut ctx.outbox),
+            None => Vec::new(),
+        }
+    }
+
+    /// Admits a handoff received at a window barrier, carrying its
+    /// source-drawn stamp into this shard's queue verbatim.
+    pub(crate) fn admit_handoff(&mut self, h: Handoff, q: &mut EventQueue<Event>) {
+        match h.payload {
+            HandoffPayload::Event(ev) => q.schedule_at_stamped(h.at, ev, h.stamp),
+            HandoffPayload::WatchdogArm { flow } => {
+                let Some(ix) = self.flow_ix.get(flow) else {
+                    return;
+                };
+                let handle =
+                    q.schedule_timer_at_stamped(h.at, Event::FlowWatchdog { flow }, h.stamp);
+                self.flows[ix].timers.flow_watchdog = Some(handle);
+            }
+        }
+    }
+
+    /// The switches (at most two — only a link fault touches a pair)
+    /// whose counters `ev`'s dispatch may mutate, restricted to the ones
+    /// this shard owns.
+    fn touched_switches(&self, ev: &Event) -> [Option<NodeId>; 2] {
+        let own_switch = |n: NodeId| self.switches[n.index()].is_some().then_some(n);
+        match ev {
+            Event::Deliver { node, .. }
+            | Event::PfcDeliver { node, .. }
+            | Event::SwitchTxComplete { node, .. }
+            | Event::PfcWatchdog { node, .. } => [own_switch(*node), None],
+            Event::Fault { fault } => match *fault {
+                FaultEvent::LinkDown { link } | FaultEvent::LinkUp { link } => {
+                    let l = self.topo.link(LinkId::new(link));
+                    [own_switch(l.a.node), own_switch(l.b.node)]
+                }
+                FaultEvent::PauseStuck { node, .. } | FaultEvent::PauseRelease { node, .. } => {
+                    [own_switch(NodeId::new(node)), None]
+                }
+                _ => [None; 2],
+            },
+            _ => [None; 2],
+        }
+    }
+
+    /// Captures every digest-relevant counter `ev` may mutate, taken by
+    /// the sharded executor immediately before dispatching it.
+    pub(crate) fn snap(&self, ev: &Event) -> PopSnapshot {
+        let nodes = self.touched_switches(ev).map(|n| {
+            n.map(|node| {
+                let sw = self.switches[node.index()].as_ref().expect("owned switch");
+                (node, sw.pfc_counters().clone(), *sw.drop_counters())
+            })
+        });
+        PopSnapshot {
+            nodes,
+            wire: self.wire_drops,
+            irn: self.irn,
+            done: self.done_flows,
+            fct_len: self.fct.len(),
+        }
+    }
+
+    /// The digest-relevant mutations since `snap` (one dispatched
+    /// event), or `None` if the event changed nothing the executor
+    /// would have to revert past a stop key.
+    pub(crate) fn delta_since(&self, snap: PopSnapshot) -> Option<PopDelta> {
+        let mut any = false;
+        let nodes = snap.nodes.map(|entry| {
+            entry.and_then(|(node, pfc0, drops0)| {
+                let sw = self.switches[node.index()].as_ref().expect("owned switch");
+                let dpfc = sw.pfc_counters().since(&pfc0);
+                let ddrops = sw.drop_counters().since(&drops0);
+                if dpfc == PfcCounters::new() && ddrops == DropCounters::new() {
+                    None
+                } else {
+                    any = true;
+                    Some((node, dpfc, ddrops))
+                }
+            })
+        });
+        let wire = self.wire_drops.since(&snap.wire);
+        let irn = self.irn.since(&snap.irn);
+        let done_grew = self.done_flows > snap.done;
+        let fct_grew = self.fct.len() > snap.fct_len;
+        debug_assert!(self.done_flows - snap.done <= 1, "one completion per event");
+        debug_assert!(self.fct.len() - snap.fct_len <= 1, "one record per event");
+        if !any
+            && wire == DropCounters::new()
+            && irn == IrnCounters::new()
+            && !done_grew
+            && !fct_grew
+        {
+            return None;
+        }
+        Some(PopDelta {
+            nodes,
+            wire,
+            irn,
+            done_grew,
+            fct_grew,
+        })
+    }
+
+    /// Folds this world's order-independent counters (PFC, drops,
+    /// occupancy, liveness diagnostics) into `r`. Shared by the serial
+    /// result collection and the sharded merge.
+    pub(crate) fn fold_counters_into(&self, r: &mut RunResults) {
+        for sw in self.switches.iter().flatten() {
+            r.pfc.merge(sw.pfc_counters());
+            r.pfc_by_switch.insert(sw.id(), sw.pfc_counters().clone());
+            r.drops.merge(sw.drop_counters());
+        }
+        r.drops.merge(&self.wire_drops);
+        for (i, series) in self.occupancy.iter().enumerate() {
+            if !series.is_empty() {
+                r.occupancy.insert(NodeId::new(i as u32), series.clone());
+            }
+        }
+        r.rdma_stranded += self.rdma_stranded;
+        r.flow_stalls += self.flow_stalls;
+    }
+
+    /// FCT records in completion order (the order `record_if_finished`
+    /// pushed them).
+    pub(crate) fn fct_records(&self) -> &[FctRecord] {
+        &self.fct
+    }
+
+    /// This world's IRN counters (in a sharded run, `flows` counts every
+    /// registered IRN flow — registration is replicated — while the
+    /// run-time fields count only locally observed activity).
+    pub(crate) fn irn_counters(&self) -> IrnCounters {
+        self.irn
+    }
+
+    /// Reverts the newest `n` occupancy samples of every owned switch
+    /// (stop-key filtering of replicated `Sample` pops past the
+    /// completing event).
+    pub(crate) fn drop_last_occupancy(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        for series in &mut self.occupancy {
+            series.drop_last(n);
+        }
+    }
+
+    /// How many registered flows this world counts toward the global
+    /// done total (all of them for the serial engine).
+    pub(crate) fn counting_flows(&self) -> usize {
+        (0..self.flows.len())
+            .filter(|&ix| self.counts_done_here(ix))
+            .count()
+    }
+}
+
+/// Counter state captured by [`World::snap`] before one dispatch.
+pub(crate) struct PopSnapshot {
+    nodes: [Option<(NodeId, PfcCounters, DropCounters)>; 2],
+    wire: DropCounters,
+    irn: IrnCounters,
+    done: usize,
+    fct_len: usize,
+}
+
+/// The digest-relevant deltas of one dispatched event, journaled under
+/// its `(time, stamp)` key so a stop-key filter can subtract them.
+pub(crate) struct PopDelta {
+    /// Per-switch PFC and drop-counter growth.
+    pub(crate) nodes: [Option<(NodeId, PfcCounters, DropCounters)>; 2],
+    /// Wire (link-fault) drop growth.
+    pub(crate) wire: DropCounters,
+    /// IRN counter growth (`flows` always zero).
+    pub(crate) irn: IrnCounters,
+    /// Whether the event completed a counted flow.
+    pub(crate) done_grew: bool,
+    /// Whether the event appended an FCT record.
+    pub(crate) fct_grew: bool,
 }
 
 impl Simulation for World {
@@ -1569,17 +1986,12 @@ impl FabricSim {
         for rec in &self.world.fct {
             r.fct.push(*rec);
         }
-        for sw in self.world.switches.iter().flatten() {
-            r.pfc.merge(sw.pfc_counters());
-            r.pfc_by_switch.insert(sw.id(), sw.pfc_counters().clone());
-            r.drops.merge(sw.drop_counters());
-        }
-        r.drops.merge(&self.world.wire_drops);
-        for (i, series) in self.world.occupancy.iter().enumerate() {
-            if !series.is_empty() {
-                r.occupancy.insert(NodeId::new(i as u32), series.clone());
-            }
-        }
+        // `fold_counters_into` also folds `rdma_stranded`/`flow_stalls`,
+        // which the struct literal above already copied — zero them
+        // first so the serial path doesn't double-count.
+        r.rdma_stranded = 0;
+        r.flow_stalls = 0;
+        self.world.fold_counters_into(&mut r);
         r
     }
 }

@@ -72,6 +72,40 @@ impl PfcCounters {
             *a += b;
         }
     }
+
+    /// The counters accumulated since the `earlier` snapshot (which must
+    /// be a prefix of this set — counters only grow).
+    pub fn since(&self, earlier: &PfcCounters) -> PfcCounters {
+        let mut d = self.clone();
+        d.subtract(earlier);
+        d
+    }
+
+    /// Removes a previously accumulated `delta`. The sharded executor
+    /// uses this to revert mutations journaled past a run's completing
+    /// event.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `delta` exceeds the accumulated totals.
+    pub fn subtract(&mut self, delta: &PfcCounters) {
+        debug_assert!(
+            self.pause_total >= delta.pause_total
+                && self.resume_total >= delta.resume_total
+                && self.watchdog_total >= delta.watchdog_total,
+            "subtracting a delta that was never accumulated"
+        );
+        self.pause_total -= delta.pause_total;
+        self.resume_total -= delta.resume_total;
+        self.watchdog_total -= delta.watchdog_total;
+        for (a, b) in self
+            .pause_by_priority
+            .iter_mut()
+            .zip(delta.pause_by_priority.iter())
+        {
+            *a -= b;
+        }
+    }
 }
 
 /// Counts dropped packets and bytes, split by traffic class semantics:
@@ -150,6 +184,36 @@ impl DropCounters {
         self.lossy_rdma_packets += other.lossy_rdma_packets;
         self.lossy_rdma_bytes += other.lossy_rdma_bytes;
     }
+
+    /// The counters accumulated since the `earlier` snapshot (which must
+    /// be a prefix of this set — counters only grow).
+    pub fn since(&self, earlier: &DropCounters) -> DropCounters {
+        let mut d = *self;
+        d.subtract(earlier);
+        d
+    }
+
+    /// Removes a previously accumulated `delta` (see
+    /// [`PfcCounters::subtract`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `delta` exceeds the accumulated totals.
+    pub fn subtract(&mut self, delta: &DropCounters) {
+        debug_assert!(
+            self.lossy_packets >= delta.lossy_packets
+                && self.lossless_packets >= delta.lossless_packets,
+            "subtracting a delta that was never accumulated"
+        );
+        self.lossy_packets -= delta.lossy_packets;
+        self.lossy_bytes -= delta.lossy_bytes;
+        self.lossless_packets -= delta.lossless_packets;
+        self.lossless_bytes -= delta.lossless_bytes;
+        self.evicted_packets -= delta.evicted_packets;
+        self.evicted_bytes -= delta.evicted_bytes;
+        self.lossy_rdma_packets -= delta.lossy_rdma_packets;
+        self.lossy_rdma_bytes -= delta.lossy_rdma_bytes;
+    }
 }
 
 /// Per-run IRN (lossy RDMA) transport counters: NACK generation split by
@@ -191,6 +255,37 @@ impl IrnCounters {
         self.retransmitted_bytes += other.retransmitted_bytes;
         self.rto_fires += other.rto_fires;
     }
+
+    /// The counters accumulated since the `earlier` snapshot. Leaves
+    /// `flows` untouched: flow registrations are configuration, not
+    /// run-time accumulation, so deltas never carry them.
+    pub fn since(&self, earlier: &IrnCounters) -> IrnCounters {
+        let mut d = *self;
+        d.subtract(earlier);
+        d.flows = 0;
+        d
+    }
+
+    /// Removes a previously accumulated `delta` from the run-time
+    /// counters (`flows` is never subtracted; see [`IrnCounters::since`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `delta` exceeds the accumulated totals.
+    pub fn subtract(&mut self, delta: &IrnCounters) {
+        debug_assert!(
+            self.nacks_switch >= delta.nacks_switch
+                && self.nacks_receiver >= delta.nacks_receiver
+                && self.retransmitted_packets >= delta.retransmitted_packets
+                && self.rto_fires >= delta.rto_fires,
+            "subtracting a delta that was never accumulated"
+        );
+        self.nacks_switch -= delta.nacks_switch;
+        self.nacks_receiver -= delta.nacks_receiver;
+        self.retransmitted_packets -= delta.retransmitted_packets;
+        self.retransmitted_bytes -= delta.retransmitted_bytes;
+        self.rto_fires -= delta.rto_fires;
+    }
 }
 
 /// A periodically-sampled buffer-occupancy trace for one switch.
@@ -224,6 +319,14 @@ impl OccupancySeries {
     /// The raw samples.
     pub fn samples(&self) -> &[(SimTime, Bytes)] {
         &self.samples
+    }
+
+    /// Drops the newest `n` samples. The sharded executor uses this to
+    /// revert samples recorded past a run's completing event; `n` larger
+    /// than the series clears it.
+    pub fn drop_last(&mut self, n: usize) {
+        let keep = self.samples.len().saturating_sub(n);
+        self.samples.truncate(keep);
     }
 
     /// Number of samples.
@@ -371,5 +474,68 @@ mod tests {
         assert_eq!(s.peak(), Bytes::ZERO);
         assert_eq!(s.mean(), 0.0);
         assert!(s.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn pfc_since_and_subtract_roundtrip() {
+        let mut base = PfcCounters::new();
+        base.record_pause(Priority::new(3));
+        let snap = base.clone();
+        base.record_pause(Priority::new(1));
+        base.record_resume(Priority::new(3));
+        base.record_watchdog();
+        let delta = base.since(&snap);
+        assert_eq!(delta.pause_frames(), 1);
+        assert_eq!(delta.pause_frames_for(Priority::new(1)), 1);
+        assert_eq!(delta.resume_frames(), 1);
+        assert_eq!(delta.watchdog_fires(), 1);
+        base.subtract(&delta);
+        assert_eq!(base, snap, "subtract reverts since");
+    }
+
+    #[test]
+    fn drop_since_and_subtract_roundtrip() {
+        let mut base = DropCounters::new();
+        base.record_lossy(Bytes::new(1_000));
+        let snap = base;
+        base.record_lossless(Bytes::new(500));
+        base.record_evicted(Bytes::new(200));
+        let delta = base.since(&snap);
+        assert_eq!(delta.lossless_packets, 1);
+        assert_eq!(delta.evicted_packets, 1);
+        assert_eq!(delta.lossy_packets, 1, "eviction refines lossy");
+        assert_eq!(delta.lossy_bytes, 200);
+        base.subtract(&delta);
+        assert_eq!(base, snap);
+    }
+
+    #[test]
+    fn irn_since_skips_flow_registrations() {
+        let mut base = IrnCounters::new();
+        base.flows = 7;
+        base.nacks_switch = 2;
+        let snap = base;
+        base.nacks_switch += 1;
+        base.retransmitted_packets += 2;
+        base.retransmitted_bytes += 2_000;
+        let delta = base.since(&snap);
+        assert_eq!(delta.flows, 0, "flows are configuration, not a delta");
+        assert_eq!(delta.nacks_switch, 1);
+        assert_eq!(delta.retransmitted_packets, 2);
+        base.subtract(&delta);
+        assert_eq!(base, snap);
+        assert_eq!(base.flows, 7);
+    }
+
+    #[test]
+    fn occupancy_drop_last() {
+        let mut s = OccupancySeries::new();
+        s.push(SimTime::from_millis(1), Bytes::new(100));
+        s.push(SimTime::from_millis(2), Bytes::new(300));
+        s.push(SimTime::from_millis(3), Bytes::new(200));
+        s.drop_last(2);
+        assert_eq!(s.samples(), &[(SimTime::from_millis(1), Bytes::new(100))]);
+        s.drop_last(5);
+        assert!(s.is_empty());
     }
 }

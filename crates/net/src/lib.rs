@@ -32,6 +32,7 @@
 mod ids;
 mod link;
 mod packet;
+mod partition;
 mod routing;
 mod topology;
 
@@ -40,5 +41,6 @@ pub use link::{Link, LinkEnd, LinkId, NotAttached};
 pub use packet::{
     EcnCodepoint, Packet, PacketKind, PfcFrame, ACK_SIZE, CNP_SIZE, NACK_SIZE, PFC_FRAME_SIZE,
 };
+pub use partition::Partition;
 pub use routing::RoutingTable;
-pub use topology::{ClosConfig, Node, NodeKind, Topology};
+pub use topology::{ClosConfig, FatTreeConfig, Node, NodeKind, Topology};

@@ -102,6 +102,57 @@ impl ClosConfig {
     }
 }
 
+/// Configuration for a k-ary fat-tree (Al-Fares et al.): `k` pods, each
+/// with `k/2` edge and `k/2` aggregation switches, `(k/2)²` cores, and
+/// `k³/4` hosts. `k = 16` is the 1024-host datacenter-scale topology the
+/// sharded executor targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FatTreeConfig {
+    /// Pod count / switch radix. Must be even and ≥ 2.
+    pub k: usize,
+    /// Host access link rate.
+    pub host_rate: BitRate,
+    /// Switch-to-switch link rate.
+    pub fabric_rate: BitRate,
+    /// Propagation delay of host and edge–agg links.
+    pub edge_propagation: SimDuration,
+    /// Propagation delay of agg–core links.
+    pub core_propagation: SimDuration,
+}
+
+impl FatTreeConfig {
+    /// A k-ary fat-tree with the paper's link rates and delays (25/100
+    /// Gbps, 1 µs edge, 5 µs agg–core).
+    pub fn new(k: usize) -> Self {
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree k must be even and >= 2"
+        );
+        FatTreeConfig {
+            k,
+            host_rate: BitRate::from_gbps(25),
+            fabric_rate: BitRate::from_gbps(100),
+            edge_propagation: SimDuration::from_micros(1),
+            core_propagation: SimDuration::from_micros(5),
+        }
+    }
+
+    /// Total number of hosts: `k³/4`.
+    pub fn host_count(&self) -> usize {
+        self.k * self.k * self.k / 4
+    }
+
+    /// Number of edge (ToR) switches: `k²/2`.
+    pub fn edge_count(&self) -> usize {
+        self.k * self.k / 2
+    }
+
+    /// Number of core switches: `(k/2)²`.
+    pub fn core_count(&self) -> usize {
+        (self.k / 2) * (self.k / 2)
+    }
+}
+
 impl Topology {
     /// Builds the clos fabric: every ToR connects to every aggregation
     /// switch, every aggregation switch connects to every core switch.
@@ -133,6 +184,71 @@ impl Topology {
         for &agg in &aggs {
             for &core in &cores {
                 b.connect(agg, core, cfg.fabric_rate, cfg.core_propagation);
+            }
+        }
+        b.build()
+    }
+
+    /// Builds a k-ary fat-tree ([`FatTreeConfig`]).
+    ///
+    /// Node ids follow the clos convention — hosts first (edge-major),
+    /// then edge switches (pod-major), then aggregation switches
+    /// (pod-major), then cores — so `hosts()` yields ids
+    /// `0..host_count` and every fabric consumer's host-id assumptions
+    /// carry over unchanged.
+    ///
+    /// Wiring: within pod `p`, edge switch `e` connects its `k/2` hosts
+    /// and all `k/2` pod aggs; core `(a, j)` (for `a, j < k/2`) connects
+    /// to agg `a` of every pod, giving each agg `k/2` core uplinks.
+    pub fn fat_tree(cfg: &FatTreeConfig) -> Topology {
+        assert!(
+            cfg.k >= 2 && cfg.k.is_multiple_of(2),
+            "fat-tree k must be even"
+        );
+        let k = cfg.k;
+        let half = k / 2;
+        let mut b = Builder::new();
+        let hosts: Vec<NodeId> = (0..cfg.host_count())
+            .map(|_| b.add(NodeKind::Host))
+            .collect();
+        let edges: Vec<NodeId> = (0..cfg.edge_count())
+            .map(|_| b.add(NodeKind::Switch))
+            .collect();
+        let aggs: Vec<NodeId> = (0..cfg.edge_count())
+            .map(|_| b.add(NodeKind::Switch))
+            .collect();
+        let cores: Vec<NodeId> = (0..cfg.core_count())
+            .map(|_| b.add(NodeKind::Switch))
+            .collect();
+
+        for p in 0..k {
+            for e in 0..half {
+                let edge = edges[p * half + e];
+                for h in 0..half {
+                    let host = hosts[(p * half + e) * half + h];
+                    b.connect(host, edge, cfg.host_rate, cfg.edge_propagation);
+                }
+                for a in 0..half {
+                    b.connect(
+                        edge,
+                        aggs[p * half + a],
+                        cfg.fabric_rate,
+                        cfg.edge_propagation,
+                    );
+                }
+            }
+        }
+        for a in 0..half {
+            for j in 0..half {
+                let core = cores[a * half + j];
+                for p in 0..k {
+                    b.connect(
+                        aggs[p * half + a],
+                        core,
+                        cfg.fabric_rate,
+                        cfg.core_propagation,
+                    );
+                }
             }
         }
         b.build()
@@ -359,6 +475,72 @@ mod tests {
         assert_eq!(d.hosts().count(), 5);
         assert_eq!(d.switches().count(), 2);
         assert_eq!(d.links().len(), 6);
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        let cfg = FatTreeConfig::new(4);
+        let t = Topology::fat_tree(&cfg);
+        assert_eq!(t.hosts().count(), 16);
+        assert_eq!(t.switches().count(), 8 + 8 + 4);
+        // 16 host + (4 pods × 2 edges × 2 aggs) + (4 cores × 4 pods).
+        assert_eq!(t.links().len(), 16 + 16 + 16);
+        // Every edge switch: k/2 hosts + k/2 aggs = 4 ports; every core:
+        // one agg per pod = 4 ports.
+        for sw in t.switches() {
+            assert_eq!(t.node(sw).port_count(), 4);
+        }
+        // Ids: hosts are 0..16, and each host's uplink is an edge switch
+        // whose hosts are exactly its half-k id block.
+        for h in t.hosts() {
+            let edge = t.host_uplink_switch(h).unwrap();
+            assert_eq!(edge.index(), 16 + h.index() / 2);
+        }
+    }
+
+    #[test]
+    fn fat_tree_paper_scale_shape() {
+        let cfg = FatTreeConfig::new(16);
+        assert_eq!(cfg.host_count(), 1024);
+        let t = Topology::fat_tree(&cfg);
+        assert_eq!(t.hosts().count(), 1024);
+        assert_eq!(t.switches().count(), 128 + 128 + 64);
+        assert_eq!(t.links().len(), 1024 + 1024 + 1024);
+    }
+
+    #[test]
+    fn fat_tree_routes_reach_across_pods() {
+        use crate::ids::FlowId;
+        use crate::routing::RoutingTable;
+        let t = Topology::fat_tree(&FatTreeConfig::new(4));
+        let routes = RoutingTable::shortest_paths(&t);
+        let hosts: Vec<NodeId> = t.hosts().collect();
+        for (i, &src) in hosts.iter().enumerate() {
+            for &dst in &hosts[i + 1..] {
+                // Walk the route, counting hops; cross-pod paths are
+                // host→edge→agg→core→agg→edge→host (5 switch hops).
+                let mut at = t.host_uplink_switch(src).unwrap();
+                let mut hops = 0;
+                while at != dst {
+                    let port = routes
+                        .next_port(at, dst, FlowId::new(7))
+                        .unwrap_or_else(|| panic!("no route {src:?}->{dst:?} at {at:?}"));
+                    at = t.link_at(at, port).peer_of(at).unwrap().node;
+                    hops += 1;
+                    assert!(hops <= 6, "route too long {src:?}->{dst:?}");
+                }
+                let same_edge = src.index() / 2 == dst.index() / 2;
+                let same_pod = src.index() / 4 == dst.index() / 4;
+                let expect = if same_edge {
+                    1
+                } else if same_pod {
+                    3
+                } else {
+                    5
+                };
+                assert_eq!(hops, expect, "{src:?}->{dst:?}");
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::slab::Slab;
+use crate::stamp::Stamp;
 use crate::time::{SimDuration, SimTime};
 use crate::wheel::{Cancelled, TimerHandle, Wheel};
 
@@ -84,6 +85,70 @@ impl Entry {
 /// Ordered by `(at, ord)` — node and generation only validate the entry
 /// against cancel-after-staging at pop time.
 type DueEntry = (SimTime, u64, u32, u32);
+
+/// Where a gathered group member's payload still lives.
+#[derive(Debug, Clone, Copy)]
+enum GroupSrc {
+    /// Removed from the heap array; payload in the slab.
+    Heap,
+    /// Removed from the `due` stage but still *staged* in the wheel, so
+    /// a mid-group `cancel_timer` takes the normal `Staged` path and
+    /// dispatch detects the cancellation via `release_staged → None`.
+    Due { node: u32, generation: u32 },
+}
+
+/// One member of a gathered simultaneous-event group.
+#[derive(Debug, Clone, Copy)]
+struct GroupMember {
+    at: SimTime,
+    ord: u64,
+    src: GroupSrc,
+}
+
+/// Opt-in state for *stamp mode*, the sharded executor's dispatch
+/// discipline. Serial runs never allocate this; every hook below is a
+/// single `Option` check on their paths.
+///
+/// In stamp mode the `(time, seq)` insertion order is replaced by
+/// `(time, `[`Stamp`]`)`: every admission records an admission-lineage
+/// stamp in a side table, [`EventQueue::begin_group`] gathers all events
+/// at the earliest pending time, and the caller dispatches them in stamp
+/// order — an order every shard of a partitioned run computes
+/// identically. Cancelled timers log `(time, stamp)` ghosts instead of
+/// `(time, seq)` ones, since the executor settles ghost accounting at
+/// window barriers rather than at dispatch.
+#[derive(Debug)]
+struct StampState {
+    /// Stamp of each pending payload, indexed by slab slot.
+    stamps: Vec<Stamp>,
+    /// Stamp of the pop currently dispatching (children derive from it).
+    current: Stamp,
+    /// Emission lane of the current pop (see [`Stamp::lane_k`]).
+    lane: u16,
+    /// Emissions so far in the current lane of the current pop.
+    emit_n: u32,
+    /// Root ordinal for the next setup (pre-dispatch) admission.
+    next_root: u32,
+    /// Whether any group member has been dispatched yet: admissions
+    /// before that are setup roots, after it children of `current`.
+    dispatching: bool,
+    /// Min-heap of cancelled-timer fire times (`(time, slot)` into
+    /// `ghost_stamps`), folded into `ghost_pops` by the executor at
+    /// window barriers. A heap keyed by fire time makes each fold
+    /// O(folded · log live) — a paper-scale run crosses tens of
+    /// thousands of windows while RTO-style timers keep a large pool of
+    /// far-future ghosts alive, so a scan-the-log fold is quadratic.
+    ghost_due: BinaryHeap<Reverse<(SimTime, u32)>>,
+    /// Stamps of unfolded ghosts, slab-indexed by `ghost_due` entries.
+    ghost_stamps: Vec<Stamp>,
+    /// Free slots in `ghost_stamps`.
+    ghost_free: Vec<u32>,
+    /// The gathered simultaneous group currently being dispatched.
+    group: Vec<GroupMember>,
+    /// Gathered-but-undispatched heap members (kept so `len()` stays
+    /// exact mid-group; due members are still counted by `due_live`).
+    group_live: usize,
+}
 
 /// Scheduler counters for perf reporting and model-bug detection.
 ///
@@ -152,6 +217,8 @@ pub struct EventQueue<E> {
     /// `(time, seq)` keys of cancelled timers, absorbed lazily as
     /// dispatch passes them. See [`QueueStats::ghost_pops`].
     ghosts: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// Stamp-mode state; `None` (and untouched) on serial runs.
+    stamp: Option<Box<StampState>>,
     /// Next insertion sequence number (the FIFO tie-break).
     seq: u32,
     now: SimTime,
@@ -180,6 +247,7 @@ impl<E> EventQueue<E> {
             due: BinaryHeap::new(),
             due_live: 0,
             ghosts: BinaryHeap::new(),
+            stamp: None,
             seq: 0,
             now: SimTime::ZERO,
             processed: 0,
@@ -206,14 +274,42 @@ impl<E> EventQueue<E> {
     /// Allocates the payload slot and packed `(seq, slot)` key for one
     /// scheduled entry — shared by heap events and wheel timers so both
     /// consume insertion numbers from the same sequence.
+    ///
+    /// In stamp mode (`carried` or an enabled [`StampState`]) the slot's
+    /// admission stamp is recorded: `carried` verbatim (cross-shard
+    /// handoffs), otherwise a child of the dispatching pop, or a setup
+    /// root before the first dispatch.
     #[inline]
-    fn admit(&mut self, event: E) -> u64 {
+    fn admit(&mut self, event: E, carried: Option<Stamp>) -> u64 {
         if self.seq == u32::MAX {
             self.renumber();
         }
         let handle = self.slab.insert(event);
         let ord = (u64::from(self.seq) << 32) | u64::from(handle.slot);
         self.seq += 1;
+        if let Some(st) = self.stamp.as_deref_mut() {
+            let stamp = match carried {
+                Some(s) => s,
+                None if st.dispatching => {
+                    debug_assert!(st.emit_n < 0x10000, "emission lane overflow");
+                    let k = Stamp::lane_k(st.lane, st.emit_n);
+                    st.emit_n += 1;
+                    st.current.child(self.now, k)
+                }
+                None => {
+                    let root = st.next_root;
+                    st.next_root += 1;
+                    Stamp::root(root)
+                }
+            };
+            let slot = handle.slot as usize;
+            if st.stamps.len() <= slot {
+                st.stamps.resize(slot + 1, Stamp::root(0));
+            }
+            st.stamps[slot] = stamp;
+        } else {
+            debug_assert!(carried.is_none(), "stamped admission without stamp mode");
+        }
         ord
     }
 
@@ -224,8 +320,13 @@ impl<E> EventQueue<E> {
     /// which correctness tests assert to be zero — a latent model bug
     /// cannot hide behind the clamp.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.schedule_entry(at, event, None);
+    }
+
+    fn schedule_entry(&mut self, at: SimTime, event: E, carried: Option<Stamp>) {
         let at = self.clamp_time(at);
-        let ord = self.admit(event);
+        self.assert_future_in_stamp_mode(at);
+        let ord = self.admit(event, carried);
         self.heap.push(Entry { at, ord });
         self.sift_up(self.heap.len() - 1);
         self.max_heap = self.max_heap.max(self.heap.len());
@@ -243,8 +344,18 @@ impl<E> EventQueue<E> {
     /// events; past times are clamped and counted exactly like
     /// [`EventQueue::schedule_at`].
     pub fn schedule_timer_at(&mut self, at: SimTime, event: E) -> TimerHandle {
+        self.schedule_timer_entry(at, event, None)
+    }
+
+    fn schedule_timer_entry(
+        &mut self,
+        at: SimTime,
+        event: E,
+        carried: Option<Stamp>,
+    ) -> TimerHandle {
         let at = self.clamp_time(at);
-        let ord = self.admit(event);
+        self.assert_future_in_stamp_mode(at);
+        let ord = self.admit(event, carried);
         let handle = self.wheel.insert(at, ord);
         self.max_pending = self.max_pending.max(self.len());
         handle
@@ -276,8 +387,26 @@ impl<E> EventQueue<E> {
             }
         };
         self.timer_cancels += 1;
-        self.ghosts.push(Reverse((at, ord)));
-        Some(self.slab.take((ord & u64::from(u32::MAX)) as u32))
+        let slot = (ord & u64::from(u32::MAX)) as u32;
+        if let Some(st) = self.stamp.as_deref_mut() {
+            // Stamp mode: the executor folds ghosts at window barriers
+            // keyed by stamp, not lazily at dispatch keyed by seq.
+            let stamp = st.stamps[slot as usize];
+            let gslot = match st.ghost_free.pop() {
+                Some(g) => {
+                    st.ghost_stamps[g as usize] = stamp;
+                    g
+                }
+                None => {
+                    st.ghost_stamps.push(stamp);
+                    (st.ghost_stamps.len() - 1) as u32
+                }
+            };
+            st.ghost_due.push(Reverse((at, gslot)));
+        } else {
+            self.ghosts.push(Reverse((at, ord)));
+        }
+        Some(self.slab.take(slot))
     }
 
     /// Establishes the dispatch invariant: stale due entries are gone
@@ -407,9 +536,24 @@ impl<E> EventQueue<E> {
         self.now
     }
 
+    /// Stamp-mode group gathering removes events from their structures
+    /// before dispatch; a member emitting at (or before) the group's
+    /// time would silently miss its own group, so it is a model bug.
+    #[inline]
+    fn assert_future_in_stamp_mode(&self, at: SimTime) {
+        if let Some(st) = self.stamp.as_deref() {
+            debug_assert!(
+                !st.dispatching || at > self.now,
+                "stamp mode forbids zero-delay emissions"
+            );
+        }
+        let _ = at;
+    }
+
     /// Number of pending events (heap events plus armed timers).
     pub fn len(&self) -> usize {
-        self.heap.len() + self.wheel.len() + self.due_live
+        let in_group = self.stamp.as_deref().map_or(0, |st| st.group_live);
+        self.heap.len() + self.wheel.len() + self.due_live + in_group
     }
 
     /// Whether no events are pending.
@@ -452,6 +596,241 @@ impl<E> EventQueue<E> {
             timer_cancels: self.timer_cancels,
             ghost_pops: self.ghost_pops,
             stale_timer_pops: self.stale_timer_pops,
+        }
+    }
+
+    // ---- stamp mode (sharded executor) --------------------------------
+
+    /// Switches the queue into stamp mode (see [`StampState`]). Must be
+    /// called on a fresh queue, before anything is scheduled; serial
+    /// queues that never call this pay only dead `Option` checks.
+    pub fn enable_stamps(&mut self) {
+        assert!(
+            self.is_empty() && self.processed == 0 && self.ghosts.is_empty(),
+            "enable_stamps requires a fresh queue"
+        );
+        self.stamp = Some(Box::new(StampState {
+            stamps: Vec::new(),
+            current: Stamp::root(0),
+            lane: 0,
+            emit_n: 0,
+            next_root: 0,
+            dispatching: false,
+            ghost_due: BinaryHeap::new(),
+            ghost_stamps: Vec::new(),
+            ghost_free: Vec::new(),
+            group: Vec::new(),
+            group_live: 0,
+        }));
+    }
+
+    /// Whether stamp mode is enabled.
+    pub fn stamps_enabled(&self) -> bool {
+        self.stamp.is_some()
+    }
+
+    /// Sets the root ordinal assigned to the *next* setup admission
+    /// (ordinals auto-increment between calls). Shards use this to give
+    /// replicated setup events identical stamps and shard-local ones
+    /// their global ordinals.
+    pub fn stamp_next_root(&mut self, ordinal: u32) {
+        let st = self.stamp.as_deref_mut().expect("stamp mode required");
+        assert!(!st.dispatching, "setup roots only before the first pop");
+        st.next_root = ordinal;
+    }
+
+    /// Switches the current pop's emission lane and restarts its
+    /// per-lane emission counter. Handlers whose per-shard replicas emit
+    /// different *subsets* of the serial emission sequence (fault
+    /// application touches both link endpoints) assign one lane per
+    /// subset so emission indices stay comparable across shards.
+    pub fn set_stamp_lane(&mut self, lane: u16) {
+        let st = self.stamp.as_deref_mut().expect("stamp mode required");
+        st.lane = lane;
+        st.emit_n = 0;
+    }
+
+    /// The stamp of the pop currently dispatching — with
+    /// [`EventQueue::now`], the `(time, stamp)` key the executor journals
+    /// digest-relevant mutations under.
+    pub fn current_stamp(&self) -> Stamp {
+        self.stamp.as_deref().expect("stamp mode required").current
+    }
+
+    /// Consumes the current pop's next emission index and returns the
+    /// stamp its child would get if it were admitted locally. Used to
+    /// stamp a cross-shard handoff: the remote shard admits the payload
+    /// with this exact stamp via the `*_stamped` schedulers, so the
+    /// dispatch order is as if the event had stayed local.
+    pub fn next_child_stamp(&mut self) -> Stamp {
+        let now = self.now;
+        let st = self.stamp.as_deref_mut().expect("stamp mode required");
+        debug_assert!(st.dispatching, "handoffs originate from a pop");
+        debug_assert!(st.emit_n < 0x10000, "emission lane overflow");
+        let k = Stamp::lane_k(st.lane, st.emit_n);
+        st.emit_n += 1;
+        st.current.child(now, k)
+    }
+
+    /// Schedules `event` carrying an explicit admission stamp (a
+    /// cross-shard handoff admitted at a window barrier).
+    pub fn schedule_at_stamped(&mut self, at: SimTime, event: E, stamp: Stamp) {
+        self.schedule_entry(at, event, Some(stamp));
+    }
+
+    /// Arms a cancellable timer carrying an explicit admission stamp (a
+    /// cross-shard watchdog-arm handoff).
+    pub fn schedule_timer_at_stamped(
+        &mut self,
+        at: SimTime,
+        event: E,
+        stamp: Stamp,
+    ) -> TimerHandle {
+        self.schedule_timer_entry(at, event, Some(stamp))
+    }
+
+    /// Gathers every pending event at the earliest pending time into a
+    /// dispatch group and fills `out` with `(member index, stamp)` pairs.
+    /// Returns the group's time, or `None` if the queue is empty.
+    ///
+    /// The caller sorts `out` by [`Stamp::order`] and feeds each index to
+    /// [`EventQueue::dispatch_member`]. Payloads are *not* removed here:
+    /// heap members stay in the slab and wheel members stay staged, so a
+    /// member cancelling a not-yet-dispatched same-time timer goes
+    /// through the ordinary `cancel_timer` path and the cancelled
+    /// member is skipped at dispatch. (The model must not schedule
+    /// zero-delay events, so a member can never *add* to its own group —
+    /// `debug_assert`ed in the schedulers via `past_clamps` plus the
+    /// strict-future check below.)
+    pub fn begin_group(&mut self, out: &mut Vec<(u32, Stamp)>) -> Option<SimTime> {
+        out.clear();
+        self.settle();
+        let (t, _) = self.next_key()?;
+        let mut group = {
+            let st = self.stamp.as_deref_mut().expect("stamp mode required");
+            debug_assert_eq!(st.group_live, 0, "previous group fully dispatched");
+            let mut g = std::mem::take(&mut st.group);
+            g.clear();
+            g
+        };
+        while let Some(&e) = self.heap.first() {
+            if e.at != t {
+                break;
+            }
+            self.remove_heap_top();
+            group.push(GroupMember {
+                at: e.at,
+                ord: e.ord,
+                src: GroupSrc::Heap,
+            });
+        }
+        while let Some(&Reverse((at, ord, node, generation))) = self.due.peek() {
+            if at != t {
+                break;
+            }
+            self.due.pop();
+            if self.wheel.is_staged_live(node, generation) {
+                group.push(GroupMember {
+                    at,
+                    ord,
+                    src: GroupSrc::Due { node, generation },
+                });
+            }
+            // Stale (cancelled after staging): already ghosted.
+        }
+        let heap_members = group
+            .iter()
+            .filter(|m| matches!(m.src, GroupSrc::Heap))
+            .count();
+        let st = self.stamp.as_deref_mut().expect("stamp mode required");
+        st.group_live = heap_members;
+        for (i, m) in group.iter().enumerate() {
+            let slot = (m.ord & u64::from(u32::MAX)) as usize;
+            out.push((i as u32, st.stamps[slot]));
+        }
+        st.group = group;
+        Some(t)
+    }
+
+    /// Dispatches one gathered group member, advancing the clock to its
+    /// time. Returns `None` if the member was a timer cancelled by an
+    /// earlier member of the same group (serial order would never have
+    /// dispatched it either).
+    pub fn dispatch_member(&mut self, index: u32) -> Option<(SimTime, E)> {
+        let m = {
+            let st = self.stamp.as_deref().expect("stamp mode required");
+            st.group[index as usize]
+        };
+        match m.src {
+            GroupSrc::Heap => {
+                let st = self.stamp.as_deref_mut().expect("stamp mode required");
+                st.group_live -= 1;
+            }
+            GroupSrc::Due { node, generation } => {
+                match self.wheel.release_staged(node, generation) {
+                    Some(released) => {
+                        debug_assert_eq!(released, m.ord);
+                        self.due_live -= 1;
+                    }
+                    // Cancelled mid-group; cancel_timer already took the
+                    // payload, ghosted the key and adjusted `due_live`.
+                    None => return None,
+                }
+            }
+        }
+        let slot = (m.ord & u64::from(u32::MAX)) as u32;
+        {
+            let st = self.stamp.as_deref_mut().expect("stamp mode required");
+            st.dispatching = true;
+            st.current = st.stamps[slot as usize];
+            st.lane = 0;
+            st.emit_n = 0;
+        }
+        let event = self.slab.take(slot);
+        self.finish_pop(m.at, m.ord);
+        Some((m.at, event))
+    }
+
+    /// Removes and counts stamp-mode ghosts strictly before `horizon`
+    /// into [`QueueStats::ghost_pops`] — the barrier-time equivalent of
+    /// the serial engine's lazy absorption. Returns the count folded.
+    pub fn fold_stamped_ghosts_before(&mut self, horizon: SimTime) -> u64 {
+        let st = self.stamp.as_deref_mut().expect("stamp mode required");
+        let mut folded = 0u64;
+        while let Some(&Reverse((at, g))) = st.ghost_due.peek() {
+            if at >= horizon {
+                break;
+            }
+            st.ghost_due.pop();
+            st.ghost_free.push(g);
+            folded += 1;
+        }
+        self.ghost_pops += folded;
+        folded
+    }
+
+    /// Stamp-mode ghosts not yet folded (unordered). The executor counts
+    /// the qualifying tail at run end (ghost keys below the run's stop
+    /// key) and credits them via [`EventQueue::add_ghost_pops`].
+    pub fn stamped_ghosts(&self) -> impl Iterator<Item = (SimTime, Stamp)> + '_ {
+        let st = self.stamp.as_deref().expect("stamp mode required");
+        st.ghost_due
+            .iter()
+            .map(|&Reverse((at, g))| (at, st.ghost_stamps[g as usize]))
+    }
+
+    /// Credits `n` ghost pops decided outside the queue (the sharded
+    /// executor's end-of-run ghost reconciliation).
+    pub fn add_ghost_pops(&mut self, n: u64) {
+        self.ghost_pops += n;
+    }
+
+    /// Removes the heap's root entry without touching its slab payload.
+    fn remove_heap_top(&mut self) {
+        let last = self.heap.pop().expect("remove_heap_top on non-empty heap");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
         }
     }
 
@@ -974,6 +1353,176 @@ mod tests {
         let expect: Vec<i32> = (0..21).filter(|&i| i != 4 && i != 10).collect();
         assert_eq!(order, expect, "FIFO ties survive renumber across sources");
         assert_eq!(q.ghost_pops() + q.processed(), 21, "ghosts renumbered too");
+    }
+
+    /// A deterministic branching workload driven identically through the
+    /// serial `(time, seq)` pop path and the stamp-mode group path: every
+    /// event is a pure function of its id, children go to the heap or
+    /// the wheel by id, and some events cancel the oldest armed timer.
+    struct Branchy {
+        order: Vec<u64>,
+        armed: std::collections::VecDeque<TimerHandle>,
+        budget: u32,
+    }
+
+    impl Branchy {
+        fn new(budget: u32) -> Branchy {
+            Branchy {
+                order: Vec::new(),
+                armed: std::collections::VecDeque::new(),
+                budget,
+            }
+        }
+
+        fn on_event(&mut self, now: SimTime, id: u64, q: &mut EventQueue<u64>) {
+            self.order.push(id);
+            if id.is_multiple_of(7) {
+                if let Some(h) = self.armed.pop_front() {
+                    q.cancel_timer(h);
+                }
+            }
+            for k in 0..1 + id % 2 {
+                if self.budget == 0 {
+                    return;
+                }
+                self.budget -= 1;
+                let child = id
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407 + k);
+                // Coarse enough for frequent same-time groups, spread
+                // enough that >STAMP_DEPTH-deep identical admission-time
+                // chains (the ambiguous case) don't occur.
+                let at = now + SimDuration::from_nanos(1 + child % 19);
+                if child.is_multiple_of(5) {
+                    self.armed.push_back(q.schedule_timer_at(at, child));
+                } else {
+                    q.schedule_at(at, child);
+                }
+            }
+        }
+    }
+
+    fn branchy_roots(q: &mut EventQueue<u64>) {
+        for i in 0..24u64 {
+            // Colliding times across both sources.
+            let at = SimTime::from_nanos(1 + (i * 13) % 5);
+            if i % 2 == 0 {
+                q.schedule_at(at, i * 1000 + 3);
+            } else {
+                q.schedule_timer_at(at, i * 1000 + 5);
+            }
+        }
+    }
+
+    #[test]
+    fn group_dispatch_matches_serial_pop_order() {
+        // Serial reference.
+        let mut serial = Branchy::new(4000);
+        let mut qs = EventQueue::new();
+        branchy_roots(&mut qs);
+        while let Some((now, id)) = qs.pop() {
+            serial.on_event(now, id, &mut qs);
+        }
+        qs.absorb_ghosts_before(SimTime::from_nanos(u64::MAX));
+
+        // Stamp-mode group dispatch of the same workload.
+        let mut grouped = Branchy::new(4000);
+        let mut qg = EventQueue::new();
+        qg.enable_stamps();
+        branchy_roots(&mut qg);
+        let mut scratch: Vec<(u32, crate::stamp::Stamp)> = Vec::new();
+        while qg.begin_group(&mut scratch).is_some() {
+            scratch.sort_by(|a, b| a.1.order(&b.1));
+            let members: Vec<u32> = scratch.iter().map(|&(i, _)| i).collect();
+            for i in members {
+                if let Some((now, id)) = qg.dispatch_member(i) {
+                    grouped.on_event(now, id, &mut qg);
+                }
+            }
+        }
+        qg.fold_stamped_ghosts_before(SimTime::from_nanos(u64::MAX));
+
+        assert!(serial.order.len() > 1000, "workload actually branched");
+        assert_eq!(grouped.order, serial.order, "dispatch order diverged");
+        assert_eq!(qg.processed(), qs.processed());
+        assert_eq!(qg.ghost_pops(), qs.ghost_pops(), "ghost accounting");
+        assert_eq!(qg.stats().timer_cancels, qs.stats().timer_cancels);
+        assert_eq!(qg.stats().stale_timer_pops, 0);
+        assert_eq!(qg.len(), 0);
+    }
+
+    #[test]
+    fn carried_stamps_override_insertion_order() {
+        // Two same-time events inserted in the order B, A but carrying
+        // stamps that order A first (a handoff admitted "late" must
+        // still dispatch in its origin order).
+        let mut q = EventQueue::new();
+        q.enable_stamps();
+        let t = SimTime::from_nanos(9);
+        q.schedule_at_stamped(t, "b", crate::stamp::Stamp::root(7));
+        q.schedule_at_stamped(t, "a", crate::stamp::Stamp::root(2));
+        let mut scratch = Vec::new();
+        q.begin_group(&mut scratch).expect("group at t=9");
+        scratch.sort_by(|x, y| x.1.order(&y.1));
+        let order: Vec<&str> = scratch
+            .iter()
+            .filter_map(|&(i, _)| q.dispatch_member(i).map(|(_, e)| e))
+            .collect();
+        assert_eq!(order, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn mid_group_cancel_skips_member() {
+        // An event and a timer share t=10; the event (earlier stamp)
+        // cancels the timer from inside the group. The timer member must
+        // dispatch as None, its ghost logged, exactly one event
+        // processed — matching what the serial engine would do.
+        let mut q = EventQueue::new();
+        q.enable_stamps();
+        q.schedule_at(SimTime::from_nanos(10), 1u64);
+        let h = q.schedule_timer_at(SimTime::from_nanos(10), 2u64);
+        let mut scratch = Vec::new();
+        q.begin_group(&mut scratch).expect("group at t=10");
+        assert_eq!(scratch.len(), 2);
+        scratch.sort_by(|a, b| a.1.order(&b.1));
+        let mut seen = Vec::new();
+        for &(i, _) in &scratch {
+            match q.dispatch_member(i) {
+                Some((_, 1)) => {
+                    seen.push(1);
+                    assert_eq!(q.cancel_timer(h), Some(2));
+                }
+                Some((_, other)) => seen.push(other),
+                None => seen.push(0),
+            }
+        }
+        assert_eq!(seen, vec![1, 0], "timer skipped after mid-group cancel");
+        assert_eq!(q.processed(), 1);
+        assert_eq!(q.stamped_ghosts().count(), 1);
+        assert_eq!(q.fold_stamped_ghosts_before(SimTime::from_nanos(11)), 1);
+        assert_eq!(q.ghost_pops(), 1);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn stamp_roots_can_be_pinned() {
+        // Explicit root ordinals reorder setup admissions (shards give
+        // replicated events their *global* ordinals, not local ones).
+        let mut q = EventQueue::new();
+        q.enable_stamps();
+        let t = SimTime::from_nanos(3);
+        q.stamp_next_root(5);
+        q.schedule_at(t, "late");
+        q.stamp_next_root(1);
+        q.schedule_at(t, "early");
+        let mut scratch = Vec::new();
+        q.begin_group(&mut scratch).expect("group");
+        scratch.sort_by(|a, b| a.1.order(&b.1));
+        let order: Vec<&str> = scratch
+            .iter()
+            .filter_map(|&(i, _)| q.dispatch_member(i).map(|(_, e)| e))
+            .collect();
+        assert_eq!(order, vec!["early", "late"]);
     }
 
     #[test]

@@ -44,21 +44,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod barrier;
 mod event;
 mod fault;
 mod par;
 mod rng;
 mod slab;
+mod stamp;
 mod time;
 mod trace;
 mod units;
 mod wheel;
 
+pub use barrier::SpinBarrier;
 pub use event::{run_until, run_while, EventQueue, QueueStats, Simulation};
 pub use fault::{FaultEvent, FaultSchedule, ScheduledFault};
-pub use par::{default_jobs, par_map};
+pub use par::{default_jobs, effective_jobs, par_map};
 pub use rng::{EmpiricalCdf, SimRng};
 pub use slab::{Slab, SlotHandle};
+pub use stamp::{ambiguous_comparisons, ShardStats, Stamp, StampKey, STAMP_DEPTH};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
     summarize_flow, FlightRecorder, TraceConfig, TraceDropCause, TraceEvent, TraceHandle,
